@@ -1,0 +1,106 @@
+/// Ablation study of BSA's design choices (DESIGN.md §3).
+///
+/// For each interpretation knob the bench reports mean schedule lengths
+/// over a random-graph suite (three granularities on ring and hypercube):
+///
+///   * MigrationPolicy: makespan-guarded (default) vs literal task-greedy
+///   * GateRule: paper gate vs always-consider
+///   * VIP rule: on vs off
+///   * Slot policy: insertion vs append-only
+///   * Route-cycle pruning: off (paper) vs on
+///   * Sweeps: 1 (paper) vs 4
+///   * Serialization: CP/IB/OB (paper) vs plain b-level list
+///   * Routing: incremental (paper) vs static shortest-path re-routing
+///
+/// Flags: --tasks N, --seeds N, --per-pair, --seed S.
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/bsa.hpp"
+#include "exp/experiment.hpp"
+#include "workloads/random_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsa;
+  const CliParser cli(argc, argv);
+  const int num_tasks = static_cast<int>(cli.get_int("tasks", 80));
+  const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const bool per_pair = cli.get_bool("per-pair", false);
+  const auto base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  struct Variant {
+    const char* name;
+    std::function<void(core::BsaOptions&)> tweak;
+  };
+  const std::vector<Variant> variants{
+      {"default (guarded)", [](core::BsaOptions&) {}},
+      {"task-greedy (paper literal)",
+       [](core::BsaOptions& o) {
+         o.policy = core::MigrationPolicy::kTaskGreedy;
+       }},
+      {"gate: always consider",
+       [](core::BsaOptions& o) { o.gate = core::GateRule::kAlwaysConsider; }},
+      {"VIP rule off", [](core::BsaOptions& o) { o.vip_rule = false; }},
+      {"append-only slots",
+       [](core::BsaOptions& o) { o.insertion_slots = false; }},
+      {"route pruning on",
+       [](core::BsaOptions& o) { o.prune_route_cycles = true; }},
+      {"4 sweeps", [](core::BsaOptions& o) { o.max_sweeps = 4; }},
+      {"b-level serialization",
+       [](core::BsaOptions& o) {
+         o.serialization = core::SerializationRule::kBLevel;
+       }},
+      {"static shortest-path routes",
+       [](core::BsaOptions& o) {
+         o.routing = core::RouteDiscipline::kStaticShortestPath;
+       }},
+  };
+
+  std::cout << "=== BSA design-choice ablation ===\n"
+            << num_tasks << "-task random graphs, " << seeds
+            << " seed(s), granularities {0.1, 1, 10}\n\n";
+
+  for (const char* topo_kind : {"ring", "hypercube"}) {
+    const auto topo = exp::make_topology(topo_kind, 16, base_seed);
+    TextTable table({"variant", "gran 0.1", "gran 1.0", "gran 10.0"});
+    for (const auto& variant : variants) {
+      table.new_row().cell(variant.name);
+      for (const double gran : {0.1, 1.0, 10.0}) {
+        exp::CellMean mean;
+        for (int rep = 0; rep < seeds; ++rep) {
+          workloads::RandomDagParams params;
+          params.num_tasks = num_tasks;
+          params.granularity = gran;
+          params.seed = derive_seed(base_seed,
+                                    static_cast<std::uint64_t>(rep), 3);
+          const auto g = workloads::random_layered_dag(params);
+          const auto cm_seed = derive_seed(params.seed, 17);
+          const auto cm =
+              per_pair
+                  ? net::HeterogeneousCostModel::uniform(g, topo, 1, 50, 1,
+                                                         50, cm_seed)
+                  : net::HeterogeneousCostModel::uniform_processor_speeds(
+                        g, topo, 1, 50, 1, 50, cm_seed);
+          core::BsaOptions opt;
+          opt.seed = params.seed;
+          variant.tweak(opt);
+          mean.add(core::schedule_bsa(g, topo, cm, opt).schedule_length());
+        }
+        table.cell(mean.mean(), 1);
+      }
+    }
+    std::cout << "-- " << topo.name() << " --\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "expected: task-greedy blows up at granularity 0.1 (the\n"
+               "makespan guard is what delivers contention awareness);\n"
+               "extra sweeps help mainly at coarse granularity on the ring.\n";
+  return 0;
+}

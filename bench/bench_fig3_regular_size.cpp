@@ -1,0 +1,28 @@
+/// Reproduces Figure 3 of the paper: average schedule lengths of BSA and
+/// DLS on the regular-application suite (Gaussian elimination, LU
+/// decomposition, Laplace solver) as a function of graph size, for the
+/// four 16-processor topologies (ring, hypercube, clique, random), with
+/// cells averaged over the three granularities.
+///
+/// Expected shape (paper §3): BSA consistently at or below DLS, the gap
+/// (~20% in the paper) growing with graph size and shrinking with
+/// connectivity; both algorithms shorter on the clique than on the ring.
+///
+/// Flags: --full (paper's 10 sizes, 3 seeds), --seeds N, --procs N,
+///        --per-pair, --eft, --csv, --seed S.
+
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const bsa::CliParser cli(argc, argv);
+  bsa::bench::SweepConfig cfg;
+  cfg.regular_suite = true;
+  cfg.x_axis_granularity = false;
+  cfg.sizes = bsa::exp::paper_sizes();
+  cfg.granularities = bsa::exp::paper_granularities();
+  bsa::bench::apply_cli(cli, &cfg);
+  bsa::bench::run_and_print(cfg, "Figure 3", std::cout);
+  return 0;
+}

@@ -1,0 +1,24 @@
+/// Reproduces Figure 4 of the paper: average schedule lengths of BSA and
+/// DLS on randomly structured task graphs as a function of graph size,
+/// for the four 16-processor topologies, averaged over granularities.
+///
+/// Expected shape (paper §3): as Figure 3 — BSA at or below DLS with both
+/// producing longer schedules than on the regular suite.
+///
+/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S.
+
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const bsa::CliParser cli(argc, argv);
+  bsa::bench::SweepConfig cfg;
+  cfg.regular_suite = false;
+  cfg.x_axis_granularity = false;
+  cfg.sizes = bsa::exp::paper_sizes();
+  cfg.granularities = bsa::exp::paper_granularities();
+  bsa::bench::apply_cli(cli, &cfg);
+  bsa::bench::run_and_print(cfg, "Figure 4", std::cout);
+  return 0;
+}

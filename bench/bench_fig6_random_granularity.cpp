@@ -1,0 +1,25 @@
+/// Reproduces Figure 6 of the paper: average schedule lengths of BSA and
+/// DLS on random graphs as a function of granularity, for the four
+/// 16-processor topologies, averaged over graph sizes.
+///
+/// Expected shape (paper §3): same conclusions as Figure 5 on the random
+/// suite — sharp increase at fine granularity, largest BSA advantage at
+/// granularity 0.1.
+///
+/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S.
+
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  const bsa::CliParser cli(argc, argv);
+  bsa::bench::SweepConfig cfg;
+  cfg.regular_suite = false;
+  cfg.x_axis_granularity = true;
+  cfg.sizes = bsa::exp::paper_sizes();
+  cfg.granularities = bsa::exp::paper_granularities();
+  bsa::bench::apply_cli(cli, &cfg);
+  bsa::bench::run_and_print(cfg, "Figure 6", std::cout);
+  return 0;
+}

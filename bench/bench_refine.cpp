@@ -1,0 +1,96 @@
+/// Local-search refinement study (extension): how much slack does each
+/// scheduler leave on the table against a single-task-move local
+/// optimum? For each algorithm, schedules are refined with
+/// core::refine_schedule and the improvement percentage is reported.
+/// Small residuals mean the scheduler's output is already near a local
+/// optimum of the contention-aware objective.
+///
+/// Flags: --tasks N, --seeds N, --rounds N, --per-pair, --seed S.
+
+#include <iostream>
+
+#include "baselines/dls.hpp"
+#include "baselines/eft.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/bsa.hpp"
+#include "core/refine.hpp"
+#include "exp/experiment.hpp"
+#include "workloads/random_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsa;
+  const CliParser cli(argc, argv);
+  const int num_tasks = static_cast<int>(cli.get_int("tasks", 60));
+  const int seeds = static_cast<int>(cli.get_int("seeds", 2));
+  const int rounds = static_cast<int>(cli.get_int("rounds", 1));
+  const bool per_pair = cli.get_bool("per-pair", false);
+  const auto base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  std::cout << "=== local-search refinement headroom ===\n"
+            << num_tasks << "-task random graphs, granularity 1.0, "
+            << "16-processor hypercube, " << seeds << " seed(s), " << rounds
+            << " refinement round(s)\n\n";
+
+  const auto topo = exp::make_topology("hypercube", 16, base_seed);
+  TextTable table({"scheduler", "before", "after refine", "improvement %",
+                   "moves"});
+  struct Row {
+    const char* name;
+    exp::Algo algo;
+  };
+  for (const Row row : {Row{"BSA", exp::Algo::kBsa},
+                        Row{"DLS", exp::Algo::kDls},
+                        Row{"EFT (oblivious)", exp::Algo::kEft}}) {
+    exp::CellMean before, after;
+    int total_moves = 0;
+    for (int rep = 0; rep < seeds; ++rep) {
+      workloads::RandomDagParams params;
+      params.num_tasks = num_tasks;
+      params.granularity = 1.0;
+      params.seed = derive_seed(base_seed, static_cast<std::uint64_t>(rep));
+      const auto g = workloads::random_layered_dag(params);
+      const auto cm_seed = derive_seed(params.seed, 17);
+      const auto cm =
+          per_pair
+              ? net::HeterogeneousCostModel::uniform(g, topo, 1, 50, 1, 50,
+                                                     cm_seed)
+              : net::HeterogeneousCostModel::uniform_processor_speeds(
+                    g, topo, 1, 50, 1, 50, cm_seed);
+      sched::Schedule s(g, topo);
+      switch (row.algo) {
+        case exp::Algo::kBsa:
+          s = core::schedule_bsa(g, topo, cm).schedule;
+          break;
+        case exp::Algo::kDls:
+          s = baselines::schedule_dls(g, topo, cm).schedule;
+          break;
+        default:
+          s = baselines::schedule_eft_oblivious(g, topo, cm).schedule;
+          break;
+      }
+      core::RefineOptions opt;
+      opt.max_rounds = rounds;
+      const auto refined = core::refine_schedule(s, cm, opt);
+      before.add(s.makespan());
+      after.add(refined.final_length);
+      total_moves += refined.moves_applied;
+    }
+    const double pct =
+        before.mean() > 0
+            ? 100.0 * (before.mean() - after.mean()) / before.mean()
+            : 0.0;
+    table.new_row()
+        .cell(row.name)
+        .cell(before.mean(), 1)
+        .cell(after.mean(), 1)
+        .cell(pct, 1)
+        .cell(static_cast<long long>(total_moves));
+  }
+  table.print(std::cout);
+  std::cout << "\nsmall improvement % = the scheduler was already near a "
+               "single-move local optimum\n";
+  return 0;
+}

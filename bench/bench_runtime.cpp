@@ -1,0 +1,90 @@
+/// Algorithm running-time comparison (google-benchmark).
+///
+/// The paper (§3, last paragraph) reports that BSA's and DLS's running
+/// times were "about the same because the two algorithms are of
+/// comparable time complexity" (O(m^2 e n) vs O(n^2 m e / ready)). This
+/// bench measures both schedulers (plus the EFT ablation) across graph
+/// sizes and topologies so the claim can be checked on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/dls.hpp"
+#include "baselines/eft.hpp"
+#include "core/bsa.hpp"
+#include "exp/experiment.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace {
+
+using namespace bsa;
+
+struct Instance {
+  graph::TaskGraph g;
+  net::Topology topo;
+  net::HeterogeneousCostModel cm;
+};
+
+Instance make_instance(int n, const char* topo_kind) {
+  workloads::RandomDagParams params;
+  params.num_tasks = n;
+  params.granularity = 1.0;
+  params.seed = 42;
+  auto g = workloads::random_layered_dag(params);
+  auto topo = exp::make_topology(topo_kind, 16, 1);
+  auto cm = net::HeterogeneousCostModel::uniform_processor_speeds(
+      g, topo, 1, 50, 1, 50, 7);
+  return Instance{std::move(g), std::move(topo), std::move(cm)};
+}
+
+void BM_Bsa(benchmark::State& state, const char* topo_kind) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)),
+                                      topo_kind);
+  for (auto _ : state) {
+    auto result = core::schedule_bsa(inst.g, inst.topo, inst.cm);
+    benchmark::DoNotOptimize(result.schedule_length());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Dls(benchmark::State& state, const char* topo_kind) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)),
+                                      topo_kind);
+  for (auto _ : state) {
+    auto result = baselines::schedule_dls(inst.g, inst.topo, inst.cm);
+    benchmark::DoNotOptimize(result.schedule_length());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Eft(benchmark::State& state, const char* topo_kind) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)),
+                                      topo_kind);
+  for (auto _ : state) {
+    auto result =
+        baselines::schedule_eft_oblivious(inst.g, inst.topo, inst.cm);
+    benchmark::DoNotOptimize(result.schedule_length());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Bsa, ring, "ring")
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_Dls, ring, "ring")
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_Eft, ring, "ring")
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK_CAPTURE(BM_Bsa, hypercube, "hypercube")
+    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Dls, hypercube, "hypercube")
+    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Bsa, clique, "clique")
+    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Dls, clique, "clique")
+    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+#include "fig_common.hpp"
+
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace bsa::bench {
+namespace {
+
+net::HeterogeneousCostModel make_costs(const SweepConfig& cfg,
+                                       const graph::TaskGraph& g,
+                                       const net::Topology& topo,
+                                       std::uint64_t seed) {
+  if (cfg.per_pair) {
+    return net::HeterogeneousCostModel::uniform(g, topo, cfg.het_lo,
+                                                cfg.het_hi, cfg.het_lo,
+                                                cfg.het_hi, seed);
+  }
+  return net::HeterogeneousCostModel::uniform_processor_speeds(
+      g, topo, cfg.het_lo, cfg.het_hi, cfg.het_lo, cfg.het_hi, seed);
+}
+
+graph::TaskGraph make_instance(const SweepConfig& cfg, bool regular,
+                               int app_index, int size, double granularity,
+                               std::uint64_t seed) {
+  if (regular) {
+    return exp::make_regular(exp::paper_regular_apps()[
+                                 static_cast<std::size_t>(app_index)],
+                             size, granularity, seed);
+  }
+  workloads::RandomDagParams params;
+  params.num_tasks = size;
+  params.granularity = granularity;
+  params.seed = seed;
+  (void)cfg;
+  return workloads::random_layered_dag(params);
+}
+
+}  // namespace
+
+void apply_cli(const CliParser& cli, SweepConfig* config) {
+  BSA_REQUIRE(config != nullptr, "null config");
+  if (cli.get_bool("full", false) || exp::full_benchmarks_requested()) {
+    config->sizes = {50, 100, 150, 200, 250, 300, 350, 400, 450, 500};
+    config->seeds_per_cell = 3;
+  }
+  config->procs = static_cast<int>(cli.get_int("procs", config->procs));
+  config->seeds_per_cell =
+      static_cast<int>(cli.get_int("seeds", config->seeds_per_cell));
+  config->per_pair = cli.get_bool("per-pair", config->per_pair);
+  config->include_eft = cli.get_bool("eft", config->include_eft);
+  config->print_csv = cli.get_bool("csv", config->print_csv);
+  config->base_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed",
+                                             static_cast<std::int64_t>(
+                                                 config->base_seed)));
+}
+
+void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
+                   std::ostream& os) {
+  BSA_REQUIRE(!cfg.sizes.empty() && !cfg.granularities.empty(),
+              "empty sweep axes");
+  const int num_apps =
+      cfg.regular_suite ? static_cast<int>(exp::paper_regular_apps().size())
+                        : 1;
+
+  os << "=== " << figure_name << ": average schedule lengths, "
+     << (cfg.regular_suite ? "regular" : "random") << " graphs, x-axis = "
+     << (cfg.x_axis_granularity ? "granularity" : "graph size") << " ===\n";
+  os << "suite: sizes {";
+  for (std::size_t i = 0; i < cfg.sizes.size(); ++i) {
+    os << (i ? "," : "") << cfg.sizes[i];
+  }
+  os << "} granularities {";
+  for (std::size_t i = 0; i < cfg.granularities.size(); ++i) {
+    os << (i ? "," : "") << cfg.granularities[i];
+  }
+  os << "} " << cfg.procs << " processors, heterogeneity U[" << cfg.het_lo
+     << "," << cfg.het_hi << "] "
+     << (cfg.per_pair ? "per (task,processor) pair" : "per processor")
+     << ", " << cfg.seeds_per_cell << " seed(s)/cell\n\n";
+
+  for (const std::string& kind : exp::paper_topologies()) {
+    const net::Topology topo =
+        exp::make_topology(kind, cfg.procs, cfg.base_seed);
+
+    // x value -> per-algorithm accumulator.
+    std::map<double, exp::CellMean> dls_cells, bsa_cells, eft_cells;
+    bool all_valid = true;
+
+    for (const int size : cfg.sizes) {
+      for (const double gran : cfg.granularities) {
+        for (int app = 0; app < num_apps; ++app) {
+          for (int rep = 0; rep < cfg.seeds_per_cell; ++rep) {
+            const std::uint64_t seed = derive_seed(
+                cfg.base_seed,
+                static_cast<std::uint64_t>(size) * 1000 +
+                    static_cast<std::uint64_t>(gran * 10),
+                static_cast<std::uint64_t>(app),
+                static_cast<std::uint64_t>(rep));
+            const auto g = make_instance(cfg, cfg.regular_suite, app, size,
+                                         gran, seed);
+            const auto cm = make_costs(cfg, g, topo, derive_seed(seed, 17));
+            const double x = cfg.x_axis_granularity
+                                 ? gran
+                                 : static_cast<double>(size);
+            const auto dls = exp::run_algorithm(exp::Algo::kDls, g, topo, cm,
+                                                seed);
+            const auto bsa = exp::run_algorithm(exp::Algo::kBsa, g, topo, cm,
+                                                seed);
+            all_valid = all_valid && dls.valid && bsa.valid;
+            dls_cells[x].add(dls.schedule_length);
+            bsa_cells[x].add(bsa.schedule_length);
+            if (cfg.include_eft) {
+              const auto eft = exp::run_algorithm(exp::Algo::kEft, g, topo,
+                                                  cm, seed);
+              all_valid = all_valid && eft.valid;
+              eft_cells[x].add(eft.schedule_length);
+            }
+          }
+        }
+      }
+    }
+
+    std::vector<std::string> headers{
+        cfg.x_axis_granularity ? "granularity" : "graph size", "DLS", "BSA",
+        "BSA/DLS"};
+    if (cfg.include_eft) headers.push_back("EFT (oblivious)");
+    TextTable table(headers);
+    for (const auto& [x, dls_cell] : dls_cells) {
+      table.new_row();
+      if (cfg.x_axis_granularity) {
+        table.cell(x, 1);
+      } else {
+        table.cell(static_cast<long long>(x));
+      }
+      const double dls_mean = dls_cell.mean();
+      const double bsa_mean = bsa_cells[x].mean();
+      table.cell(dls_mean, 1);
+      table.cell(bsa_mean, 1);
+      table.cell(dls_mean > 0 ? bsa_mean / dls_mean : 0.0, 3);
+      if (cfg.include_eft) table.cell(eft_cells[x].mean(), 1);
+    }
+    os << "-- " << topo.name() << " (" << topo.num_links() << " links) --\n";
+    if (cfg.print_csv) {
+      table.print_csv(os);
+    } else {
+      table.print(os);
+    }
+    os << (all_valid ? "all schedules validated OK"
+                     : "WARNING: some schedules failed validation")
+       << "\n\n";
+  }
+}
+
+}  // namespace bsa::bench

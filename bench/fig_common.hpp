@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "exp/experiment.hpp"
+
+/// \file fig_common.hpp
+/// Shared driver for the figure-reproduction benches (Figures 3-6 of the
+/// paper): build the workload suite, run DLS and BSA (optionally the
+/// contention-oblivious EFT ablation) on every instance, aggregate cell
+/// means, and print one paper-style series table per topology.
+
+namespace bsa::bench {
+
+struct SweepConfig {
+  /// true: the regular-application suite (GE, LU, Laplace averaged, as
+  /// in Figures 3/5); false: random layered DAGs (Figures 4/6).
+  bool regular_suite = true;
+  /// Graph sizes (paper: 50..500 step 50) and granularities (paper:
+  /// {0.1, 1, 10}).
+  std::vector<int> sizes;
+  std::vector<double> granularities;
+  /// false: x-axis is graph size, averaged over granularities (Figs 3/4);
+  /// true: x-axis is granularity, averaged over sizes (Figs 5/6).
+  bool x_axis_granularity = false;
+  int procs = 16;
+  int het_lo = 1;
+  int het_hi = 50;
+  /// false (default): one U[lo,hi] speed factor per processor/link —
+  /// DESIGN.md §3 note 9. true: i.i.d. factor per (task,processor) /
+  /// (message,link) pair, the paper's §2.1 literal model.
+  bool per_pair = false;
+  int seeds_per_cell = 1;
+  std::uint64_t base_seed = 2026;
+  bool include_eft = false;
+  bool print_csv = false;
+};
+
+/// Apply the standard command-line flags (--full, --seeds, --procs,
+/// --per-pair, --eft, --csv, --seed) to a config.
+void apply_cli(const CliParser& cli, SweepConfig* config);
+
+/// Run the sweep and print one table per topology to `os`. `figure_name`
+/// labels the output (e.g. "Figure 3").
+void run_and_print(const SweepConfig& config, const std::string& figure_name,
+                   std::ostream& os);
+
+}  // namespace bsa::bench

@@ -1,0 +1,153 @@
+/// Command-line scheduling tool: read a task graph from a file (or
+/// stdin) in the native text format, pick a topology and cost model on
+/// the command line, schedule with BSA/DLS/EFT, and print the result.
+///
+///   $ ./bsa_tool graph.tg --topology ring --procs 8 --algo bsa --gantt
+///   $ ./bsa_tool graph.tg --topology hypercube --procs 16 --het 50
+///   $ cat graph.tg | ./bsa_tool --algo all
+///
+/// Graph format (see graph::read_text):
+///   task <cost> [name]
+///   edge <src> <dst> <cost>
+///
+/// Flags:
+///   --topology ring|hypercube|clique|random|linear|star  (default ring)
+///   --procs N          processor count (default 8)
+///   --algo bsa|dls|eft|all                                (default bsa)
+///   --het N / --link-het N   heterogeneity ranges U[1,N]  (default 1)
+///   --per-pair         per-(task,processor) factors instead of speeds
+///   --seed S           RNG seed
+///   --gantt            render an ASCII Gantt chart
+///   --dot              print the graph in Graphviz DOT and exit
+///   --stats            print workload statistics before scheduling
+///   --export FILE      write the (last) schedule in text form to FILE
+///   --export-csv FILE  write the (last) schedule as CSV event rows
+///   --validate         run the full invariant checker and report
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "baselines/dls.hpp"
+#include "baselines/eft.hpp"
+#include "common/cli.hpp"
+#include "core/bsa.hpp"
+#include "exp/experiment.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/graph_stats.hpp"
+#include "sched/gantt.hpp"
+#include "sched/schedule_io.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using namespace bsa;
+
+void report(const std::string& name, const sched::Schedule& s,
+            const net::HeterogeneousCostModel& cm, bool gantt,
+            bool run_validate) {
+  std::cout << "--- " << name << " ---\n";
+  sched::print_listing(std::cout, s);
+  if (gantt) {
+    std::cout << '\n';
+    sched::print_gantt(std::cout, s, 96);
+  }
+  const auto metrics = sched::compute_metrics(s, cm);
+  std::cout << "crossing messages: " << metrics.num_crossing_messages
+            << ", total hops: " << metrics.total_hops
+            << ", avg processor utilisation: "
+            << metrics.avg_proc_utilization << '\n';
+  if (run_validate) {
+    std::cout << "validation: " << sched::validate(s, cm).to_string() << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bsa;
+  const CliParser cli(argc, argv);
+  try {
+    graph::TaskGraph g = [&] {
+      if (!cli.positional().empty()) {
+        std::ifstream file(cli.positional()[0]);
+        BSA_REQUIRE(file.good(),
+                    "cannot open '" << cli.positional()[0] << "'");
+        return graph::read_text(file);
+      }
+      return graph::read_text(std::cin);
+    }();
+
+    if (cli.get_bool("dot", false)) {
+      graph::write_dot(std::cout, g);
+      return 0;
+    }
+
+    const int procs = static_cast<int>(cli.get_int("procs", 8));
+    const std::string topo_kind = cli.get_string("topology", "ring");
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    net::Topology topo = [&] {
+      if (topo_kind == "linear") return net::Topology::linear(procs);
+      if (topo_kind == "star") return net::Topology::star(procs);
+      return exp::make_topology(topo_kind, procs, seed);
+    }();
+
+    const int het = static_cast<int>(cli.get_int("het", 1));
+    const int link_het = static_cast<int>(cli.get_int("link-het", 1));
+    const auto cm =
+        cli.get_bool("per-pair", false)
+            ? net::HeterogeneousCostModel::uniform(g, topo, 1, het, 1,
+                                                   link_het, seed)
+            : net::HeterogeneousCostModel::uniform_processor_speeds(
+                  g, topo, 1, het, 1, link_het, seed);
+
+    std::cout << "graph: " << g.num_tasks() << " tasks, " << g.num_edges()
+              << " messages, granularity " << g.granularity() << '\n'
+              << "system: " << topo.name() << ", heterogeneity U[1," << het
+              << "] exec / U[1," << link_het << "] links\n\n";
+    if (cli.get_bool("stats", false)) {
+      graph::print_stats(std::cout, graph::compute_stats(g));
+      std::cout << '\n';
+    }
+
+    const std::string algo = cli.get_string("algo", "bsa");
+    const bool gantt = cli.get_bool("gantt", false);
+    const bool run_validate = cli.get_bool("validate", false);
+    std::optional<sched::Schedule> last;
+    if (algo == "bsa" || algo == "all") {
+      core::BsaOptions opt;
+      opt.seed = seed;
+      auto result = core::schedule_bsa(g, topo, cm, opt);
+      report("BSA", result.schedule, cm, gantt, run_validate);
+      last = std::move(result.schedule);
+    }
+    if (algo == "dls" || algo == "all") {
+      auto result = baselines::schedule_dls(g, topo, cm);
+      report("DLS", result.schedule, cm, gantt, run_validate);
+      last = std::move(result.schedule);
+    }
+    if (algo == "eft" || algo == "all") {
+      auto result = baselines::schedule_eft_oblivious(g, topo, cm);
+      report("EFT (contention oblivious)", result.schedule, cm, gantt,
+             run_validate);
+      last = std::move(result.schedule);
+    }
+    BSA_REQUIRE(last.has_value(), "unknown --algo '" << algo << "'");
+    if (cli.has("export")) {
+      std::ofstream out(cli.get_string("export", ""));
+      BSA_REQUIRE(out.good(), "cannot write --export file");
+      sched::write_schedule_text(out, *last);
+    }
+    if (cli.has("export-csv")) {
+      std::ofstream out(cli.get_string("export-csv", ""));
+      BSA_REQUIRE(out.good(), "cannot write --export-csv file");
+      sched::write_schedule_csv(out, *last);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

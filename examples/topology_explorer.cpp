@@ -1,0 +1,85 @@
+/// Domain example: the effect of processor connectivity.
+///
+///   $ ./topology_explorer [--tasks 120] [--granularity 0.5] [--seeds 3]
+///
+/// Schedules the same workloads onto eight different 16-processor
+/// networks — from a linear chain to a full clique — and reports how
+/// schedule length, link utilisation and message hop counts respond to
+/// connectivity, for both BSA and DLS. Reproduces the paper's
+/// observation that both algorithms benefit from higher connectivity
+/// while BSA's advantage is largest on sparse networks.
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/dls.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/bsa.hpp"
+#include "network/topology.hpp"
+#include "sched/metrics.hpp"
+#include "workloads/random_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsa;
+  const CliParser cli(argc, argv);
+  const int num_tasks = static_cast<int>(cli.get_int("tasks", 120));
+  const double granularity = cli.get_double("granularity", 0.5);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  std::vector<net::Topology> topologies;
+  topologies.push_back(net::Topology::linear(16));
+  topologies.push_back(net::Topology::ring(16));
+  topologies.push_back(net::Topology::star(16));
+  topologies.push_back(net::Topology::mesh(4, 4));
+  topologies.push_back(net::Topology::torus(4, 4));
+  topologies.push_back(net::Topology::hypercube(4));
+  topologies.push_back(net::Topology::random(16, 2, 8, base_seed));
+  topologies.push_back(net::Topology::clique(16));
+
+  std::cout << "connectivity sweep: " << num_tasks
+            << "-task random graphs, granularity " << granularity << ", "
+            << seeds << " seed(s)\n\n";
+
+  TextTable table({"topology", "links", "BSA", "DLS", "BSA/DLS",
+                   "BSA hops/msg", "BSA max link util"});
+  for (const auto& topo : topologies) {
+    double bsa_sum = 0;
+    double dls_sum = 0;
+    double hops = 0;
+    double crossing = 0;
+    double util = 0;
+    for (int rep = 0; rep < seeds; ++rep) {
+      workloads::RandomDagParams params;
+      params.num_tasks = num_tasks;
+      params.granularity = granularity;
+      params.seed = derive_seed(base_seed, static_cast<std::uint64_t>(rep));
+      const auto g = workloads::random_layered_dag(params);
+      const auto cm = net::HeterogeneousCostModel::uniform_processor_speeds(
+          g, topo, 1, 50, 1, 50, derive_seed(params.seed, 13));
+      const auto bsa_result = core::schedule_bsa(g, topo, cm);
+      const auto dls_result = baselines::schedule_dls(g, topo, cm);
+      bsa_sum += bsa_result.schedule_length();
+      dls_sum += dls_result.schedule_length();
+      const auto m = sched::compute_metrics(bsa_result.schedule, cm);
+      hops += m.total_hops;
+      crossing += m.num_crossing_messages;
+      util += m.max_link_utilization;
+    }
+    table.new_row()
+        .cell(topo.name())
+        .cell(static_cast<long long>(topo.num_links()))
+        .cell(bsa_sum / seeds, 1)
+        .cell(dls_sum / seeds, 1)
+        .cell(dls_sum > 0 ? bsa_sum / dls_sum : 0.0, 3)
+        .cell(crossing > 0 ? hops / crossing : 0.0, 2)
+        .cell(util / seeds, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading guide: lower connectivity -> longer schedules and "
+               "larger BSA advantage;\nhops/msg shows routes lengthening on "
+               "sparse networks.\n";
+  return 0;
+}

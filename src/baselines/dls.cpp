@@ -1,0 +1,108 @@
+#include "baselines/dls.hpp"
+
+#include <algorithm>
+
+#include "baselines/list_common.hpp"
+#include "common/check.hpp"
+#include "network/routing.hpp"
+
+namespace bsa::baselines {
+namespace {
+
+/// Static level: longest chain of median execution costs starting at the
+/// task (communication excluded, per Sih & Lee).
+std::vector<Cost> compute_static_levels(
+    const graph::TaskGraph& g, const net::HeterogeneousCostModel& costs) {
+  std::vector<Cost> sl(static_cast<std::size_t>(g.num_tasks()), 0);
+  const auto& topo_order = g.topological_order();
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    const TaskId t = *it;
+    Cost best_tail = 0;
+    for (const EdgeId e : g.out_edges(t)) {
+      best_tail = std::max(
+          best_tail, sl[static_cast<std::size_t>(g.edge_dst(e))]);
+    }
+    sl[static_cast<std::size_t>(t)] = costs.median_exec_cost(t) + best_tail;
+  }
+  return sl;
+}
+
+}  // namespace
+
+DlsResult schedule_dls(const graph::TaskGraph& g, const net::Topology& topo,
+                       const net::HeterogeneousCostModel& costs,
+                       const DlsOptions& options) {
+  (void)options;
+  BSA_REQUIRE(g.num_tasks() >= 1, "empty task graph");
+  BSA_REQUIRE(costs.num_tasks() == g.num_tasks() &&
+                  costs.num_processors() == topo.num_processors(),
+              "cost model does not match graph/topology");
+  const net::RoutingTable table(topo);
+  DlsResult result{sched::Schedule(g, topo), compute_static_levels(g, costs)};
+  sched::Schedule& s = result.schedule;
+
+  // Ready pool: tasks with all predecessors scheduled.
+  std::vector<int> missing_preds(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    missing_preds[static_cast<std::size_t>(t)] = g.in_degree(t);
+    if (g.in_degree(t) == 0) ready.push_back(t);
+  }
+
+  // Processor-finish times (append semantics of the TF term).
+  std::vector<Time> tf(static_cast<std::size_t>(topo.num_processors()), 0);
+
+  while (!ready.empty()) {
+    // Evaluate every (ready task, processor) pair.
+    TaskId best_task = kInvalidTask;
+    ProcId best_proc = kInvalidProc;
+    Time best_start = 0;
+    double best_dl = 0;
+    for (const TaskId t : ready) {
+      const Cost sl_star = result.static_levels[static_cast<std::size_t>(t)];
+      for (ProcId p = 0; p < topo.num_processors(); ++p) {
+        const Time da =
+            incoming_data_ready(s, table, costs, t, p, /*commit=*/false);
+        const Time start = std::max(da, tf[static_cast<std::size_t>(p)]);
+        const double delta =
+            costs.median_exec_cost(t) - costs.exec_cost(t, p);
+        const double dl = sl_star - start + delta;
+        const bool better =
+            best_task == kInvalidTask || dl > best_dl + kTimeEpsilon ||
+            (time_eq(dl, best_dl) &&
+             (t < best_task || (t == best_task && p < best_proc)));
+        if (better) {
+          best_task = t;
+          best_proc = p;
+          best_start = start;
+          best_dl = dl;
+        }
+      }
+    }
+    BSA_ASSERT(best_task != kInvalidTask, "no schedulable pair found");
+
+    // Commit: book the message routes, then the task itself.
+    const Time da = incoming_data_ready(s, table, costs, best_task, best_proc,
+                                        /*commit=*/true);
+    const Time start = std::max(da, tf[static_cast<std::size_t>(best_proc)]);
+    BSA_ASSERT(time_eq(start, best_start),
+               "tentative/commit divergence for task " << best_task);
+    const Time dur = costs.exec_cost(best_task, best_proc);
+    s.place_task(best_task, best_proc, start, start + dur);
+    tf[static_cast<std::size_t>(best_proc)] = start + dur;
+
+    // Update the ready pool.
+    ready.erase(std::find(ready.begin(), ready.end(), best_task));
+    for (const EdgeId e : g.out_edges(best_task)) {
+      const TaskId d = g.edge_dst(e);
+      if (--missing_preds[static_cast<std::size_t>(d)] == 0) {
+        ready.push_back(d);
+      }
+    }
+    std::sort(ready.begin(), ready.end());
+  }
+  BSA_ASSERT(s.all_placed(), "DLS left tasks unscheduled");
+  return result;
+}
+
+}  // namespace bsa::baselines

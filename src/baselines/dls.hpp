@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+
+/// \file dls.hpp
+/// The Dynamic Level Scheduling (DLS) baseline of Sih & Lee (IEEE TPDS
+/// 1993), the comparison algorithm of the paper's evaluation (§3).
+///
+/// DLS is a greedy dynamic list scheduler. At every step it evaluates all
+/// (ready task, processor) pairs and commits the pair with the largest
+/// *dynamic level*
+///
+///     DL(T_i, P_x) = SL*(T_i) − max(DA(T_i,P_x), TF(P_x)) + Δ(T_i,P_x)
+///
+/// where SL* is the static level (longest exec-cost chain using each
+/// task's *median* execution cost across processors), DA the earliest
+/// data-arrival time of the task's messages at P_x (routed hop by hop
+/// along a shortest-path routing table, respecting link contention), TF
+/// the time P_x finishes its last scheduled task, and
+/// Δ(T_i,P_x) = median_exec(T_i) − exec(T_i,P_x) accounts for processor
+/// heterogeneity (large when P_x is fast for T_i).
+
+namespace bsa::baselines {
+
+struct DlsOptions {
+  /// Reserved for future randomised tie-breaking; the implementation is
+  /// fully deterministic (ties towards smaller task id, then processor
+  /// id).
+  std::uint64_t seed = 0;
+};
+
+struct DlsResult {
+  sched::Schedule schedule;
+  /// Static levels (indexed by TaskId) used for the dynamic levels.
+  std::vector<Cost> static_levels;
+  [[nodiscard]] Time schedule_length() const { return schedule.makespan(); }
+};
+
+/// Run DLS. The returned schedule is complete and valid.
+[[nodiscard]] DlsResult schedule_dls(const graph::TaskGraph& g,
+                                     const net::Topology& topo,
+                                     const net::HeterogeneousCostModel& costs,
+                                     const DlsOptions& options = {});
+
+}  // namespace bsa::baselines

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+
+/// \file eft.hpp
+/// Contention-oblivious earliest-finish-time list scheduler (ablation
+/// baseline, *not* from the paper — see DESIGN.md S7).
+///
+/// Tasks are considered in descending static b-level (nominal costs,
+/// communication included). Each task goes to the processor minimising
+/// its finish time *as if links were contention free* — the assumption
+/// made by classical schedulers such as HEFT. Messages are then routed
+/// for real (shortest-path routes, exclusive link slots), so the final
+/// schedule is feasible under contention and its length reveals how much
+/// the oblivious decisions cost. Comparing EFT against DLS and BSA
+/// quantifies the value of modelling link contention at decision time.
+
+namespace bsa::baselines {
+
+struct EftResult {
+  sched::Schedule schedule;
+  [[nodiscard]] Time schedule_length() const { return schedule.makespan(); }
+};
+
+/// Run the contention-oblivious EFT scheduler. The returned schedule is
+/// complete and valid (contention respected in the *times*, only the
+/// *decisions* ignored it).
+[[nodiscard]] EftResult schedule_eft_oblivious(
+    const graph::TaskGraph& g, const net::Topology& topo,
+    const net::HeterogeneousCostModel& costs);
+
+}  // namespace bsa::baselines

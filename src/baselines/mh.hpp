@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+
+/// \file mh.hpp
+/// MH — a Mapping-Heuristic-style contention-aware list scheduler (after
+/// El-Rewini & Lewis, "Scheduling Parallel Program Tasks onto Arbitrary
+/// Target Machines", JPDC 1990), provided as an additional classic
+/// baseline alongside DLS. *Extension, not part of the paper's
+/// evaluation.*
+///
+/// Tasks are taken in descending static b-level (nominal costs including
+/// communication). Each task is placed on the processor minimising its
+/// finish time, where the data-arrival estimate routes every message over
+/// the shortest-path table with full link-contention booking — i.e. the
+/// same machinery as DLS but with a static priority list and an
+/// earliest-finish (instead of dynamic-level) processor choice.
+
+namespace bsa::baselines {
+
+struct MhResult {
+  sched::Schedule schedule;
+  [[nodiscard]] Time schedule_length() const { return schedule.makespan(); }
+};
+
+/// Run the MH-style scheduler. The returned schedule is complete and
+/// valid under full contention.
+[[nodiscard]] MhResult schedule_mh(const graph::TaskGraph& g,
+                                   const net::Topology& topo,
+                                   const net::HeterogeneousCostModel& costs);
+
+}  // namespace bsa::baselines

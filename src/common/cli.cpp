@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace bsa {
+namespace {
+
+bool is_flag(const std::string& arg) {
+  return arg.size() > 2 && arg.rfind("--", 0) == 0;
+}
+
+}  // namespace
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  BSA_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!is_flag(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = arg.substr(0, eq);
+      BSA_REQUIRE(!name.empty(), "malformed flag --=...");
+      flags_[name] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag, else boolean.
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      flags_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  BSA_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+              "flag --" << name << " expects an integer, got '" << it->second
+                        << "'");
+  return v;
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  BSA_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+              "flag --" << name << " expects a number, got '" << it->second
+                        << "'");
+  return v;
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  BSA_REQUIRE(false, "flag --" << name << " expects a boolean, got '" << v
+                               << "'");
+  return fallback;  // unreachable
+}
+
+}  // namespace bsa

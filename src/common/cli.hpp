@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for the example and benchmark binaries.
+/// Supports `--name=value`, `--name value` and boolean `--name` forms.
+
+namespace bsa {
+
+class CliParser {
+ public:
+  /// Parse argv; unrecognised positional arguments are collected in order.
+  /// Throws PreconditionError for malformed flags (e.g. `--=x`).
+  CliParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value lookups with defaults; throw PreconditionError when the stored
+  /// text cannot be parsed as the requested type.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bsa

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.hpp"
+
+/// \file rng.hpp
+/// Deterministic randomness utilities.
+///
+/// Every randomised component of the library (tie breaking, workload
+/// generation, heterogeneity factors) takes an explicit seed so that every
+/// experiment in the paper reproduction is bit-for-bit repeatable.
+
+namespace bsa {
+
+/// SplitMix64 step — a high-quality 64-bit mixing function. Used both to
+/// seed std::mt19937_64 streams and as a stateless hash for lazily
+/// evaluated cost tables (see HeterogeneousCostModel).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a seed with up to three stream identifiers into a new seed.
+/// Used to derive independent deterministic substreams, e.g. one per
+/// (graph index, granularity, topology) experiment cell.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t a,
+                                                  std::uint64_t b = 0,
+                                                  std::uint64_t c = 0) noexcept {
+  std::uint64_t s = splitmix64(seed ^ splitmix64(a));
+  s = splitmix64(s ^ splitmix64(b + 0x517CC1B727220A95ULL));
+  s = splitmix64(s ^ splitmix64(c + 0x2545F4914F6CDD1DULL));
+  return s;
+}
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    BSA_REQUIRE(lo <= hi, "uniform_int: lo=" << lo << " hi=" << hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    BSA_REQUIRE(lo <= hi, "uniform_real: lo=" << lo << " hi=" << hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) {
+    BSA_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p=" << p);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    BSA_REQUIRE(n > 0, "index: empty range");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Access to the underlying engine for std algorithms (std::shuffle).
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Stateless uniform integer in [lo, hi] derived from a hash key; used for
+/// lazily-materialised heterogeneity factor tables. Deterministic in
+/// (seed, key).
+[[nodiscard]] inline std::int64_t hashed_uniform_int(std::uint64_t seed,
+                                                     std::uint64_t key,
+                                                     std::int64_t lo,
+                                                     std::int64_t hi) {
+  BSA_REQUIRE(lo <= hi, "hashed_uniform_int: lo=" << lo << " hi=" << hi);
+  const std::uint64_t h = splitmix64(seed ^ splitmix64(key));
+  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+  return lo + static_cast<std::int64_t>(h % span);
+}
+
+}  // namespace bsa

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by the experiment harness to
+/// aggregate schedule lengths across suites (the paper reports per-cell
+/// averages).
+
+namespace bsa {
+
+/// Incremental accumulator for mean / variance / extrema (Welford).
+class StatAccumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sequence; 0 for an empty sequence.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Median (average of the two middle elements for even sizes).
+/// Precondition: xs non-empty.
+[[nodiscard]] double median_of(std::vector<double> xs);
+
+/// Geometric mean; precondition: all values strictly positive.
+[[nodiscard]] double geometric_mean_of(std::span<const double> xs);
+
+}  // namespace bsa

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Fixed-column text table and CSV writers used by the benchmark harness to
+/// print paper-style result tables.
+
+namespace bsa {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendered with a header rule, e.g.:
+///
+///   graph size | DLS      | BSA      | BSA/DLS
+///   -----------+----------+----------+--------
+///   50         | 6510.0   | 5413.0   | 0.83
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent `cell` calls fill it left to right.
+  TextTable& new_row();
+  TextTable& cell(const std::string& value);
+  TextTable& cell(double value, int precision = 1);
+  TextTable& cell(long long value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render aligned text to `os`.
+  void print(std::ostream& os) const;
+  /// Render as CSV (headers + rows) to `os`.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escape a string for CSV output (quotes fields containing , " or \n).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace bsa

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental identifier and quantity types shared by every module.
+///
+/// All identifiers are dense zero-based indices into the owning container
+/// (`TaskGraph`, `Topology`, ...). The sentinel value `kInvalid*` marks
+/// "not assigned / not present".
+
+namespace bsa {
+
+/// Index of a task within a TaskGraph.
+using TaskId = std::int32_t;
+/// Index of a directed edge (message) within a TaskGraph.
+using EdgeId = std::int32_t;
+/// Index of a processor within a Topology.
+using ProcId = std::int32_t;
+/// Index of an undirected communication link within a Topology.
+using LinkId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr ProcId kInvalidProc = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Simulated time. Costs in the model are products of integral nominal
+/// costs and integral heterogeneity factors, so `Time` values are exact
+/// sums of exact products in practice; `double` keeps the API flexible
+/// for fractional cost models.
+using Time = double;
+/// Execution or communication cost (same unit as Time).
+using Cost = double;
+
+/// Sentinel for "no time assigned yet".
+inline constexpr Time kUnsetTime = -std::numeric_limits<Time>::infinity();
+/// Upper sentinel, useful as an initial minimum.
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+
+/// Tolerance used when comparing schedule times for equality. All
+/// quantities in the reproduction are integral, so this only guards
+/// against user-provided fractional cost models.
+inline constexpr Time kTimeEpsilon = 1e-9;
+
+/// True if `a` and `b` are equal within kTimeEpsilon.
+[[nodiscard]] constexpr bool time_eq(Time a, Time b) noexcept {
+  const Time d = a - b;
+  return d <= kTimeEpsilon && d >= -kTimeEpsilon;
+}
+
+/// True if `a` is strictly less than `b` beyond the tolerance.
+[[nodiscard]] constexpr bool time_lt(Time a, Time b) noexcept {
+  return a < b - kTimeEpsilon;
+}
+
+/// True if `a <= b` within tolerance.
+[[nodiscard]] constexpr bool time_le(Time a, Time b) noexcept {
+  return a <= b + kTimeEpsilon;
+}
+
+}  // namespace bsa

@@ -1,0 +1,589 @@
+#include "core/bsa.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/pivot.hpp"
+#include "network/routing.hpp"
+#include "sched/retime.hpp"
+#include "sched/timeline.hpp"
+#include "sched/validate.hpp"
+
+namespace bsa::core {
+namespace {
+
+using sched::Hop;
+using sched::Interval;
+using sched::LinkBooking;
+using sched::Schedule;
+
+/// How an incoming message of the migrating task is affected by a move to
+/// the destination processor.
+struct IncomingPlan {
+  EdgeId edge = kInvalidEdge;
+  enum class Kind : unsigned char {
+    kBecomesLocal,  ///< predecessor lives on the destination; route freed
+    kTruncate,      ///< route already passes the destination (pruning on)
+    kExtend,        ///< append one hop destination-ward (paper behaviour)
+  } kind = Kind::kExtend;
+  /// kTruncate: keep hops [0, keep_hops); arrival = hop keep_hops-1 finish.
+  int keep_hops = 0;
+  /// Data availability for the new hop (kExtend) or final arrival
+  /// (kBecomesLocal / kTruncate).
+  Time ready = 0;
+};
+
+class BsaRunner {
+ public:
+  BsaRunner(const graph::TaskGraph& g, const net::Topology& topo,
+            const net::HeterogeneousCostModel& costs, const BsaOptions& opt)
+      : g_(g), topo_(topo), costs_(costs), opt_(opt), sched_(g, topo) {
+    if (opt_.routing == RouteDiscipline::kStaticShortestPath) {
+      routing_table_.emplace(topo_);
+    }
+  }
+
+  BsaResult run() {
+    const PivotSelection pv = select_first_pivot(g_, topo_, costs_);
+    trace_.first_pivot = pv.pivot;
+    trace_.pivot_cp_lengths = pv.cp_length_by_proc;
+
+    Rng rng(opt_.seed);
+    const auto exec_on_pivot = costs_.exec_costs_on(pv.pivot);
+    trace_.serialization =
+        opt_.serialization == SerializationRule::kCpIbOb
+            ? serialize(g_, exec_on_pivot, costs_.nominal_comm_costs(), rng)
+            : serialize_by_blevel(g_, exec_on_pivot,
+                                  costs_.nominal_comm_costs(), rng);
+
+    inject_serial(pv.pivot, exec_on_pivot);
+    trace_.initial_serial_length = sched_.makespan();
+
+    const std::vector<ProcId> bfs = topo_.bfs_order(pv.pivot);
+    BSA_REQUIRE(opt_.max_sweeps >= 1, "max_sweeps must be >= 1");
+    for (int sweep = 0; sweep < opt_.max_sweeps; ++sweep) {
+      const std::size_t migrations_before = trace_.migrations.size();
+      for (const ProcId pivot : bfs) {
+        trace_.pivot_sequence.push_back(pivot);
+        run_phase(pivot,
+                  static_cast<int>(trace_.pivot_sequence.size()) - 1);
+      }
+      if (trace_.migrations.size() == migrations_before) break;
+    }
+    return BsaResult{std::move(sched_), std::move(trace_)};
+  }
+
+ private:
+  // --- serialization injection -------------------------------------------
+  void inject_serial(ProcId pivot, const std::vector<Cost>& exec_on_pivot) {
+    Time clock = 0;
+    for (const TaskId t : trace_.serialization.order) {
+      const Cost dur = exec_on_pivot[static_cast<std::size_t>(t)];
+      sched_.place_task(t, pivot, clock, clock + dur);
+      clock += dur;
+    }
+  }
+
+  // --- per-phase migration sweep -----------------------------------------
+  void run_phase(ProcId pivot, int phase) {
+    const std::vector<TaskId> snapshot = sched_.tasks_on(pivot);
+    for (const TaskId t : snapshot) {
+      if (sched_.proc_of(t) != pivot) continue;
+      consider_task(t, pivot, phase);
+    }
+  }
+
+  /// DRT of `t` at its current placement plus the VIP (predecessor whose
+  /// message arrives last; ties towards the smaller task id).
+  struct CurrentArrival {
+    Time drt = 0;
+    TaskId vip = kInvalidTask;
+  };
+  [[nodiscard]] CurrentArrival current_arrival(TaskId t) const {
+    CurrentArrival out;
+    for (const EdgeId e : g_.in_edges(t)) {
+      const Time arr = sched_.arrival_of(e);
+      const TaskId src = g_.edge_src(e);
+      if (out.vip == kInvalidTask || time_lt(out.drt, arr)) {
+        out.vip = src;
+      } else if (time_eq(arr, out.drt) && src < out.vip) {
+        out.vip = src;
+      }
+      out.drt = std::max(out.drt, arr);
+    }
+    return out;
+  }
+
+  void consider_task(TaskId t, ProcId pivot, int phase) {
+    const CurrentArrival cur = current_arrival(t);
+    const Time st = sched_.start_of(t);
+    const Time cur_ft = sched_.finish_of(t);
+
+    if (opt_.gate == GateRule::kPaper) {
+      const bool delayed = time_lt(cur.drt, st);
+      const bool vip_elsewhere =
+          cur.vip != kInvalidTask && sched_.proc_of(cur.vip) != pivot;
+      if (!delayed && !vip_elsewhere) return;
+    }
+
+    // Evaluate every neighbour.
+    ProcId best_proc = kInvalidProc;
+    Time best_ft = kInfiniteTime;
+    Time vip_ft = kInfiniteTime;
+    const ProcId vip_proc =
+        cur.vip == kInvalidTask ? kInvalidProc : sched_.proc_of(cur.vip);
+    for (const ProcId py : topo_.neighbors(pivot)) {
+      const Time ft = evaluate_neighbor(t, pivot, py);
+      if (time_lt(ft, best_ft)) {
+        best_ft = ft;
+        best_proc = py;
+      }
+      if (py == vip_proc) vip_ft = ft;
+    }
+    if (best_proc == kInvalidProc) return;  // isolated processor
+
+    bool via_vip = false;
+    ProcId target = kInvalidProc;
+    if (time_lt(best_ft, cur_ft)) {
+      target = best_proc;
+    } else if (opt_.vip_rule && vip_proc != kInvalidProc &&
+               vip_proc != pivot && vip_ft != kInfiniteTime &&
+               time_le(vip_ft, cur_ft)) {
+      // Paper §2.3: when the finish time does not improve the task still
+      // migrates to its VIP's processor provided the finish time is not
+      // increased — co-locating with the VIP lets successors improve.
+      target = vip_proc;
+      via_vip = true;
+    }
+    if (target == kInvalidProc) return;
+
+    const Time predicted = via_vip ? vip_ft : best_ft;
+    commit_migration(t, pivot, target, phase, cur_ft, predicted, via_vip);
+  }
+
+  // --- incoming-message planning (shared by eval and commit) --------------
+  [[nodiscard]] std::vector<IncomingPlan> plan_incoming(TaskId t,
+                                                        ProcId py) const {
+    std::vector<IncomingPlan> plans;
+    plans.reserve(g_.in_edges(t).size());
+    for (const EdgeId e : g_.in_edges(t)) {
+      const TaskId src = g_.edge_src(e);
+      const ProcId ps = sched_.proc_of(src);
+      IncomingPlan plan;
+      plan.edge = e;
+      if (ps == py) {
+        plan.kind = IncomingPlan::Kind::kBecomesLocal;
+        plan.ready = sched_.finish_of(src);
+        plans.push_back(plan);
+        continue;
+      }
+      if (opt_.prune_route_cycles) {
+        // Does the existing route already pass through py?
+        const auto& route = sched_.route_of(e);
+        ProcId cur = ps;
+        bool found = false;
+        for (std::size_t k = 0; k < route.size(); ++k) {
+          cur = topo_.opposite(route[k].link, cur);
+          if (cur == py) {
+            plan.kind = IncomingPlan::Kind::kTruncate;
+            plan.keep_hops = static_cast<int>(k) + 1;
+            plan.ready = route[k].finish;
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          plans.push_back(plan);
+          continue;
+        }
+      }
+      plan.kind = IncomingPlan::Kind::kExtend;
+      plan.ready = sched_.arrival_of(e);
+      plans.push_back(plan);
+    }
+    // Extensions are scheduled in data-availability order (deterministic).
+    std::sort(plans.begin(), plans.end(),
+              [](const IncomingPlan& a, const IncomingPlan& b) {
+                if (!time_eq(a.ready, b.ready)) return a.ready < b.ready;
+                return a.edge < b.edge;
+              });
+    return plans;
+  }
+
+  /// Route prescribed by the static discipline (precondition: a static
+  /// discipline is active).
+  [[nodiscard]] std::vector<LinkId> static_route(ProcId from, ProcId to) const {
+    if (opt_.routing == RouteDiscipline::kEcube) {
+      return net::ecube_route(topo_, from, to);
+    }
+    BSA_ASSERT(routing_table_.has_value(), "routing table not built");
+    return routing_table_->route(from, to);
+  }
+
+  /// Crossing in-edges of `t` in the deterministic order used by both the
+  /// static evaluation and the static commit: by source finish time, then
+  /// edge id.
+  [[nodiscard]] std::vector<EdgeId> static_incoming_order(TaskId t,
+                                                          ProcId py) const {
+    std::vector<EdgeId> order;
+    for (const EdgeId e : g_.in_edges(t)) {
+      if (sched_.proc_of(g_.edge_src(e)) != py) order.push_back(e);
+    }
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+      const Time fa = sched_.finish_of(g_.edge_src(a));
+      const Time fb = sched_.finish_of(g_.edge_src(b));
+      if (!time_eq(fa, fb)) return fa < fb;
+      return a < b;
+    });
+    return order;
+  }
+
+  /// Static-routing variant of evaluate_neighbor: every incoming message
+  /// is re-routed from scratch along the static route, with the bookings
+  /// of the (to-be-cleared) old routes excluded.
+  [[nodiscard]] Time evaluate_neighbor_static(TaskId t, ProcId py) const {
+    const auto in_edges = g_.in_edges(t);
+    auto is_in_edge = [&](EdgeId e) {
+      return std::find(in_edges.begin(), in_edges.end(), e) != in_edges.end();
+    };
+    std::map<LinkId, std::vector<Interval>> added;
+    auto busy_of = [&](LinkId l) {
+      std::vector<Interval> busy;
+      for (const LinkBooking& b : sched_.bookings_on(l)) {
+        if (!is_in_edge(b.edge)) busy.push_back(Interval{b.start, b.finish});
+      }
+      const auto it = added.find(l);
+      if (it != added.end()) {
+        for (const Interval& iv : it->second) sched::insert_interval(busy, iv);
+      }
+      return busy;
+    };
+
+    Time drt = 0;
+    for (const EdgeId e : g_.in_edges(t)) {
+      if (sched_.proc_of(g_.edge_src(e)) == py) {
+        drt = std::max(drt, sched_.finish_of(g_.edge_src(e)));
+      }
+    }
+    for (const EdgeId e : static_incoming_order(t, py)) {
+      const TaskId src = g_.edge_src(e);
+      Time ready = sched_.finish_of(src);
+      for (const LinkId l : static_route(sched_.proc_of(src), py)) {
+        const Time dur = costs_.comm_cost(e, l);
+        const auto busy = busy_of(l);
+        const Time st = opt_.insertion_slots
+                            ? sched::earliest_fit(busy, ready, dur)
+                            : append_fit(busy, ready);
+        added[l].push_back(Interval{st, st + dur});
+        ready = st + dur;
+      }
+      drt = std::max(drt, ready);
+    }
+
+    const Time dur = costs_.exec_cost(t, py);
+    const Time task_start = opt_.insertion_slots
+                                ? sched_.earliest_task_slot(py, drt, dur)
+                                : std::max(drt, proc_tail(py));
+    return task_start + dur;
+  }
+
+  /// Tentative finish time of `t` if migrated from `pivot` to neighbour
+  /// `py`. Does not modify the schedule.
+  [[nodiscard]] Time evaluate_neighbor(TaskId t, ProcId pivot,
+                                       ProcId py) const {
+    if (opt_.routing != RouteDiscipline::kIncremental) {
+      return evaluate_neighbor_static(t, py);
+    }
+    const LinkId link = topo_.link_between(pivot, py);
+    BSA_ASSERT(link != kInvalidLink, "neighbour without link");
+    const std::vector<IncomingPlan> plans = plan_incoming(t, py);
+
+    // Busy intervals on the pivot--py link, with the bookings of routes
+    // that migration would free (fully removed or truncated) excluded.
+    std::vector<Interval> busy;
+    for (const LinkBooking& b : sched_.bookings_on(link)) {
+      bool excluded = false;
+      for (const IncomingPlan& plan : plans) {
+        if (plan.edge != b.edge) continue;
+        if (plan.kind == IncomingPlan::Kind::kBecomesLocal ||
+            (plan.kind == IncomingPlan::Kind::kTruncate &&
+             b.hop_index >= plan.keep_hops)) {
+          excluded = true;
+        }
+        break;
+      }
+      if (!excluded) busy.push_back(Interval{b.start, b.finish});
+    }
+
+    Time drt = 0;
+    for (const IncomingPlan& plan : plans) {
+      if (plan.kind == IncomingPlan::Kind::kExtend) {
+        const Time dur = costs_.comm_cost(plan.edge, link);
+        const Time hop_start = opt_.insertion_slots
+                                   ? sched::earliest_fit(busy, plan.ready, dur)
+                                   : append_fit(busy, plan.ready);
+        sched::insert_interval(busy, Interval{hop_start, hop_start + dur});
+        drt = std::max(drt, hop_start + dur);
+      } else {
+        drt = std::max(drt, plan.ready);
+      }
+    }
+
+    const Time dur = costs_.exec_cost(t, py);
+    const Time task_start =
+        opt_.insertion_slots
+            ? sched_.earliest_task_slot(py, drt, dur)
+            : std::max(drt, proc_tail(py));
+    return task_start + dur;
+  }
+
+  [[nodiscard]] static Time append_fit(std::span<const Interval> busy,
+                                       Time ready) {
+    return busy.empty() ? std::max(ready, Time{0})
+                        : std::max(ready, busy.back().finish);
+  }
+
+  [[nodiscard]] Time proc_tail(ProcId p) const {
+    const auto& order = sched_.tasks_on(p);
+    return order.empty() ? Time{0} : sched_.finish_of(order.back());
+  }
+
+  [[nodiscard]] Time link_tail(LinkId l) const {
+    const auto& q = sched_.bookings_on(l);
+    return q.empty() ? Time{0} : q.back().finish;
+  }
+
+  // --- migration commit ----------------------------------------------------
+  void commit_migration(TaskId t, ProcId pivot, ProcId py, int phase,
+                        Time old_ft, Time predicted_ft, bool via_vip) {
+    // Snapshot for the makespan guard: a migration whose re-routed
+    // messages stretch the schedule is rolled back (the task's own finish
+    // improving is not allowed to push its successors past the old SL).
+    const bool guarded = opt_.policy == MigrationPolicy::kMakespanGuarded;
+    const Time makespan_before = guarded ? sched_.makespan() : Time{0};
+    std::optional<Schedule> snapshot;
+    if (guarded) snapshot.emplace(sched_);
+
+    if (opt_.routing == RouteDiscipline::kIncremental) {
+      commit_incoming_incremental(t, pivot, py);
+    } else {
+      commit_incoming_static(t, py);
+    }
+
+    // Place the task at its destination slot.
+    Time drt = 0;
+    for (const EdgeId e : g_.in_edges(t)) {
+      drt = std::max(drt, sched_.arrival_of(e));
+    }
+    const Time dur = costs_.exec_cost(t, py);
+    const Time task_start = opt_.insertion_slots
+                                ? sched_.earliest_task_slot(py, drt, dur)
+                                : std::max(drt, proc_tail(py));
+    sched_.place_task(t, py, task_start, task_start + dur);
+
+    if (opt_.routing == RouteDiscipline::kIncremental) {
+      commit_outgoing_incremental(t, pivot, py, task_start + dur);
+    } else {
+      commit_outgoing_static(t, py, task_start + dur);
+    }
+
+    // Bubble up: earliest times under the new orders; replay on the rare
+    // order cycle introduced by re-issued outgoing routes.
+    if (!sched::try_retime(sched_, costs_, nullptr)) {
+      (void)sched::replay_retime(sched_, costs_, opt_.insertion_slots);
+    }
+
+    if (guarded && time_lt(makespan_before, sched_.makespan())) {
+      sched_ = std::move(*snapshot);  // reject: schedule got longer
+      return;
+    }
+
+    trace_.migrations.push_back(Migration{
+        t, pivot, py, old_ft, predicted_ft, sched_.finish_of(t),
+        sched_.makespan(), phase, via_vip});
+
+    if (opt_.validate_each_step) {
+      const auto report = sched::validate(sched_, costs_);
+      BSA_ASSERT(report.ok(), "schedule invalid after migrating task "
+                                  << t << ": " << report.to_string());
+    }
+  }
+
+  /// Incremental incoming commit: free / truncate / extend routes in
+  /// plan order (mirrors the incremental evaluation).
+  void commit_incoming_incremental(TaskId t, ProcId pivot, ProcId py) {
+    const LinkId link = topo_.link_between(pivot, py);
+    const std::vector<IncomingPlan> plans = plan_incoming(t, py);
+    sched_.unplace_task(t);
+    for (const IncomingPlan& plan : plans) {
+      switch (plan.kind) {
+        case IncomingPlan::Kind::kBecomesLocal:
+          sched_.clear_route(plan.edge);
+          break;
+        case IncomingPlan::Kind::kTruncate: {
+          std::vector<Hop> hops = sched_.route_of(plan.edge);
+          sched_.clear_route(plan.edge);
+          hops.resize(static_cast<std::size_t>(plan.keep_hops));
+          sched_.set_route(plan.edge, std::move(hops));
+          break;
+        }
+        case IncomingPlan::Kind::kExtend: {
+          const Time dur = costs_.comm_cost(plan.edge, link);
+          const Time hop_start =
+              opt_.insertion_slots
+                  ? sched_.earliest_link_slot(link, plan.ready, dur)
+                  : std::max(plan.ready, link_tail(link));
+          sched_.append_hop(plan.edge,
+                            Hop{link, hop_start, hop_start + dur});
+          break;
+        }
+      }
+    }
+  }
+
+  /// Static incoming commit: clear every incoming route, then re-route
+  /// crossing messages along the static routes in the same deterministic
+  /// order used by evaluate_neighbor_static.
+  void commit_incoming_static(TaskId t, ProcId py) {
+    const std::vector<EdgeId> order = static_incoming_order(t, py);
+    sched_.unplace_task(t);
+    for (const EdgeId e : g_.in_edges(t)) sched_.clear_route(e);
+    for (const EdgeId e : order) {
+      const TaskId src = g_.edge_src(e);
+      Time ready = sched_.finish_of(src);
+      for (const LinkId l : static_route(sched_.proc_of(src), py)) {
+        const Time dur = costs_.comm_cost(e, l);
+        const Time hop_start =
+            opt_.insertion_slots
+                ? sched_.earliest_link_slot(l, ready, dur)
+                : std::max(ready, link_tail(l));
+        sched_.append_hop(e, Hop{l, hop_start, hop_start + dur});
+        ready = hop_start + dur;
+      }
+    }
+  }
+
+  /// Incremental outgoing commit: co-located successors become local; all
+  /// others get their route re-issued with the extra py->pivot first hop.
+  void commit_outgoing_incremental(TaskId t, ProcId pivot, ProcId py,
+                                   Time ft_estimate) {
+    const LinkId link = topo_.link_between(pivot, py);
+    for (const EdgeId e : g_.out_edges(t)) {
+      const TaskId dst = g_.edge_dst(e);
+      if (sched_.proc_of(dst) == py) {
+        sched_.clear_route(e);
+        continue;
+      }
+      std::vector<LinkId> links{link};
+      for (const Hop& h : sched_.route_of(e)) links.push_back(h.link);
+      sched_.clear_route(e);
+      if (opt_.prune_route_cycles) prune_walk(links, py);
+      reissue_route(e, links, ft_estimate);
+    }
+  }
+
+  /// Static outgoing commit: re-route every crossing outgoing message
+  /// along its static route from py.
+  void commit_outgoing_static(TaskId t, ProcId py, Time ft_estimate) {
+    for (const EdgeId e : g_.out_edges(t)) {
+      const TaskId dst = g_.edge_dst(e);
+      const ProcId pd = sched_.proc_of(dst);
+      sched_.clear_route(e);
+      if (pd == py) continue;
+      reissue_route(e, static_route(py, pd), ft_estimate);
+    }
+  }
+
+  /// Book a fresh route for `e` along `links`, hop by hop from `ready`.
+  void reissue_route(EdgeId e, const std::vector<LinkId>& links, Time ready) {
+    std::vector<Hop> hops;
+    hops.reserve(links.size());
+    for (const LinkId l : links) {
+      const Time hop_dur = costs_.comm_cost(e, l);
+      const Time hop_start =
+          opt_.insertion_slots
+              ? sched::earliest_fit(merged_busy(l, hops), ready, hop_dur)
+              : std::max(ready, link_tail_with(l, hops));
+      hops.push_back(Hop{l, hop_start, hop_start + hop_dur});
+      ready = hop_start + hop_dur;
+    }
+    sched_.set_route(e, std::move(hops));
+  }
+
+  /// Busy intervals of link `l` plus any not-yet-committed hops of the
+  /// route currently being assembled (which may revisit the same link).
+  [[nodiscard]] std::vector<Interval> merged_busy(
+      LinkId l, const std::vector<Hop>& pending) const {
+    std::vector<Interval> busy = sched_.busy_of_link(l);
+    for (const Hop& h : pending) {
+      if (h.link == l) sched::insert_interval(busy, Interval{h.start, h.finish});
+    }
+    return busy;
+  }
+
+  [[nodiscard]] Time link_tail_with(LinkId l,
+                                    const std::vector<Hop>& pending) const {
+    Time tail = link_tail(l);
+    for (const Hop& h : pending) {
+      if (h.link == l) tail = std::max(tail, h.finish);
+    }
+    return tail;
+  }
+
+  /// Remove cycles from a link walk starting at `origin`: whenever the
+  /// walk revisits a processor, the loop between the two visits is cut.
+  void prune_walk(std::vector<LinkId>& links, ProcId origin) const {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<ProcId> walk{origin};
+      for (const LinkId l : links) {
+        walk.push_back(topo_.opposite(l, walk.back()));
+      }
+      std::vector<int> first_pos(
+          static_cast<std::size_t>(topo_.num_processors()), -1);
+      for (std::size_t i = 0; i < walk.size(); ++i) {
+        const auto pi = static_cast<std::size_t>(walk[i]);
+        if (first_pos[pi] < 0) {
+          first_pos[pi] = static_cast<int>(i);
+          continue;
+        }
+        // Cut links [first_pos, i) — the loop revisiting walk[i].
+        const auto from = static_cast<std::ptrdiff_t>(first_pos[pi]);
+        links.erase(links.begin() + from,
+                    links.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  const graph::TaskGraph& g_;
+  const net::Topology& topo_;
+  const net::HeterogeneousCostModel& costs_;
+  BsaOptions opt_;
+  Schedule sched_;
+  BsaTrace trace_;
+  /// Only built for RouteDiscipline::kStaticShortestPath.
+  std::optional<net::RoutingTable> routing_table_;
+};
+
+}  // namespace
+
+BsaResult schedule_bsa(const graph::TaskGraph& g, const net::Topology& topo,
+                       const net::HeterogeneousCostModel& costs,
+                       const BsaOptions& options) {
+  BSA_REQUIRE(g.num_tasks() >= 1, "empty task graph");
+  BSA_REQUIRE(costs.num_tasks() == g.num_tasks() &&
+                  costs.num_processors() == topo.num_processors() &&
+                  costs.num_edges() == g.num_edges() &&
+                  costs.num_links() == topo.num_links(),
+              "cost model does not match graph/topology");
+  BsaRunner runner(g, topo, costs, options);
+  return runner.run();
+}
+
+}  // namespace bsa::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+
+/// \file pivot.hpp
+/// First-pivot selection (§2.2 of the paper): for every processor P_x,
+/// compute the critical-path length of the program under the *actual*
+/// execution costs on P_x (communication costs stay nominal); the
+/// processor with the shortest CP becomes the first pivot. This is how
+/// BSA steers critical tasks towards fast processors.
+
+namespace bsa::core {
+
+struct PivotSelection {
+  ProcId pivot = kInvalidProc;
+  /// CP length of the program w.r.t. each processor's actual exec costs.
+  std::vector<Cost> cp_length_by_proc;
+};
+
+/// Select the first pivot. Ties are broken towards the smaller processor
+/// id (deterministic).
+[[nodiscard]] PivotSelection select_first_pivot(
+    const graph::TaskGraph& g, const net::Topology& topo,
+    const net::HeterogeneousCostModel& costs);
+
+}  // namespace bsa::core

@@ -1,0 +1,83 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "sched/assignment.hpp"
+
+namespace bsa::core {
+
+RefineResult refine_schedule(const sched::Schedule& input,
+                             const net::HeterogeneousCostModel& costs,
+                             const RefineOptions& options) {
+  BSA_REQUIRE(input.all_placed(), "refine requires a complete schedule");
+  BSA_REQUIRE(options.max_rounds >= 1, "max_rounds must be >= 1");
+  const auto& g = input.task_graph();
+  const auto& topo = input.topology();
+  const net::RoutingTable table(topo);
+
+  std::vector<ProcId> assignment = sched::assignment_of(input);
+  // Re-deriving the schedule from the assignment may already differ from
+  // the input (different list order); keep whichever representation we
+  // can actually regenerate, so moves compare like against like.
+  sched::Schedule best =
+      sched::schedule_from_assignment(g, topo, costs, assignment, table);
+  if (input.makespan() < best.makespan()) {
+    best = input;  // the original was better than its re-derivation
+  }
+  Time best_len = best.makespan();
+
+  RefineResult result{best, input.makespan(), best_len, 0, 0};
+
+  // Candidate processors per task: cheapest execution first.
+  auto candidates_for = [&](TaskId t) {
+    std::vector<ProcId> procs(static_cast<std::size_t>(topo.num_processors()));
+    std::iota(procs.begin(), procs.end(), 0);
+    std::sort(procs.begin(), procs.end(), [&](ProcId a, ProcId b) {
+      const Cost ca = costs.exec_cost(t, a);
+      const Cost cb = costs.exec_cost(t, b);
+      if (!time_eq(ca, cb)) return ca < cb;
+      return a < b;
+    });
+    if (options.candidates_per_task > 0 &&
+        static_cast<std::size_t>(options.candidates_per_task) < procs.size()) {
+      procs.resize(static_cast<std::size_t>(options.candidates_per_task));
+    }
+    return procs;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved_this_round = false;
+    int stale = 0;
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      const ProcId original = assignment[static_cast<std::size_t>(t)];
+      ProcId best_proc = original;
+      for (const ProcId p : candidates_for(t)) {
+        if (p == original) continue;
+        assignment[static_cast<std::size_t>(t)] = p;
+        ++result.candidates_evaluated;
+        sched::Schedule candidate = sched::schedule_from_assignment(
+            g, topo, costs, assignment, table);
+        if (time_lt(candidate.makespan(), best_len)) {
+          best_len = candidate.makespan();
+          best_proc = p;
+          result.schedule = std::move(candidate);
+        }
+      }
+      assignment[static_cast<std::size_t>(t)] = best_proc;
+      if (best_proc != original) {
+        ++result.moves_applied;
+        improved_this_round = true;
+        stale = 0;
+      } else if (options.patience > 0 && ++stale >= options.patience) {
+        break;
+      }
+    }
+    if (!improved_this_round) break;
+  }
+  result.final_length = best_len;
+  return result;
+}
+
+}  // namespace bsa::core

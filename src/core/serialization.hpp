@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/levels.hpp"
+#include "graph/task_graph.hpp"
+
+/// \file serialization.hpp
+/// The BSA serialization step (§2.2 of the paper).
+///
+/// The parallel program is converted to a total order ("injected" onto the
+/// first pivot processor) built around a critical path:
+///  * CP  — tasks on the selected critical path,
+///  * IB  — in-branch tasks: ancestors of CP tasks that are not CP tasks,
+///  * OB  — out-branch tasks: everything else.
+///
+/// CP tasks occupy the earliest possible positions with their IB ancestors
+/// inserted before them (largest b-level first, ties by smaller t-level);
+/// OB tasks are appended in descending b-level order. The result is always
+/// a topological order of the task graph.
+
+namespace bsa::core {
+
+enum class TaskClass : unsigned char {
+  kCriticalPath,
+  kInBranch,
+  kOutBranch,
+};
+
+struct SerializationResult {
+  /// The serial injection order (all tasks exactly once).
+  std::vector<TaskId> order;
+  /// CP/IB/OB classification, indexed by TaskId.
+  std::vector<TaskClass> task_class;
+  /// The selected critical path (entry to exit).
+  std::vector<TaskId> critical_path;
+  /// Levels used to build the order.
+  graph::LevelSets levels;
+};
+
+/// Serialize `g` under the given cost vectors (`exec_costs` by TaskId —
+/// typically the *actual* costs on the pivot processor — and `comm_costs`
+/// by EdgeId, nominal in the paper). `rng` breaks critical-path ties.
+[[nodiscard]] SerializationResult serialize(const graph::TaskGraph& g,
+                                            std::span<const Cost> exec_costs,
+                                            std::span<const Cost> comm_costs,
+                                            Rng& rng);
+
+/// Convenience overload with the graph's nominal costs.
+[[nodiscard]] SerializationResult serialize(const graph::TaskGraph& g,
+                                            Rng& rng);
+
+/// Ablation variant: ignore the CP/IB/OB structure and order all tasks
+/// by descending b-level alone (ties: smaller t-level, then id). Still a
+/// topological order (a predecessor's b-level strictly exceeds its
+/// successors' for positive costs; zero-cost ties are resolved by
+/// precedence-aware insertion). Classification is still reported so the
+/// result is interchangeable with serialize(). Used to measure how much
+/// the paper's serialization strategy actually contributes
+/// (bench_ablation).
+[[nodiscard]] SerializationResult serialize_by_blevel(
+    const graph::TaskGraph& g, std::span<const Cost> exec_costs,
+    std::span<const Cost> comm_costs, Rng& rng);
+
+}  // namespace bsa::core

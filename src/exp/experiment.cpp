@@ -1,0 +1,151 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "baselines/dls.hpp"
+#include "baselines/eft.hpp"
+#include "baselines/mh.hpp"
+#include "common/check.hpp"
+#include "core/bsa.hpp"
+#include "sched/validate.hpp"
+#include "workloads/regular.hpp"
+
+namespace bsa::exp {
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kBsa:
+      return "BSA";
+    case Algo::kDls:
+      return "DLS";
+    case Algo::kEft:
+      return "EFT";
+    case Algo::kMh:
+      return "MH";
+  }
+  return "?";
+}
+
+RunOutcome run_algorithm(Algo a, const graph::TaskGraph& g,
+                         const net::Topology& topo,
+                         const net::HeterogeneousCostModel& costs,
+                         std::uint64_t seed) {
+  RunOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  sched::Schedule result(g, topo);
+  switch (a) {
+    case Algo::kBsa: {
+      core::BsaOptions opt;
+      opt.seed = seed;
+      result = core::schedule_bsa(g, topo, costs, opt).schedule;
+      break;
+    }
+    case Algo::kDls:
+      result = baselines::schedule_dls(g, topo, costs).schedule;
+      break;
+    case Algo::kEft:
+      result = baselines::schedule_eft_oblivious(g, topo, costs).schedule;
+      break;
+    case Algo::kMh:
+      result = baselines::schedule_mh(g, topo, costs).schedule;
+      break;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.schedule_length = result.makespan();
+  out.valid = sched::validate(result, costs).ok();
+  return out;
+}
+
+net::Topology make_topology(const std::string& kind, int procs,
+                            std::uint64_t seed) {
+  if (kind == "ring") return net::Topology::ring(procs);
+  if (kind == "hypercube") {
+    int dim = 0;
+    while ((1 << dim) < procs) ++dim;
+    BSA_REQUIRE((1 << dim) == procs,
+                "hypercube needs a power-of-two processor count, got "
+                    << procs);
+    return net::Topology::hypercube(dim);
+  }
+  if (kind == "clique") return net::Topology::clique(procs);
+  if (kind == "random") {
+    // Paper: degrees 2..8. Cap the degree below the processor count so
+    // small test networks remain constructible.
+    const int max_degree = std::min(8, procs - 1);
+    return net::Topology::random(procs, 2, max_degree, seed);
+  }
+  BSA_REQUIRE(false, "unknown topology kind '" << kind << "'");
+  return net::Topology::ring(2);  // unreachable
+}
+
+const std::vector<std::string>& paper_topologies() {
+  static const std::vector<std::string> kinds{"ring", "hypercube", "clique",
+                                              "random"};
+  return kinds;
+}
+
+const char* app_name(RegularApp a) {
+  switch (a) {
+    case RegularApp::kGaussianElimination:
+      return "gaussian-elimination";
+    case RegularApp::kLuDecomposition:
+      return "lu-decomposition";
+    case RegularApp::kLaplace:
+      return "laplace";
+    case RegularApp::kMeanValueAnalysis:
+      return "mean-value-analysis";
+  }
+  return "?";
+}
+
+const std::vector<RegularApp>& paper_regular_apps() {
+  static const std::vector<RegularApp> apps{
+      RegularApp::kGaussianElimination, RegularApp::kLuDecomposition,
+      RegularApp::kLaplace};
+  return apps;
+}
+
+graph::TaskGraph make_regular(RegularApp app, int target_tasks,
+                              double granularity, std::uint64_t seed) {
+  workloads::CostParams cp;
+  cp.granularity = granularity;
+  cp.seed = seed;
+  switch (app) {
+    case RegularApp::kGaussianElimination:
+      return workloads::gaussian_elimination(
+          workloads::gaussian_elimination_dim_for(target_tasks), cp);
+    case RegularApp::kLuDecomposition:
+      return workloads::lu_decomposition(
+          workloads::lu_decomposition_dim_for(target_tasks), cp);
+    case RegularApp::kLaplace:
+      return workloads::laplace(workloads::laplace_dim_for(target_tasks), cp);
+    case RegularApp::kMeanValueAnalysis:
+      return workloads::mean_value_analysis(
+          workloads::mva_levels_for(target_tasks, 8), 8, cp);
+  }
+  BSA_REQUIRE(false, "unknown app");
+  return workloads::laplace(2, cp);  // unreachable
+}
+
+bool full_benchmarks_requested() {
+  const char* v = std::getenv("BSA_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+std::vector<int> paper_sizes() {
+  if (full_benchmarks_requested()) {
+    return {50, 100, 150, 200, 250, 300, 350, 400, 450, 500};
+  }
+  return {50, 150, 250, 350, 500};
+}
+
+const std::vector<double>& paper_granularities() {
+  static const std::vector<double> gs{0.1, 1.0, 10.0};
+  return gs;
+}
+
+}  // namespace bsa::exp

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+
+/// \file experiment.hpp
+/// Shared harness for the paper-reproduction benchmarks: algorithm
+/// dispatch, the paper's four 16-processor topologies, the regular
+/// application suite and experiment-cell aggregation.
+
+namespace bsa::exp {
+
+enum class Algo : unsigned char { kBsa, kDls, kEft, kMh };
+[[nodiscard]] const char* algo_name(Algo a);
+
+struct RunOutcome {
+  Time schedule_length = 0;
+  double wall_ms = 0;   ///< algorithm wall-clock time
+  bool valid = false;   ///< full invariant validation result
+};
+
+/// Run one algorithm on one instance and validate the schedule.
+[[nodiscard]] RunOutcome run_algorithm(Algo a, const graph::TaskGraph& g,
+                                       const net::Topology& topo,
+                                       const net::HeterogeneousCostModel& costs,
+                                       std::uint64_t seed);
+
+/// The paper's four experiment topologies over `procs` processors:
+/// "ring", "hypercube" (procs must be a power of two), "clique", and
+/// "random" (degrees 2..8, seeded).
+[[nodiscard]] net::Topology make_topology(const std::string& kind, int procs,
+                                          std::uint64_t seed);
+/// The kinds in the paper's figure order.
+[[nodiscard]] const std::vector<std::string>& paper_topologies();
+
+/// Regular applications of the paper's first suite.
+enum class RegularApp : unsigned char {
+  kGaussianElimination,
+  kLuDecomposition,
+  kLaplace,
+  kMeanValueAnalysis,
+};
+[[nodiscard]] const char* app_name(RegularApp a);
+/// The three apps averaged in Figures 3/5 (GE, LU, Laplace; the paper
+/// reports "three graph types").
+[[nodiscard]] const std::vector<RegularApp>& paper_regular_apps();
+
+/// Build one regular application graph with approximately `target_tasks`
+/// tasks at the given granularity.
+[[nodiscard]] graph::TaskGraph make_regular(RegularApp app, int target_tasks,
+                                            double granularity,
+                                            std::uint64_t seed);
+
+/// Mean accumulator for an experiment cell.
+struct CellMean {
+  double sum = 0;
+  int count = 0;
+  void add(double v) {
+    sum += v;
+    ++count;
+  }
+  [[nodiscard]] double mean() const { return count == 0 ? 0 : sum / count; }
+};
+
+/// Environment-controlled scale factor: benches default to a fast
+/// configuration and honour BSA_BENCH_FULL=1 for the paper's full sweep.
+[[nodiscard]] bool full_benchmarks_requested();
+
+/// Sizes 50..500 step 50 (full) or a trimmed subset (quick).
+[[nodiscard]] std::vector<int> paper_sizes();
+/// Granularities {0.1, 1, 10} as in the paper.
+[[nodiscard]] const std::vector<double>& paper_granularities();
+
+}  // namespace bsa::exp

@@ -1,0 +1,64 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "graph/levels.hpp"
+#include "graph/traversal.hpp"
+
+namespace bsa::graph {
+
+GraphStats compute_stats(const TaskGraph& g) {
+  GraphStats s;
+  s.num_tasks = g.num_tasks();
+  s.num_edges = g.num_edges();
+  s.depth = graph_depth(g);
+  s.total_exec = g.total_exec_cost();
+  s.total_comm = g.total_comm_cost();
+  s.granularity = g.granularity();
+  s.ccr = s.total_exec > 0 ? s.total_comm / s.total_exec : 0;
+
+  // Width: tasks per hop-depth level.
+  std::vector<int> level(static_cast<std::size_t>(g.num_tasks()), 0);
+  std::map<int, int> level_count;
+  for (const TaskId t : g.topological_order()) {
+    const auto ti = static_cast<std::size_t>(t);
+    for (const EdgeId e : g.in_edges(t)) {
+      level[ti] = std::max(level[ti],
+                           level[static_cast<std::size_t>(g.edge_src(e))] + 1);
+    }
+    ++level_count[level[ti]];
+  }
+  for (const auto& [lvl, count] : level_count) {
+    (void)lvl;
+    s.max_width = std::max(s.max_width, count);
+  }
+
+  double in_sum = 0;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    in_sum += g.in_degree(t);
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(t));
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(t));
+  }
+  s.avg_in_degree = g.num_tasks() > 0 ? in_sum / g.num_tasks() : 0;
+
+  const LevelSets levels = compute_levels(g);
+  s.cp_length = levels.cp_length;
+  s.parallelism = s.cp_length > 0 ? s.total_exec / s.cp_length : 0;
+  return s;
+}
+
+void print_stats(std::ostream& os, const GraphStats& s) {
+  os << "tasks: " << s.num_tasks << ", edges: " << s.num_edges
+     << ", depth: " << s.depth << ", max width: " << s.max_width << '\n'
+     << "degrees: avg in " << s.avg_in_degree << ", max in "
+     << s.max_in_degree << ", max out " << s.max_out_degree << '\n'
+     << "costs: exec " << s.total_exec << ", comm " << s.total_comm
+     << ", granularity " << s.granularity << ", CCR " << s.ccr << '\n'
+     << "critical path: " << s.cp_length << ", parallelism "
+     << s.parallelism << '\n';
+}
+
+}  // namespace bsa::graph

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+
+/// \file graph_stats.hpp
+/// Descriptive statistics of a task graph, used by the experiment harness
+/// and examples to characterise workloads (the paper reports sizes,
+/// granularities and CP lengths of its suites).
+
+namespace bsa::graph {
+
+struct GraphStats {
+  int num_tasks = 0;
+  int num_edges = 0;
+  /// Longest path in hops (a single task has depth 1).
+  int depth = 0;
+  /// Maximum number of tasks at one depth level — an upper estimate of
+  /// exploitable parallelism.
+  int max_width = 0;
+  double avg_in_degree = 0;
+  int max_in_degree = 0;
+  int max_out_degree = 0;
+  Cost total_exec = 0;
+  Cost total_comm = 0;
+  /// avg exec / avg comm (+inf when the graph has no edges).
+  double granularity = 0;
+  /// Communication-to-computation ratio: total comm / total exec.
+  double ccr = 0;
+  /// Nominal critical-path length (exec + comm).
+  Cost cp_length = 0;
+  /// total_exec / cp_length — average parallelism available.
+  double parallelism = 0;
+};
+
+/// Compute all statistics in one pass (O(n + e) plus one level sweep).
+[[nodiscard]] GraphStats compute_stats(const TaskGraph& g);
+
+/// Human-readable one-block summary.
+void print_stats(std::ostream& os, const GraphStats& stats);
+
+}  // namespace bsa::graph

@@ -1,0 +1,187 @@
+#include "graph/levels.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bsa::graph {
+namespace {
+
+void check_cost_spans(const TaskGraph& g, std::span<const Cost> exec_costs,
+                      std::span<const Cost> comm_costs) {
+  BSA_REQUIRE(exec_costs.size() == static_cast<std::size_t>(g.num_tasks()),
+              "exec_costs size " << exec_costs.size() << " != num_tasks "
+                                 << g.num_tasks());
+  BSA_REQUIRE(comm_costs.size() == static_cast<std::size_t>(g.num_edges()),
+              "comm_costs size " << comm_costs.size() << " != num_edges "
+                                 << g.num_edges());
+}
+
+}  // namespace
+
+LevelSets compute_levels(const TaskGraph& g, std::span<const Cost> exec_costs,
+                         std::span<const Cost> comm_costs) {
+  check_cost_spans(g, exec_costs, comm_costs);
+  const auto n = static_cast<std::size_t>(g.num_tasks());
+  LevelSets out;
+  out.t_level.assign(n, 0);
+  out.b_level.assign(n, 0);
+
+  const auto& topo = g.topological_order();
+  for (const TaskId t : topo) {
+    const auto ti = static_cast<std::size_t>(t);
+    Cost tl = 0;
+    for (const EdgeId e : g.in_edges(t)) {
+      const TaskId p = g.edge_src(e);
+      const auto pi = static_cast<std::size_t>(p);
+      tl = std::max(tl, out.t_level[pi] + exec_costs[pi] +
+                            comm_costs[static_cast<std::size_t>(e)]);
+    }
+    out.t_level[ti] = tl;
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId t = *it;
+    const auto ti = static_cast<std::size_t>(t);
+    Cost best_tail = 0;
+    for (const EdgeId e : g.out_edges(t)) {
+      const TaskId s = g.edge_dst(e);
+      best_tail = std::max(best_tail,
+                           comm_costs[static_cast<std::size_t>(e)] +
+                               out.b_level[static_cast<std::size_t>(s)]);
+    }
+    out.b_level[ti] = exec_costs[ti] + best_tail;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    out.cp_length = std::max(out.cp_length, out.t_level[t] + out.b_level[t]);
+  }
+  return out;
+}
+
+LevelSets compute_levels(const TaskGraph& g) {
+  std::vector<Cost> exec(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<Cost> comm(static_cast<std::size_t>(g.num_edges()));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    exec[static_cast<std::size_t>(t)] = g.task_cost(t);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    comm[static_cast<std::size_t>(e)] = g.edge_cost(e);
+  }
+  return compute_levels(g, exec, comm);
+}
+
+std::vector<TaskId> extract_critical_path(const TaskGraph& g,
+                                          std::span<const Cost> exec_costs,
+                                          std::span<const Cost> comm_costs,
+                                          const LevelSets& levels, Rng& rng) {
+  check_cost_spans(g, exec_costs, comm_costs);
+  const auto n = static_cast<std::size_t>(g.num_tasks());
+  BSA_REQUIRE(levels.t_level.size() == n && levels.b_level.size() == n,
+              "levels do not match graph");
+
+  // An edge (t,s) continues a critical path from t exactly when
+  // b(t) == exec(t) + comm(t,s) + b(s). best_exec[t] is the largest
+  // execution-cost sum achievable on a critical tail starting at t —
+  // the paper's rule for choosing among multiple CPs.
+  std::vector<Cost> best_exec(n, 0);
+  const auto& topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId t = *it;
+    const auto ti = static_cast<std::size_t>(t);
+    Cost best_tail = 0;
+    for (const EdgeId e : g.out_edges(t)) {
+      const TaskId s = g.edge_dst(e);
+      const auto si = static_cast<std::size_t>(s);
+      const Cost via = exec_costs[ti] + comm_costs[static_cast<std::size_t>(e)] +
+                       levels.b_level[si];
+      if (time_eq(via, levels.b_level[ti])) {
+        best_tail = std::max(best_tail, best_exec[si]);
+      }
+    }
+    best_exec[ti] = exec_costs[ti] + best_tail;
+  }
+
+  // Start candidates: entry tasks lying on a CP.
+  std::vector<TaskId> starts;
+  Cost best_start = -1;
+  for (const TaskId t : g.entry_tasks()) {
+    if (!levels.on_critical_path(t)) continue;
+    const Cost v = best_exec[static_cast<std::size_t>(t)];
+    if (starts.empty() || time_lt(best_start, v)) {
+      starts.assign(1, t);
+      best_start = v;
+    } else if (time_eq(v, best_start)) {
+      starts.push_back(t);
+    }
+  }
+  BSA_ASSERT(!starts.empty(), "no critical-path entry task found");
+  TaskId cur = starts[rng.index(starts.size())];
+
+  std::vector<TaskId> path{cur};
+  while (true) {
+    const auto ci = static_cast<std::size_t>(cur);
+    std::vector<TaskId> nexts;
+    Cost best_next = -1;
+    for (const EdgeId e : g.out_edges(cur)) {
+      const TaskId s = g.edge_dst(e);
+      const auto si = static_cast<std::size_t>(s);
+      const Cost via = exec_costs[ci] + comm_costs[static_cast<std::size_t>(e)] +
+                       levels.b_level[si];
+      if (!time_eq(via, levels.b_level[ci])) continue;
+      const Cost v = best_exec[si];
+      if (nexts.empty() || time_lt(best_next, v)) {
+        nexts.assign(1, s);
+        best_next = v;
+      } else if (time_eq(v, best_next)) {
+        nexts.push_back(s);
+      }
+    }
+    if (nexts.empty()) break;
+    cur = nexts[rng.index(nexts.size())];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<TaskId> extract_critical_path(const TaskGraph& g, Rng& rng) {
+  std::vector<Cost> exec(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<Cost> comm(static_cast<std::size_t>(g.num_edges()));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    exec[static_cast<std::size_t>(t)] = g.task_cost(t);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    comm[static_cast<std::size_t>(e)] = g.edge_cost(e);
+  }
+  const LevelSets levels = compute_levels(g, exec, comm);
+  return extract_critical_path(g, exec, comm, levels, rng);
+}
+
+Cost path_exec_cost(std::span<const TaskId> path,
+                    std::span<const Cost> exec_costs) {
+  Cost sum = 0;
+  for (const TaskId t : path) {
+    BSA_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < exec_costs.size(),
+                "task id " << t << " out of range");
+    sum += exec_costs[static_cast<std::size_t>(t)];
+  }
+  return sum;
+}
+
+Cost path_length(const TaskGraph& g, std::span<const TaskId> path,
+                 std::span<const Cost> exec_costs,
+                 std::span<const Cost> comm_costs) {
+  check_cost_spans(g, exec_costs, comm_costs);
+  Cost sum = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    sum += exec_costs[static_cast<std::size_t>(path[i])];
+    if (i + 1 < path.size()) {
+      const EdgeId e = g.find_edge(path[i], path[i + 1]);
+      BSA_REQUIRE(e != kInvalidEdge, "path tasks " << path[i] << " and "
+                                                   << path[i + 1]
+                                                   << " not connected");
+      sum += comm_costs[static_cast<std::size_t>(e)];
+    }
+  }
+  return sum;
+}
+
+}  // namespace bsa::graph

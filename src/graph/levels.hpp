@@ -1,0 +1,76 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+
+/// \file levels.hpp
+/// t-level / b-level analysis and critical-path extraction (§2.2 of the
+/// paper).
+///
+/// * The *b-level* of a task is the length of the longest path beginning
+///   with the task (including its own execution cost).
+/// * The *t-level* is the length of the longest path reaching the task
+///   (excluding the task's own cost).
+/// * Every task on a critical path (CP) satisfies
+///   t-level + b-level == CP length.
+///
+/// All functions take explicit per-task execution costs and per-edge
+/// communication costs so the same machinery serves both nominal analysis
+/// and the per-processor actual-cost analysis used by BSA's pivot
+/// selection (§2.2: "Based on the set of actual execution costs, the CP is
+/// constructed").
+
+namespace bsa::graph {
+
+/// Result of a level computation.
+struct LevelSets {
+  std::vector<Cost> t_level;  ///< indexed by TaskId
+  std::vector<Cost> b_level;  ///< indexed by TaskId
+  Cost cp_length = 0;         ///< max over tasks of (t_level + b_level)
+
+  /// True when `t` lies on *some* critical path.
+  [[nodiscard]] bool on_critical_path(TaskId t) const {
+    const auto i = static_cast<std::size_t>(t);
+    return time_eq(t_level[i] + b_level[i], cp_length);
+  }
+};
+
+/// Compute t-levels and b-levels under the given cost vectors.
+/// `exec_costs` is indexed by TaskId (size = num_tasks), `comm_costs` by
+/// EdgeId (size = num_edges).
+[[nodiscard]] LevelSets compute_levels(const TaskGraph& g,
+                                       std::span<const Cost> exec_costs,
+                                       std::span<const Cost> comm_costs);
+
+/// Convenience overload using the graph's nominal costs.
+[[nodiscard]] LevelSets compute_levels(const TaskGraph& g);
+
+/// Extract one critical path as an ordered task sequence (entry to exit).
+///
+/// When multiple CPs exist the paper's rule applies: select the CP with the
+/// largest sum of execution costs; remaining ties are broken randomly via
+/// `rng` (Definition 1 / Serialization step 2).
+[[nodiscard]] std::vector<TaskId> extract_critical_path(
+    const TaskGraph& g, std::span<const Cost> exec_costs,
+    std::span<const Cost> comm_costs, const LevelSets& levels, Rng& rng);
+
+/// Convenience: nominal-cost critical path.
+[[nodiscard]] std::vector<TaskId> extract_critical_path(const TaskGraph& g,
+                                                        Rng& rng);
+
+/// Sum of `exec_costs` over the tasks of `path`.
+[[nodiscard]] Cost path_exec_cost(std::span<const TaskId> path,
+                                  std::span<const Cost> exec_costs);
+
+/// Length (exec + comm) of a concrete path; throws if consecutive tasks
+/// are not connected by an edge.
+[[nodiscard]] Cost path_length(const TaskGraph& g,
+                               std::span<const TaskId> path,
+                               std::span<const Cost> exec_costs,
+                               std::span<const Cost> comm_costs);
+
+}  // namespace bsa::graph

@@ -1,0 +1,79 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace bsa::graph {
+namespace {
+
+std::vector<char> reach_mask(const TaskGraph& g, TaskId start, bool forward) {
+  std::vector<char> mask(static_cast<std::size_t>(g.num_tasks()), 0);
+  std::queue<TaskId> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const TaskId t = frontier.front();
+    frontier.pop();
+    const auto edges = forward ? g.out_edges(t) : g.in_edges(t);
+    for (const EdgeId e : edges) {
+      const TaskId u = forward ? g.edge_dst(e) : g.edge_src(e);
+      auto& seen = mask[static_cast<std::size_t>(u)];
+      if (!seen) {
+        seen = 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<char> ancestor_mask(const TaskGraph& g, TaskId t) {
+  return reach_mask(g, t, /*forward=*/false);
+}
+
+std::vector<char> descendant_mask(const TaskGraph& g, TaskId t) {
+  return reach_mask(g, t, /*forward=*/true);
+}
+
+bool is_reachable(const TaskGraph& g, TaskId src, TaskId dst) {
+  BSA_REQUIRE(src != dst, "is_reachable expects distinct tasks");
+  return descendant_mask(g, src)[static_cast<std::size_t>(dst)] != 0;
+}
+
+bool is_topological_order(const TaskGraph& g,
+                          const std::vector<TaskId>& order) {
+  if (order.size() != static_cast<std::size_t>(g.num_tasks())) return false;
+  std::vector<int> position(order.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TaskId t = order[i];
+    if (t < 0 || t >= g.num_tasks()) return false;
+    if (position[static_cast<std::size_t>(t)] != -1) return false;  // dup
+    position[static_cast<std::size_t>(t)] = static_cast<int>(i);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (position[static_cast<std::size_t>(g.edge_src(e))] >=
+        position[static_cast<std::size_t>(g.edge_dst(e))]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int graph_depth(const TaskGraph& g) {
+  std::vector<int> depth(static_cast<std::size_t>(g.num_tasks()), 1);
+  int best = 0;
+  for (const TaskId t : g.topological_order()) {
+    const auto ti = static_cast<std::size_t>(t);
+    for (const EdgeId e : g.in_edges(t)) {
+      const auto pi = static_cast<std::size_t>(g.edge_src(e));
+      depth[ti] = std::max(depth[ti], depth[pi] + 1);
+    }
+    best = std::max(best, depth[ti]);
+  }
+  return best;
+}
+
+}  // namespace bsa::graph

@@ -1,0 +1,192 @@
+#include "network/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace bsa::net {
+namespace {
+
+std::vector<Cost> nominal_exec_of(const graph::TaskGraph& g) {
+  std::vector<Cost> out(static_cast<std::size_t>(g.num_tasks()));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    out[static_cast<std::size_t>(t)] = g.task_cost(t);
+  }
+  return out;
+}
+
+std::vector<Cost> nominal_comm_of(const graph::TaskGraph& g) {
+  std::vector<Cost> out(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out[static_cast<std::size_t>(e)] = g.edge_cost(e);
+  }
+  return out;
+}
+
+// Distinct stream tags so exec and comm factor draws never collide.
+constexpr std::uint64_t kExecStream = 0x65786563ULL;  // "exec"
+constexpr std::uint64_t kCommStream = 0x636F6D6DULL;  // "comm"
+
+}  // namespace
+
+HeterogeneousCostModel HeterogeneousCostModel::uniform(
+    const graph::TaskGraph& g, const Topology& topo, int exec_lo, int exec_hi,
+    int link_lo, int link_hi, std::uint64_t seed) {
+  BSA_REQUIRE(exec_lo >= 1 && exec_lo <= exec_hi,
+              "bad exec factor range [" << exec_lo << "," << exec_hi << "]");
+  BSA_REQUIRE(link_lo >= 1 && link_lo <= link_hi,
+              "bad link factor range [" << link_lo << "," << link_hi << "]");
+  HeterogeneousCostModel cm;
+  cm.n_ = g.num_tasks();
+  cm.m_ = topo.num_processors();
+  cm.num_links_ = topo.num_links();
+  cm.exec_mode_ = ExecMode::kHashed;
+  cm.comm_mode_ = CommMode::kHashed;
+  cm.nominal_exec_ = nominal_exec_of(g);
+  cm.nominal_comm_ = nominal_comm_of(g);
+  cm.seed_ = seed;
+  cm.exec_lo_ = exec_lo;
+  cm.exec_hi_ = exec_hi;
+  cm.link_lo_ = link_lo;
+  cm.link_hi_ = link_hi;
+  cm.precompute_summaries();
+  return cm;
+}
+
+HeterogeneousCostModel HeterogeneousCostModel::uniform_processor_speeds(
+    const graph::TaskGraph& g, const Topology& topo, int exec_lo, int exec_hi,
+    int link_lo, int link_hi, std::uint64_t seed) {
+  BSA_REQUIRE(exec_lo >= 1 && exec_lo <= exec_hi,
+              "bad exec factor range [" << exec_lo << "," << exec_hi << "]");
+  BSA_REQUIRE(link_lo >= 1 && link_lo <= link_hi,
+              "bad link factor range [" << link_lo << "," << link_hi << "]");
+  HeterogeneousCostModel cm;
+  cm.n_ = g.num_tasks();
+  cm.m_ = topo.num_processors();
+  cm.num_links_ = topo.num_links();
+  cm.exec_mode_ = ExecMode::kProcessorSpeed;
+  cm.comm_mode_ = CommMode::kLinkSpeed;
+  cm.nominal_exec_ = nominal_exec_of(g);
+  cm.nominal_comm_ = nominal_comm_of(g);
+  cm.proc_speed_.resize(static_cast<std::size_t>(cm.m_));
+  for (ProcId p = 0; p < cm.m_; ++p) {
+    cm.proc_speed_[static_cast<std::size_t>(p)] =
+        static_cast<Cost>(hashed_uniform_int(
+            seed ^ kExecStream, static_cast<std::uint64_t>(p), exec_lo,
+            exec_hi));
+  }
+  cm.link_speed_.resize(static_cast<std::size_t>(cm.num_links_));
+  for (LinkId l = 0; l < cm.num_links_; ++l) {
+    cm.link_speed_[static_cast<std::size_t>(l)] =
+        static_cast<Cost>(hashed_uniform_int(
+            seed ^ kCommStream, static_cast<std::uint64_t>(l), link_lo,
+            link_hi));
+  }
+  cm.precompute_summaries();
+  return cm;
+}
+
+HeterogeneousCostModel HeterogeneousCostModel::homogeneous(
+    const graph::TaskGraph& g, const Topology& topo) {
+  return uniform(g, topo, 1, 1, 1, 1, /*seed=*/0);
+}
+
+HeterogeneousCostModel HeterogeneousCostModel::from_exec_matrix(
+    const graph::TaskGraph& g, const Topology& topo,
+    std::vector<Cost> exec_matrix, Cost link_factor) {
+  HeterogeneousCostModel cm;
+  cm.n_ = g.num_tasks();
+  cm.m_ = topo.num_processors();
+  cm.num_links_ = topo.num_links();
+  BSA_REQUIRE(exec_matrix.size() ==
+                  static_cast<std::size_t>(cm.n_) * static_cast<std::size_t>(cm.m_),
+              "exec matrix size " << exec_matrix.size() << " != tasks*procs "
+                                  << cm.n_ * cm.m_);
+  for (const Cost c : exec_matrix) {
+    BSA_REQUIRE(c >= 0, "negative exec cost in matrix");
+  }
+  BSA_REQUIRE(link_factor >= 0, "negative link factor");
+  cm.exec_mode_ = ExecMode::kMatrix;
+  cm.comm_mode_ = CommMode::kFixedFactor;
+  cm.nominal_exec_ = nominal_exec_of(g);
+  cm.nominal_comm_ = nominal_comm_of(g);
+  cm.exec_matrix_ = std::move(exec_matrix);
+  cm.link_factor_ = link_factor;
+  cm.precompute_summaries();
+  return cm;
+}
+
+Cost HeterogeneousCostModel::exec_cost(TaskId t, ProcId p) const {
+  BSA_REQUIRE(t >= 0 && t < n_, "task id " << t << " out of range");
+  BSA_REQUIRE(p >= 0 && p < m_, "processor id " << p << " out of range");
+  const auto idx =
+      static_cast<std::size_t>(t) * static_cast<std::size_t>(m_) +
+      static_cast<std::size_t>(p);
+  if (exec_mode_ == ExecMode::kMatrix) return exec_matrix_[idx];
+  if (exec_mode_ == ExecMode::kProcessorSpeed) {
+    return proc_speed_[static_cast<std::size_t>(p)] *
+           nominal_exec_[static_cast<std::size_t>(t)];
+  }
+  const auto factor = static_cast<Cost>(hashed_uniform_int(
+      seed_ ^ kExecStream, static_cast<std::uint64_t>(idx), exec_lo_,
+      exec_hi_));
+  return factor * nominal_exec_[static_cast<std::size_t>(t)];
+}
+
+Cost HeterogeneousCostModel::comm_cost(EdgeId e, LinkId l) const {
+  BSA_REQUIRE(e >= 0 && e < num_edges(), "edge id " << e << " out of range");
+  BSA_REQUIRE(l >= 0 && l < num_links_, "link id " << l << " out of range");
+  if (comm_mode_ == CommMode::kFixedFactor) {
+    return link_factor_ * nominal_comm_[static_cast<std::size_t>(e)];
+  }
+  if (comm_mode_ == CommMode::kLinkSpeed) {
+    return link_speed_[static_cast<std::size_t>(l)] *
+           nominal_comm_[static_cast<std::size_t>(e)];
+  }
+  const auto idx = static_cast<std::uint64_t>(e) *
+                       static_cast<std::uint64_t>(num_links_) +
+                   static_cast<std::uint64_t>(l);
+  const auto factor = static_cast<Cost>(
+      hashed_uniform_int(seed_ ^ kCommStream, idx, link_lo_, link_hi_));
+  return factor * nominal_comm_[static_cast<std::size_t>(e)];
+}
+
+std::vector<Cost> HeterogeneousCostModel::exec_costs_on(ProcId p) const {
+  std::vector<Cost> out(static_cast<std::size_t>(n_));
+  for (TaskId t = 0; t < n_; ++t) {
+    out[static_cast<std::size_t>(t)] = exec_cost(t, p);
+  }
+  return out;
+}
+
+Cost HeterogeneousCostModel::min_exec_cost(TaskId t) const {
+  BSA_REQUIRE(t >= 0 && t < n_, "task id " << t << " out of range");
+  return min_exec_[static_cast<std::size_t>(t)];
+}
+
+Cost HeterogeneousCostModel::median_exec_cost(TaskId t) const {
+  BSA_REQUIRE(t >= 0 && t < n_, "task id " << t << " out of range");
+  return median_exec_[static_cast<std::size_t>(t)];
+}
+
+void HeterogeneousCostModel::precompute_summaries() {
+  min_exec_.resize(static_cast<std::size_t>(n_));
+  median_exec_.resize(static_cast<std::size_t>(n_));
+  std::vector<Cost> row(static_cast<std::size_t>(m_));
+  for (TaskId t = 0; t < n_; ++t) {
+    for (ProcId p = 0; p < m_; ++p) {
+      row[static_cast<std::size_t>(p)] = exec_cost(t, p);
+    }
+    min_exec_[static_cast<std::size_t>(t)] =
+        *std::min_element(row.begin(), row.end());
+    std::vector<Cost> sorted = row;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    median_exec_[static_cast<std::size_t>(t)] =
+        sorted.size() % 2 == 1 ? sorted[mid]
+                               : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  }
+}
+
+}  // namespace bsa::net

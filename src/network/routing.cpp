@@ -1,0 +1,99 @@
+#include "network/routing.hpp"
+
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace bsa::net {
+
+RoutingTable::RoutingTable(const Topology& topo)
+    : m_(topo.num_processors()), topo_(&topo) {
+  const auto m = static_cast<std::size_t>(m_);
+  next_hop_.assign(m * m, kInvalidProc);
+  dist_.assign(m * m, -1);
+  // BFS from every destination; next_hop_[p][dst] = parent-side neighbour
+  // of p in the BFS tree rooted at dst.
+  for (ProcId dst = 0; dst < m_; ++dst) {
+    const auto base = [&](ProcId p) {
+      return static_cast<std::size_t>(p) * m + static_cast<std::size_t>(dst);
+    };
+    std::queue<ProcId> frontier;
+    frontier.push(dst);
+    dist_[base(dst)] = 0;
+    while (!frontier.empty()) {
+      const ProcId p = frontier.front();
+      frontier.pop();
+      for (const ProcId q : topo.neighbors(p)) {
+        if (dist_[base(q)] < 0) {
+          dist_[base(q)] = dist_[base(p)] + 1;
+          next_hop_[base(q)] = p;
+          frontier.push(q);
+        }
+      }
+    }
+  }
+}
+
+void RoutingTable::check(ProcId p) const {
+  BSA_REQUIRE(p >= 0 && p < m_, "processor id " << p << " out of range");
+}
+
+std::vector<LinkId> RoutingTable::route(ProcId src, ProcId dst) const {
+  check(src);
+  check(dst);
+  std::vector<LinkId> links;
+  ProcId cur = src;
+  while (cur != dst) {
+    const ProcId next = next_hop_[static_cast<std::size_t>(cur) *
+                                      static_cast<std::size_t>(m_) +
+                                  static_cast<std::size_t>(dst)];
+    BSA_ASSERT(next != kInvalidProc, "routing table hole " << cur << "->"
+                                                           << dst);
+    const LinkId l = topo_->link_between(cur, next);
+    BSA_ASSERT(l != kInvalidLink, "next hop not adjacent");
+    links.push_back(l);
+    cur = next;
+  }
+  return links;
+}
+
+std::vector<ProcId> RoutingTable::route_processors(ProcId src,
+                                                   ProcId dst) const {
+  std::vector<ProcId> procs{src};
+  ProcId cur = src;
+  for (const LinkId l : route(src, dst)) {
+    cur = topo_->opposite(l, cur);
+    procs.push_back(cur);
+  }
+  return procs;
+}
+
+int RoutingTable::distance(ProcId src, ProcId dst) const {
+  check(src);
+  check(dst);
+  return dist_[static_cast<std::size_t>(src) * static_cast<std::size_t>(m_) +
+               static_cast<std::size_t>(dst)];
+}
+
+std::vector<LinkId> ecube_route(const Topology& topo, ProcId src, ProcId dst) {
+  BSA_REQUIRE(src >= 0 && src < topo.num_processors(), "bad src " << src);
+  BSA_REQUIRE(dst >= 0 && dst < topo.num_processors(), "bad dst " << dst);
+  std::vector<LinkId> links;
+  ProcId cur = src;
+  while (cur != dst) {
+    const unsigned diff =
+        static_cast<unsigned>(cur) ^ static_cast<unsigned>(dst);
+    // Lowest set bit of the address difference.
+    const unsigned bit = diff & (~diff + 1u);
+    const ProcId next = static_cast<ProcId>(static_cast<unsigned>(cur) ^ bit);
+    const LinkId l = topo.link_between(cur, next);
+    BSA_REQUIRE(l != kInvalidLink,
+                "topology is not a hypercube: missing link " << cur << "-"
+                                                             << next);
+    links.push_back(l);
+    cur = next;
+  }
+  return links;
+}
+
+}  // namespace bsa::net

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/topology.hpp"
+
+/// \file routing.hpp
+/// Static routing support.
+///
+/// BSA deliberately needs *no* routing table (routes emerge from the
+/// migration process), but the DLS baseline follows the traditional design
+/// the paper describes: a pre-computed shortest-path routing table that
+/// messages follow hop by hop. An E-cube router is provided for hypercubes
+/// as the paper's example of a static-routing constraint (§2.3).
+
+namespace bsa::net {
+
+/// All-pairs shortest-path (in hops) routing table. Deterministic: BFS
+/// visits neighbours in ascending id order, so among equal-length routes
+/// the lexicographically-first parent tree is used.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topo);
+
+  /// Links of the route src -> dst in traversal order; empty when
+  /// src == dst.
+  [[nodiscard]] std::vector<LinkId> route(ProcId src, ProcId dst) const;
+
+  /// Processors visited by route(src,dst), including both endpoints.
+  [[nodiscard]] std::vector<ProcId> route_processors(ProcId src,
+                                                     ProcId dst) const;
+
+  /// Shortest hop distance.
+  [[nodiscard]] int distance(ProcId src, ProcId dst) const;
+
+  [[nodiscard]] int num_processors() const noexcept { return m_; }
+
+ private:
+  void check(ProcId p) const;
+
+  int m_ = 0;
+  // next_hop_[src * m_ + dst] = neighbour of src on the route to dst.
+  std::vector<ProcId> next_hop_;
+  std::vector<int> dist_;
+  const Topology* topo_;  // non-owning; must outlive the table
+};
+
+/// E-cube (dimension-ordered) route on a hypercube topology: corrects the
+/// lowest differing address bit first. `topo` must be a binary hypercube
+/// whose processor ids are the vertex addresses.
+[[nodiscard]] std::vector<LinkId> ecube_route(const Topology& topo, ProcId src,
+                                              ProcId dst);
+
+}  // namespace bsa::net

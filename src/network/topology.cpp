@@ -1,0 +1,291 @@
+#include "network/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace bsa::net {
+
+void Topology::check_proc(ProcId p) const {
+  BSA_REQUIRE(p >= 0 && p < num_processors(),
+              "processor id " << p << " out of range [0," << num_processors()
+                              << ")");
+}
+
+void Topology::check_link(LinkId l) const {
+  BSA_REQUIRE(l >= 0 && l < num_links(),
+              "link id " << l << " out of range [0," << num_links() << ")");
+}
+
+std::pair<ProcId, ProcId> Topology::link_endpoints(LinkId l) const {
+  check_link(l);
+  return links_[static_cast<std::size_t>(l)];
+}
+
+LinkId Topology::link_between(ProcId x, ProcId y) const {
+  check_proc(x);
+  check_proc(y);
+  const auto& nbrs = adjacency_[static_cast<std::size_t>(x)];
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), y);
+  if (it == nbrs.end() || *it != y) return kInvalidLink;
+  const auto idx = static_cast<std::size_t>(it - nbrs.begin());
+  return incident_links_[static_cast<std::size_t>(x)][idx];
+}
+
+std::span<const ProcId> Topology::neighbors(ProcId p) const {
+  check_proc(p);
+  return adjacency_[static_cast<std::size_t>(p)];
+}
+
+std::span<const LinkId> Topology::links_of(ProcId p) const {
+  check_proc(p);
+  return incident_links_[static_cast<std::size_t>(p)];
+}
+
+ProcId Topology::opposite(LinkId l, ProcId p) const {
+  const auto [a, b] = link_endpoints(l);
+  BSA_REQUIRE(p == a || p == b,
+              "processor " << p << " is not an endpoint of link " << l);
+  return p == a ? b : a;
+}
+
+std::vector<ProcId> Topology::bfs_order(ProcId root) const {
+  check_proc(root);
+  std::vector<char> seen(static_cast<std::size_t>(num_processors()), 0);
+  std::vector<ProcId> order;
+  order.reserve(static_cast<std::size_t>(num_processors()));
+  std::queue<ProcId> frontier;
+  frontier.push(root);
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (!frontier.empty()) {
+    const ProcId p = frontier.front();
+    frontier.pop();
+    order.push_back(p);
+    for (const ProcId q : neighbors(p)) {
+      auto& s = seen[static_cast<std::size_t>(q)];
+      if (!s) {
+        s = 1;
+        frontier.push(q);
+      }
+    }
+  }
+  BSA_ASSERT(order.size() == static_cast<std::size_t>(num_processors()),
+             "topology must be connected");
+  return order;
+}
+
+int Topology::hop_distance(ProcId x, ProcId y) const {
+  check_proc(x);
+  check_proc(y);
+  if (x == y) return 0;
+  std::vector<int> dist(static_cast<std::size_t>(num_processors()), -1);
+  std::queue<ProcId> frontier;
+  frontier.push(x);
+  dist[static_cast<std::size_t>(x)] = 0;
+  while (!frontier.empty()) {
+    const ProcId p = frontier.front();
+    frontier.pop();
+    for (const ProcId q : neighbors(p)) {
+      auto& d = dist[static_cast<std::size_t>(q)];
+      if (d < 0) {
+        d = dist[static_cast<std::size_t>(p)] + 1;
+        if (q == y) return d;
+        frontier.push(q);
+      }
+    }
+  }
+  BSA_ASSERT(false, "topology must be connected");
+  return -1;
+}
+
+void Topology::finalize() {
+  const auto m = static_cast<std::size_t>(num_processors());
+  adjacency_.assign(m, {});
+  incident_links_.assign(m, {});
+  // Temporarily collect (neighbor, link) pairs, then sort by neighbor id.
+  std::vector<std::vector<std::pair<ProcId, LinkId>>> adj(m);
+  for (LinkId l = 0; l < num_links(); ++l) {
+    const auto [a, b] = links_[static_cast<std::size_t>(l)];
+    adj[static_cast<std::size_t>(a)].emplace_back(b, l);
+    adj[static_cast<std::size_t>(b)].emplace_back(a, l);
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    std::sort(adj[p].begin(), adj[p].end());
+    adjacency_[p].reserve(adj[p].size());
+    incident_links_[p].reserve(adj[p].size());
+    for (const auto& [q, l] : adj[p]) {
+      adjacency_[p].push_back(q);
+      incident_links_[p].push_back(l);
+    }
+  }
+  // Connectivity check (bfs_order asserts internally).
+  if (num_processors() > 0) (void)bfs_order(0);
+}
+
+Topology Topology::from_links(int num_processors,
+                              std::span<const std::pair<ProcId, ProcId>> links,
+                              std::string name) {
+  BSA_REQUIRE(num_processors >= 1, "need at least one processor");
+  Topology t;
+  t.name_ = std::move(name);
+  t.adjacency_.resize(static_cast<std::size_t>(num_processors));
+  std::set<std::pair<ProcId, ProcId>> seen;
+  for (auto [a, b] : links) {
+    BSA_REQUIRE(a >= 0 && a < num_processors && b >= 0 && b < num_processors,
+                "link endpoint out of range: (" << a << "," << b << ")");
+    BSA_REQUIRE(a != b, "self link on processor " << a);
+    if (a > b) std::swap(a, b);
+    BSA_REQUIRE(seen.insert({a, b}).second,
+                "duplicate link (" << a << "," << b << ")");
+    t.links_.emplace_back(a, b);
+  }
+  t.finalize();
+  return t;
+}
+
+Topology Topology::ring(int num_processors) {
+  BSA_REQUIRE(num_processors >= 2, "ring needs >= 2 processors");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId p = 0; p + 1 < num_processors; ++p) links.emplace_back(p, p + 1);
+  if (num_processors > 2) links.emplace_back(num_processors - 1, 0);
+  return from_links(num_processors, links,
+                    "ring-" + std::to_string(num_processors));
+}
+
+Topology Topology::hypercube(int dimension) {
+  BSA_REQUIRE(dimension >= 1 && dimension <= 20,
+              "hypercube dimension out of range: " << dimension);
+  const int m = 1 << dimension;
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId p = 0; p < m; ++p) {
+    for (int bit = 0; bit < dimension; ++bit) {
+      const ProcId q = p ^ (1 << bit);
+      if (p < q) links.emplace_back(p, q);
+    }
+  }
+  return from_links(m, links, "hypercube-" + std::to_string(m));
+}
+
+Topology Topology::clique(int num_processors) {
+  BSA_REQUIRE(num_processors >= 2, "clique needs >= 2 processors");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId a = 0; a < num_processors; ++a) {
+    for (ProcId b = a + 1; b < num_processors; ++b) links.emplace_back(a, b);
+  }
+  return from_links(num_processors, links,
+                    "clique-" + std::to_string(num_processors));
+}
+
+Topology Topology::random(int num_processors, int min_degree, int max_degree,
+                          std::uint64_t seed) {
+  BSA_REQUIRE(num_processors >= 3, "random topology needs >= 3 processors");
+  BSA_REQUIRE(min_degree >= 2, "min_degree must be >= 2 (connectivity)");
+  BSA_REQUIRE(max_degree >= min_degree, "max_degree < min_degree");
+  BSA_REQUIRE(max_degree < num_processors,
+              "max_degree must be < num_processors");
+  Rng rng(seed);
+
+  // Random Hamiltonian cycle: connected and every degree exactly 2.
+  std::vector<ProcId> perm(static_cast<std::size_t>(num_processors));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  std::set<std::pair<ProcId, ProcId>> edge_set;
+  auto add_sorted = [&](ProcId a, ProcId b) {
+    if (a > b) std::swap(a, b);
+    return edge_set.insert({a, b}).second;
+  };
+  std::vector<int> degree(static_cast<std::size_t>(num_processors), 0);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const ProcId a = perm[i];
+    const ProcId b = perm[(i + 1) % perm.size()];
+    if (add_sorted(a, b)) {
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+  }
+
+  // Sprinkle extra links while respecting the degree cap. The attempt
+  // budget bounds the loop when the cap makes further insertion
+  // impossible.
+  const std::int64_t extra =
+      rng.uniform_int(num_processors / 2, 2L * num_processors);
+  int attempts = 0;
+  int added = 0;
+  const int max_attempts = 50 * num_processors;
+  while (added < extra && attempts < max_attempts) {
+    ++attempts;
+    const auto a = static_cast<ProcId>(rng.index(perm.size()));
+    const auto b = static_cast<ProcId>(rng.index(perm.size()));
+    if (a == b) continue;
+    if (degree[static_cast<std::size_t>(a)] >= max_degree ||
+        degree[static_cast<std::size_t>(b)] >= max_degree) {
+      continue;
+    }
+    if (!add_sorted(a, b)) continue;
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+    ++added;
+  }
+
+  std::vector<std::pair<ProcId, ProcId>> links(edge_set.begin(),
+                                               edge_set.end());
+  return from_links(num_processors, links,
+                    "random-" + std::to_string(num_processors));
+}
+
+Topology Topology::mesh(int rows, int cols) {
+  BSA_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2,
+              "mesh needs >= 2 processors");
+  auto id = [cols](int r, int c) { return static_cast<ProcId>(r * cols + c); };
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return from_links(rows * cols, links,
+                    "mesh-" + std::to_string(rows) + "x" + std::to_string(cols));
+}
+
+Topology Topology::torus(int rows, int cols) {
+  BSA_REQUIRE(rows >= 3 && cols >= 3, "torus needs rows,cols >= 3");
+  auto id = [cols](int r, int c) { return static_cast<ProcId>(r * cols + c); };
+  std::set<std::pair<ProcId, ProcId>> edge_set;
+  auto add = [&](ProcId a, ProcId b) {
+    if (a > b) std::swap(a, b);
+    edge_set.insert({a, b});
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      add(id(r, c), id(r, (c + 1) % cols));
+      add(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  std::vector<std::pair<ProcId, ProcId>> links(edge_set.begin(),
+                                               edge_set.end());
+  return from_links(rows * cols, links,
+                    "torus-" + std::to_string(rows) + "x" + std::to_string(cols));
+}
+
+Topology Topology::star(int num_processors) {
+  BSA_REQUIRE(num_processors >= 2, "star needs >= 2 processors");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId p = 1; p < num_processors; ++p) links.emplace_back(0, p);
+  return from_links(num_processors, links,
+                    "star-" + std::to_string(num_processors));
+}
+
+Topology Topology::linear(int num_processors) {
+  BSA_REQUIRE(num_processors >= 2, "linear array needs >= 2 processors");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId p = 0; p + 1 < num_processors; ++p) links.emplace_back(p, p + 1);
+  return from_links(num_processors, links,
+                    "linear-" + std::to_string(num_processors));
+}
+
+}  // namespace bsa::net

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file topology.hpp
+/// The heterogeneous processor-network model (§2.1, §3 of the paper).
+///
+/// A Topology is an undirected connected graph over processors P_1..P_m.
+/// Each undirected link L_xy is a single communication resource shared by
+/// both directions (half duplex) — this matches the paper's Figure 2 where
+/// each link owns one timeline column. Algorithms treat links as exclusive:
+/// one message at a time.
+///
+/// Factories cover the paper's four experimental topologies (16-processor
+/// ring, hypercube, clique, bounded-degree random) plus common extras used
+/// by the examples and tests.
+
+namespace bsa::net {
+
+class Topology {
+ public:
+  /// Build from an explicit link list; validates ids, rejects self loops
+  /// and duplicate links, and requires a connected network.
+  static Topology from_links(int num_processors,
+                             std::span<const std::pair<ProcId, ProcId>> links,
+                             std::string name = "custom");
+
+  /// Cycle P1-P2-...-Pm-P1 (m >= 3, or m == 2 which degenerates to a
+  /// single link).
+  static Topology ring(int num_processors);
+  /// d-dimensional binary hypercube with 2^d processors (d >= 1).
+  static Topology hypercube(int dimension);
+  /// Fully connected network over m >= 2 processors.
+  static Topology clique(int num_processors);
+  /// Random connected topology with processor degrees in
+  /// [min_degree, max_degree] (paper: 2..8). Built as a random Hamiltonian
+  /// cycle plus random extra links that respect the degree cap.
+  static Topology random(int num_processors, int min_degree, int max_degree,
+                         std::uint64_t seed);
+  /// rows x cols grid (no wraparound).
+  static Topology mesh(int rows, int cols);
+  /// rows x cols grid with wraparound links.
+  static Topology torus(int rows, int cols);
+  /// Star: processor 0 connected to every other.
+  static Topology star(int num_processors);
+  /// Open chain P1-P2-...-Pm.
+  static Topology linear(int num_processors);
+
+  [[nodiscard]] int num_processors() const noexcept {
+    return static_cast<int>(adjacency_.size());
+  }
+  [[nodiscard]] int num_links() const noexcept {
+    return static_cast<int>(links_.size());
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Endpoints of a link, ordered (low id, high id).
+  [[nodiscard]] std::pair<ProcId, ProcId> link_endpoints(LinkId l) const;
+
+  /// The link joining x and y, or kInvalidLink when not adjacent.
+  [[nodiscard]] LinkId link_between(ProcId x, ProcId y) const;
+
+  /// Neighbouring processors of `p` in ascending id order.
+  [[nodiscard]] std::span<const ProcId> neighbors(ProcId p) const;
+  /// Links incident to `p`, parallel to neighbors(p).
+  [[nodiscard]] std::span<const LinkId> links_of(ProcId p) const;
+
+  [[nodiscard]] int degree(ProcId p) const {
+    return static_cast<int>(neighbors(p).size());
+  }
+
+  /// Given a link and one endpoint, the other endpoint.
+  [[nodiscard]] ProcId opposite(LinkId l, ProcId p) const;
+
+  /// Breadth-first processor order from `root` (the paper's
+  /// BuildProcessorList). Neighbours are visited in ascending id order, so
+  /// the result is deterministic. Always contains all m processors.
+  [[nodiscard]] std::vector<ProcId> bfs_order(ProcId root) const;
+
+  /// Hop distance matrix entry (shortest path length in links).
+  [[nodiscard]] int hop_distance(ProcId x, ProcId y) const;
+
+ private:
+  Topology() = default;
+  void check_proc(ProcId p) const;
+  void check_link(LinkId l) const;
+  void finalize();  // builds adjacency, validates connectivity
+
+  std::string name_;
+  std::vector<std::pair<ProcId, ProcId>> links_;
+  std::vector<std::vector<ProcId>> adjacency_;       // sorted neighbour ids
+  std::vector<std::vector<LinkId>> incident_links_;  // parallel to adjacency_
+};
+
+}  // namespace bsa::net

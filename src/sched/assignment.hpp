@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/routing.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+
+/// \file assignment.hpp
+/// Build a complete contention-aware schedule from a bare task→processor
+/// assignment.
+///
+/// Tasks are list-scheduled in descending nominal b-level (ties by id)
+/// onto their assigned processors with insertion-based slot search;
+/// crossing messages are routed along shortest paths and booked into
+/// exclusive link slots. This turns *any* mapping — produced by a
+/// partitioner, a metaheuristic, or a human — into a feasible schedule
+/// whose length can be compared against BSA/DLS, and is the evaluation
+/// engine behind core::refine_schedule.
+
+namespace bsa::sched {
+
+/// `assignment[t]` is the processor of task t (all entries valid).
+/// The returned schedule is complete and valid.
+[[nodiscard]] Schedule schedule_from_assignment(
+    const graph::TaskGraph& g, const net::Topology& topo,
+    const net::HeterogeneousCostModel& costs,
+    std::span<const ProcId> assignment, const net::RoutingTable& table);
+
+/// Convenience overload constructing the routing table internally.
+[[nodiscard]] Schedule schedule_from_assignment(
+    const graph::TaskGraph& g, const net::Topology& topo,
+    const net::HeterogeneousCostModel& costs,
+    std::span<const ProcId> assignment);
+
+/// Extract the assignment vector of an existing complete schedule.
+[[nodiscard]] std::vector<ProcId> assignment_of(const Schedule& s);
+
+}  // namespace bsa::sched

@@ -1,0 +1,110 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace bsa::sched {
+
+void print_listing(std::ostream& os, const Schedule& s) {
+  const auto& g = s.task_graph();
+  const auto& topo = s.topology();
+  os << "schedule length = " << s.makespan() << "\n";
+  for (ProcId p = 0; p < topo.num_processors(); ++p) {
+    os << "P" << (p + 1) << ":";
+    for (const TaskId t : s.tasks_on(p)) {
+      os << ' ' << g.task_name(t) << "[" << s.start_of(t) << ","
+         << s.finish_of(t) << ")";
+    }
+    os << '\n';
+  }
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto& bookings = s.bookings_on(l);
+    if (bookings.empty()) continue;
+    const auto [a, b] = topo.link_endpoints(l);
+    os << "L" << (a + 1) << (b + 1) << ":";
+    for (const LinkBooking& bk : bookings) {
+      os << ' ' << g.task_name(g.edge_src(bk.edge)) << "->"
+         << g.task_name(g.edge_dst(bk.edge)) << "[" << bk.start << ","
+         << bk.finish << ")";
+    }
+    os << '\n';
+  }
+}
+
+std::string listing_to_string(const Schedule& s) {
+  std::ostringstream os;
+  print_listing(os, s);
+  return os.str();
+}
+
+void print_gantt(std::ostream& os, const Schedule& s, int width) {
+  BSA_REQUIRE(width >= 20, "gantt width too small: " << width);
+  const auto& g = s.task_graph();
+  const auto& topo = s.topology();
+  const Time mk = s.makespan();
+  if (mk <= 0) {
+    os << "(empty schedule)\n";
+    return;
+  }
+  const double scale = static_cast<double>(width) / mk;
+  auto col = [&](Time t) {
+    return std::min(width - 1,
+                    std::max(0, static_cast<int>(t * scale)));
+  };
+
+  auto row_label = [&](const std::string& label) {
+    os << std::left << std::setw(6) << label << '|';
+  };
+
+  for (ProcId p = 0; p < topo.num_processors(); ++p) {
+    std::string row(static_cast<std::size_t>(width), ' ');
+    for (const TaskId t : s.tasks_on(p)) {
+      const int c0 = col(s.start_of(t));
+      const int c1 = std::max(c0 + 1, col(s.finish_of(t)));
+      for (int c = c0; c < c1 && c < width; ++c) {
+        row[static_cast<std::size_t>(c)] = '=';
+      }
+      const std::string& name = g.task_name(t);
+      for (std::size_t k = 0; k < name.size() && c0 + static_cast<int>(k) < c1;
+           ++k) {
+        row[static_cast<std::size_t>(c0) + k] = name[k];
+      }
+    }
+    row_label("P" + std::to_string(p + 1));
+    os << row << '\n';
+  }
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto& bookings = s.bookings_on(l);
+    if (bookings.empty()) continue;
+    std::string row(static_cast<std::size_t>(width), ' ');
+    for (const LinkBooking& bk : bookings) {
+      const int c0 = col(bk.start);
+      const int c1 = std::max(c0 + 1, col(bk.finish));
+      for (int c = c0; c < c1 && c < width; ++c) {
+        row[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    const auto [a, b] = topo.link_endpoints(l);
+    row_label("L" + std::to_string(a + 1) + std::to_string(b + 1));
+    os << row << '\n';
+  }
+  row_label("t");
+  std::ostringstream axis;
+  axis << "0" << std::string(static_cast<std::size_t>(
+                                 std::max(0, width - 12)),
+                             ' ')
+       << std::fixed << std::setprecision(0) << mk;
+  os << axis.str() << '\n';
+}
+
+std::string gantt_to_string(const Schedule& s, int width) {
+  std::ostringstream os;
+  print_gantt(os, s, width);
+  return os.str();
+}
+
+}  // namespace bsa::sched

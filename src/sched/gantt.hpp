@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+/// \file gantt.hpp
+/// Human-readable schedule rendering: a textual listing (exact times) and
+/// an ASCII Gantt chart in the style of the paper's Figure 2, with one row
+/// per processor and one row per link.
+
+namespace bsa::sched {
+
+/// Exact listing: per-processor task sequences with [start, finish) and
+/// per-link message sequences ("T1->T3 [7,17)" style, 1-based task names).
+void print_listing(std::ostream& os, const Schedule& s);
+[[nodiscard]] std::string listing_to_string(const Schedule& s);
+
+/// ASCII Gantt chart scaled to `width` character columns. Processor rows
+/// show task names; link rows show '#' for busy periods.
+void print_gantt(std::ostream& os, const Schedule& s, int width = 96);
+[[nodiscard]] std::string gantt_to_string(const Schedule& s, int width = 96);
+
+}  // namespace bsa::sched

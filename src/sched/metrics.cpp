@@ -1,0 +1,83 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace bsa::sched {
+
+Time schedule_length_lower_bound(const graph::TaskGraph& g,
+                                 const net::HeterogeneousCostModel& costs) {
+  // Longest path of min-exec costs, ignoring communication entirely: no
+  // schedule can beat it because every task runs at least its fastest
+  // cost and chain order is forced.
+  std::vector<Time> done(static_cast<std::size_t>(g.num_tasks()), 0);
+  Time bound = 0;
+  for (const TaskId t : g.topological_order()) {
+    const auto ti = static_cast<std::size_t>(t);
+    Time ready = 0;
+    for (const EdgeId e : g.in_edges(t)) {
+      ready = std::max(ready, done[static_cast<std::size_t>(g.edge_src(e))]);
+    }
+    done[ti] = ready + costs.min_exec_cost(t);
+    bound = std::max(bound, done[ti]);
+  }
+  return bound;
+}
+
+ScheduleMetrics compute_metrics(const Schedule& s,
+                                const net::HeterogeneousCostModel& costs) {
+  BSA_REQUIRE(s.all_placed(), "metrics require a complete schedule");
+  const auto& g = s.task_graph();
+  const auto& topo = s.topology();
+  ScheduleMetrics m;
+  m.makespan = s.makespan();
+  m.lower_bound = schedule_length_lower_bound(g, costs);
+  m.best_serial = kInfiniteTime;
+  for (ProcId p = 0; p < topo.num_processors(); ++p) {
+    Time total = 0;
+    for (TaskId t = 0; t < g.num_tasks(); ++t) total += costs.exec_cost(t, p);
+    m.best_serial = std::min(m.best_serial, total);
+  }
+  if (m.makespan > 0) {
+    m.speedup = m.best_serial / m.makespan;
+    if (m.lower_bound > 0) m.slr = m.makespan / m.lower_bound;
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& route = s.route_of(e);
+    if (route.empty()) continue;
+    ++m.num_crossing_messages;
+    m.total_hops += static_cast<int>(route.size());
+  }
+
+  Time proc_busy = 0;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    proc_busy += s.finish_of(t) - s.start_of(t);
+  }
+  if (m.makespan > 0) {
+    m.avg_proc_utilization =
+        proc_busy / (m.makespan * topo.num_processors());
+  }
+
+  Time total_link_busy = 0;
+  double max_util = 0;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    Time busy = 0;
+    for (const LinkBooking& b : s.bookings_on(l)) busy += b.finish - b.start;
+    total_link_busy += busy;
+    if (m.makespan > 0) {
+      max_util = std::max(max_util, busy / m.makespan);
+    }
+  }
+  m.total_link_busy = total_link_busy;
+  m.max_link_utilization = max_util;
+  if (m.makespan > 0 && topo.num_links() > 0) {
+    m.avg_link_utilization =
+        total_link_busy / (m.makespan * topo.num_links());
+  }
+  return m;
+}
+
+}  // namespace bsa::sched

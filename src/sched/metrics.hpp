@@ -1,0 +1,45 @@
+#pragma once
+
+#include "common/types.hpp"
+#include "network/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+/// \file metrics.hpp
+/// Quality metrics beyond the schedule length, used by benches and
+/// examples to explain *why* one schedule beats another (e.g. link
+/// contention pressure at fine granularity).
+
+namespace bsa::sched {
+
+struct ScheduleMetrics {
+  Time makespan = 0;
+  int num_crossing_messages = 0;  ///< messages with a non-empty route
+  int total_hops = 0;             ///< sum of route lengths
+  Time total_link_busy = 0;       ///< sum of hop durations over all links
+  double avg_proc_utilization = 0;  ///< busy time / (makespan * m)
+  double max_link_utilization = 0;  ///< busiest link's busy / makespan
+  double avg_link_utilization = 0;
+  /// Longest chain of exec costs using each task's fastest processor and
+  /// zero communication — a lower bound on any schedule length.
+  Time lower_bound = 0;
+  /// Best single-processor schedule length (min over processors of the
+  /// total execution cost there) — the paper's serialization start point
+  /// optimum.
+  Time best_serial = 0;
+  /// best_serial / makespan — parallel speedup against the best serial
+  /// schedule.
+  double speedup = 0;
+  /// makespan / lower_bound — normalised schedule length (SLR >= 1).
+  double slr = 0;
+};
+
+/// Compute metrics for a complete schedule.
+[[nodiscard]] ScheduleMetrics compute_metrics(
+    const Schedule& s, const net::HeterogeneousCostModel& costs);
+
+/// The fastest-processor zero-communication critical path — a simple
+/// schedule-length lower bound valid for every algorithm.
+[[nodiscard]] Time schedule_length_lower_bound(
+    const graph::TaskGraph& g, const net::HeterogeneousCostModel& costs);
+
+}  // namespace bsa::sched

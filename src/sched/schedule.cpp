@@ -1,0 +1,272 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bsa::sched {
+
+Schedule::Schedule(const graph::TaskGraph& g, const net::Topology& topo)
+    : graph_(&g), topo_(&topo) {
+  placements_.resize(static_cast<std::size_t>(g.num_tasks()));
+  proc_tasks_.resize(static_cast<std::size_t>(topo.num_processors()));
+  routes_.resize(static_cast<std::size_t>(g.num_edges()));
+  link_bookings_.resize(static_cast<std::size_t>(topo.num_links()));
+}
+
+void Schedule::check_task(TaskId t) const {
+  BSA_REQUIRE(t >= 0 && t < graph_->num_tasks(),
+              "task id " << t << " out of range");
+}
+
+void Schedule::check_edge(EdgeId e) const {
+  BSA_REQUIRE(e >= 0 && e < graph_->num_edges(),
+              "edge id " << e << " out of range");
+}
+
+void Schedule::check_link(LinkId l) const {
+  BSA_REQUIRE(l >= 0 && l < topo_->num_links(),
+              "link id " << l << " out of range");
+}
+
+void Schedule::check_proc(ProcId p) const {
+  BSA_REQUIRE(p >= 0 && p < topo_->num_processors(),
+              "processor id " << p << " out of range");
+}
+
+bool Schedule::is_placed(TaskId t) const {
+  check_task(t);
+  return placements_[static_cast<std::size_t>(t)].proc != kInvalidProc;
+}
+
+ProcId Schedule::proc_of(TaskId t) const {
+  check_task(t);
+  const auto& pl = placements_[static_cast<std::size_t>(t)];
+  BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
+  return pl.proc;
+}
+
+Time Schedule::start_of(TaskId t) const {
+  check_task(t);
+  const auto& pl = placements_[static_cast<std::size_t>(t)];
+  BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
+  return pl.start;
+}
+
+Time Schedule::finish_of(TaskId t) const {
+  check_task(t);
+  const auto& pl = placements_[static_cast<std::size_t>(t)];
+  BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
+  return pl.finish;
+}
+
+const std::vector<TaskId>& Schedule::tasks_on(ProcId p) const {
+  check_proc(p);
+  return proc_tasks_[static_cast<std::size_t>(p)];
+}
+
+Time Schedule::makespan() const {
+  Time mk = 0;
+  for (const auto& pl : placements_) {
+    if (pl.proc != kInvalidProc) mk = std::max(mk, pl.finish);
+  }
+  return mk;
+}
+
+const std::vector<Hop>& Schedule::route_of(EdgeId e) const {
+  check_edge(e);
+  return routes_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<LinkBooking>& Schedule::bookings_on(LinkId l) const {
+  check_link(l);
+  return link_bookings_[static_cast<std::size_t>(l)];
+}
+
+Time Schedule::arrival_of(EdgeId e) const {
+  check_edge(e);
+  const auto& route = routes_[static_cast<std::size_t>(e)];
+  if (!route.empty()) return route.back().finish;
+  return finish_of(graph_->edge_src(e));
+}
+
+std::vector<Interval> Schedule::busy_of_proc(ProcId p) const {
+  check_proc(p);
+  std::vector<Interval> busy;
+  busy.reserve(proc_tasks_[static_cast<std::size_t>(p)].size());
+  for (const TaskId t : proc_tasks_[static_cast<std::size_t>(p)]) {
+    const auto& pl = placements_[static_cast<std::size_t>(t)];
+    busy.push_back(Interval{pl.start, pl.finish});
+  }
+  return busy;
+}
+
+std::vector<Interval> Schedule::busy_of_link(LinkId l) const {
+  check_link(l);
+  std::vector<Interval> busy;
+  busy.reserve(link_bookings_[static_cast<std::size_t>(l)].size());
+  for (const LinkBooking& b : link_bookings_[static_cast<std::size_t>(l)]) {
+    busy.push_back(Interval{b.start, b.finish});
+  }
+  return busy;
+}
+
+Time Schedule::earliest_task_slot(ProcId p, Time ready, Time duration) const {
+  return earliest_fit(busy_of_proc(p), ready, duration);
+}
+
+Time Schedule::earliest_link_slot(LinkId l, Time ready, Time duration) const {
+  return earliest_fit(busy_of_link(l), ready, duration);
+}
+
+void Schedule::place_task(TaskId t, ProcId p, Time start, Time finish) {
+  check_task(t);
+  check_proc(p);
+  auto& pl = placements_[static_cast<std::size_t>(t)];
+  BSA_REQUIRE(pl.proc == kInvalidProc, "task " << t << " already placed");
+  BSA_REQUIRE(time_le(start, finish), "task " << t << " start " << start
+                                              << " after finish " << finish);
+  pl = Placement{p, start, finish};
+  auto& order = proc_tasks_[static_cast<std::size_t>(p)];
+  const auto pos = std::find_if(order.begin(), order.end(), [&](TaskId u) {
+    const auto& o = placements_[static_cast<std::size_t>(u)];
+    return o.start > start || (o.start == start && o.finish > finish);
+  });
+  order.insert(pos, t);
+  ++num_placed_;
+}
+
+void Schedule::unplace_task(TaskId t) {
+  check_task(t);
+  auto& pl = placements_[static_cast<std::size_t>(t)];
+  BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
+  auto& order = proc_tasks_[static_cast<std::size_t>(pl.proc)];
+  const auto pos = std::find(order.begin(), order.end(), t);
+  BSA_ASSERT(pos != order.end(), "task missing from processor order");
+  order.erase(pos);
+  pl = Placement{};
+  --num_placed_;
+}
+
+void Schedule::set_task_times(TaskId t, Time start, Time finish) {
+  check_task(t);
+  auto& pl = placements_[static_cast<std::size_t>(t)];
+  BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
+  BSA_REQUIRE(time_le(start, finish), "task " << t << " start " << start
+                                              << " after finish " << finish);
+  pl.start = start;
+  pl.finish = finish;
+}
+
+void Schedule::set_route(EdgeId e, std::vector<Hop> hops) {
+  check_edge(e);
+  BSA_REQUIRE(routes_[static_cast<std::size_t>(e)].empty(),
+              "message " << e << " already routed");
+  std::size_t added = 0;
+  try {
+    for (const Hop& h : hops) {
+      append_hop(e, h);
+      ++added;
+    }
+  } catch (...) {
+    // Strong exception safety: release the hops already booked.
+    auto& route = routes_[static_cast<std::size_t>(e)];
+    while (added-- > 0) {
+      const Hop h = route.back();
+      auto& bookings = link_bookings_[static_cast<std::size_t>(h.link)];
+      const int hop_index = static_cast<int>(route.size()) - 1;
+      const auto pos = std::find_if(
+          bookings.begin(), bookings.end(), [&](const LinkBooking& b) {
+            return b.edge == e && b.hop_index == hop_index;
+          });
+      BSA_ASSERT(pos != bookings.end(), "rollback lost a booking");
+      bookings.erase(pos);
+      route.pop_back();
+    }
+    throw;
+  }
+}
+
+void Schedule::append_hop(EdgeId e, const Hop& hop) {
+  check_edge(e);
+  check_link(hop.link);
+  BSA_REQUIRE(time_le(hop.start, hop.finish), "hop with negative duration");
+  auto& route = routes_[static_cast<std::size_t>(e)];
+  if (!route.empty()) {
+    BSA_REQUIRE(time_le(route.back().finish, hop.start),
+                "route hops of message " << e << " not contiguous in time");
+  }
+  // Validate the booking before mutating anything (strong exception
+  // safety: a rejected hop leaves the schedule untouched).
+  auto& bookings = link_bookings_[static_cast<std::size_t>(hop.link)];
+  const LinkBooking nb{e, static_cast<int>(route.size()), hop.start,
+                       hop.finish};
+  const auto pos = std::find_if(
+      bookings.begin(), bookings.end(), [&](const LinkBooking& b) {
+        return b.start > nb.start ||
+               (b.start == nb.start && b.finish > nb.finish);
+      });
+  // Exclusivity: reject overlap with either neighbour.
+  if (pos != bookings.end()) {
+    BSA_ASSERT(time_le(nb.finish, pos->start),
+               "hop overlap on link " << hop.link << " (successor)");
+  }
+  if (pos != bookings.begin()) {
+    BSA_ASSERT(time_le((pos - 1)->finish, nb.start),
+               "hop overlap on link " << hop.link << " (predecessor)");
+  }
+  route.push_back(hop);
+  bookings.insert(pos, nb);
+}
+
+void Schedule::clear_route(EdgeId e) {
+  check_edge(e);
+  auto& route = routes_[static_cast<std::size_t>(e)];
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    auto& bookings = link_bookings_[static_cast<std::size_t>(route[i].link)];
+    const auto pos = std::find_if(
+        bookings.begin(), bookings.end(), [&](const LinkBooking& b) {
+          return b.edge == e && b.hop_index == static_cast<int>(i);
+        });
+    BSA_ASSERT(pos != bookings.end(), "hop booking missing for message " << e);
+    bookings.erase(pos);
+  }
+  route.clear();
+}
+
+void Schedule::set_hop_times(EdgeId e, int hop_index, Time start, Time finish) {
+  check_edge(e);
+  auto& route = routes_[static_cast<std::size_t>(e)];
+  BSA_REQUIRE(hop_index >= 0 &&
+                  static_cast<std::size_t>(hop_index) < route.size(),
+              "hop index " << hop_index << " out of range for message " << e);
+  BSA_REQUIRE(time_le(start, finish), "hop with negative duration");
+  auto& hop = route[static_cast<std::size_t>(hop_index)];
+  hop.start = start;
+  hop.finish = finish;
+  auto& bookings = link_bookings_[static_cast<std::size_t>(hop.link)];
+  const auto pos =
+      std::find_if(bookings.begin(), bookings.end(), [&](const LinkBooking& b) {
+        return b.edge == e && b.hop_index == hop_index;
+      });
+  BSA_ASSERT(pos != bookings.end(), "hop booking missing for message " << e);
+  pos->start = start;
+  pos->finish = finish;
+}
+
+void Schedule::normalize_orders() {
+  for (auto& order : proc_tasks_) {
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return placements_[static_cast<std::size_t>(a)].start <
+             placements_[static_cast<std::size_t>(b)].start;
+    });
+  }
+  for (auto& bookings : link_bookings_) {
+    std::stable_sort(bookings.begin(), bookings.end(),
+                     [](const LinkBooking& a, const LinkBooking& b) {
+                       return a.start < b.start;
+                     });
+  }
+}
+
+}  // namespace bsa::sched

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/topology.hpp"
+#include "sched/timeline.hpp"
+
+/// \file schedule.hpp
+/// The schedule data structure shared by all scheduling algorithms.
+///
+/// A Schedule maps
+///  * every task to (processor, start, finish), and
+///  * every inter-processor message to a *route*: an ordered list of hops,
+///    each hop occupying an exclusive interval on one link.
+///
+/// Messages between co-located tasks have an empty route. Orders on
+/// processors and links are explicit (vectors in execution order); times
+/// are kept consistent with those orders by the algorithms (see
+/// retime.hpp). This mirrors the paper's model where both processors and
+/// links are first-class scheduled resources.
+
+namespace bsa::sched {
+
+/// One hop of a message route: the message occupies `link` during
+/// [start, finish).
+struct Hop {
+  LinkId link = kInvalidLink;
+  Time start = kUnsetTime;
+  Time finish = kUnsetTime;
+};
+
+/// A booking on a link timeline, referring back to its message hop.
+struct LinkBooking {
+  EdgeId edge = kInvalidEdge;
+  int hop_index = 0;
+  Time start = kUnsetTime;
+  Time finish = kUnsetTime;
+};
+
+class Schedule {
+ public:
+  /// An empty schedule over `g` and `topo`; both must outlive the
+  /// schedule. Copyable (used for tentative evaluation in tests).
+  Schedule(const graph::TaskGraph& g, const net::Topology& topo);
+
+  [[nodiscard]] const graph::TaskGraph& task_graph() const noexcept {
+    return *graph_;
+  }
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return *topo_;
+  }
+
+  // --- task queries -------------------------------------------------------
+  [[nodiscard]] bool is_placed(TaskId t) const;
+  [[nodiscard]] ProcId proc_of(TaskId t) const;
+  [[nodiscard]] Time start_of(TaskId t) const;
+  [[nodiscard]] Time finish_of(TaskId t) const;
+  /// Tasks assigned to `p` in execution order.
+  [[nodiscard]] const std::vector<TaskId>& tasks_on(ProcId p) const;
+  [[nodiscard]] int num_placed() const noexcept { return num_placed_; }
+  [[nodiscard]] bool all_placed() const {
+    return num_placed_ == graph_->num_tasks();
+  }
+  /// Max finish time over placed tasks (0 when empty) — the paper's
+  /// schedule length SL.
+  [[nodiscard]] Time makespan() const;
+
+  // --- message queries ----------------------------------------------------
+  /// Route of message `e` in hop order; empty for co-located endpoints or
+  /// unrouted messages.
+  [[nodiscard]] const std::vector<Hop>& route_of(EdgeId e) const;
+  /// Bookings on link `l` in transmission order.
+  [[nodiscard]] const std::vector<LinkBooking>& bookings_on(LinkId l) const;
+  /// Arrival time of message `e` at its destination processor: finish of
+  /// the last hop, or finish of the source task when the route is empty.
+  [[nodiscard]] Time arrival_of(EdgeId e) const;
+
+  // --- slot search --------------------------------------------------------
+  /// Earliest start >= ready of an idle gap of `duration` on processor `p`
+  /// (insertion based).
+  [[nodiscard]] Time earliest_task_slot(ProcId p, Time ready,
+                                        Time duration) const;
+  /// Earliest start >= ready of an idle gap of `duration` on link `l`.
+  [[nodiscard]] Time earliest_link_slot(LinkId l, Time ready,
+                                        Time duration) const;
+  /// Busy intervals of a processor / link in time order (for overlay
+  /// computations by algorithms).
+  [[nodiscard]] std::vector<Interval> busy_of_proc(ProcId p) const;
+  [[nodiscard]] std::vector<Interval> busy_of_link(LinkId l) const;
+
+  // --- mutation -----------------------------------------------------------
+  /// Assign task `t` to processor `p` at [start, finish). Inserted into
+  /// the processor order by start time. Throws if already placed.
+  void place_task(TaskId t, ProcId p, Time start, Time finish);
+  /// Remove `t` from its processor (its routes are untouched).
+  void unplace_task(TaskId t);
+  /// Update times of a placed task without changing processor or order
+  /// (used by re-timing).
+  void set_task_times(TaskId t, Time start, Time finish);
+
+  /// Install a route for message `e`, booking every hop on its link.
+  /// Requires: e currently has no route; hops contiguous in time
+  /// (non-decreasing); each hop's interval free on its link.
+  void set_route(EdgeId e, std::vector<Hop> hops);
+  /// Append one hop to the (possibly empty) route of `e`, booking it on
+  /// its link. The hop must start no earlier than the previous hop's
+  /// finish and must not overlap existing bookings on its link.
+  void append_hop(EdgeId e, const Hop& hop);
+  /// Remove the route of `e` and release its link bookings (no-op when
+  /// route already empty).
+  void clear_route(EdgeId e);
+  /// Update times of one hop without changing link or transmission order
+  /// (used by re-timing).
+  void set_hop_times(EdgeId e, int hop_index, Time start, Time finish);
+
+  /// Re-establish link-booking and processor orders sorted by start time
+  /// after a re-timing pass (stable; equal starts keep relative order).
+  void normalize_orders();
+
+ private:
+  struct Placement {
+    ProcId proc = kInvalidProc;
+    Time start = kUnsetTime;
+    Time finish = kUnsetTime;
+  };
+
+  void check_task(TaskId t) const;
+  void check_edge(EdgeId e) const;
+  void check_link(LinkId l) const;
+  void check_proc(ProcId p) const;
+
+  const graph::TaskGraph* graph_;
+  const net::Topology* topo_;
+  std::vector<Placement> placements_;         // by TaskId
+  std::vector<std::vector<TaskId>> proc_tasks_;  // by ProcId, execution order
+  std::vector<std::vector<Hop>> routes_;      // by EdgeId
+  std::vector<std::vector<LinkBooking>> link_bookings_;  // by LinkId
+  int num_placed_ = 0;
+};
+
+}  // namespace bsa::sched

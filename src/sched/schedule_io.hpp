@@ -1,0 +1,49 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+/// \file schedule_io.hpp
+/// Schedule serialization: a line-oriented text format (round-trippable),
+/// a CSV event dump for spreadsheet analysis, and Graphviz DOT export of
+/// the mapped graph (tasks coloured by processor).
+///
+/// Text format:
+///
+///   # schedule: <n> tasks, <hops> hops
+///   task <id> <proc> <start> <finish>
+///   hop <edge> <link> <start> <finish>     -- hops listed in route order
+///
+/// Ids are 0-based and refer to the TaskGraph/Topology the schedule was
+/// built against; read_schedule_text rebuilds a Schedule over the same
+/// graph and topology.
+
+namespace bsa::sched {
+
+/// Write `s` in the native text format. Partial schedules allowed.
+void write_schedule_text(std::ostream& os, const Schedule& s);
+[[nodiscard]] std::string schedule_to_text(const Schedule& s);
+
+/// Parse the native text format into a schedule over `g` and `topo`.
+/// Throws PreconditionError on malformed input or ids out of range.
+[[nodiscard]] Schedule read_schedule_text(std::istream& is,
+                                          const graph::TaskGraph& g,
+                                          const net::Topology& topo);
+[[nodiscard]] Schedule schedule_from_text(const std::string& text,
+                                          const graph::TaskGraph& g,
+                                          const net::Topology& topo);
+
+/// CSV dump with one row per event:
+///   kind,who,where,start,finish
+/// where kind is "task" (who = task name, where = P<i>) or "hop"
+/// (who = src->dst, where = L<a><b>).
+void write_schedule_csv(std::ostream& os, const Schedule& s);
+
+/// Graphviz DOT of the task graph with nodes grouped/coloured by the
+/// processor the schedule assigned them to.
+void write_schedule_dot(std::ostream& os, const Schedule& s,
+                        const std::string& name = "schedule");
+
+}  // namespace bsa::sched

@@ -1,0 +1,63 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bsa::sched {
+
+bool intervals_overlap(const Interval& a, const Interval& b) noexcept {
+  // Shared time span must be non-empty; empty intervals overlap nothing.
+  return time_lt(std::max(a.start, b.start), std::min(a.finish, b.finish));
+}
+
+Time earliest_fit(std::span<const Interval> busy, Time ready, Time duration) {
+  BSA_REQUIRE(duration >= 0, "negative duration " << duration);
+  Time candidate = std::max(ready, Time{0});
+  for (const Interval& iv : busy) {
+    if (time_le(candidate + duration, iv.start)) break;  // fits before iv
+    candidate = std::max(candidate, iv.finish);
+  }
+  return candidate;
+}
+
+void insert_interval(std::vector<Interval>& busy, const Interval& iv) {
+  const auto pos = std::lower_bound(
+      busy.begin(), busy.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  if (pos != busy.end()) {
+    BSA_ASSERT(!intervals_overlap(*pos, iv),
+               "interval [" << iv.start << "," << iv.finish
+                            << ") overlaps successor");
+  }
+  if (pos != busy.begin()) {
+    BSA_ASSERT(!intervals_overlap(*(pos - 1), iv),
+               "interval [" << iv.start << "," << iv.finish
+                            << ") overlaps predecessor");
+  }
+  busy.insert(pos, iv);
+}
+
+std::vector<Interval> merge_busy(std::span<const Interval> a,
+                                 std::span<const Interval> b) {
+  std::vector<Interval> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const Interval& x, const Interval& y) {
+               return x.start < y.start;
+             });
+  return out;
+}
+
+bool is_well_formed(std::span<const Interval> busy) noexcept {
+  for (std::size_t i = 1; i < busy.size(); ++i) {
+    if (busy[i].start < busy[i - 1].start) return false;
+    if (time_lt(busy[i].start, busy[i - 1].finish)) return false;
+  }
+  for (const Interval& iv : busy) {
+    if (time_lt(iv.finish, iv.start)) return false;
+  }
+  return true;
+}
+
+}  // namespace bsa::sched

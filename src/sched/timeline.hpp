@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file timeline.hpp
+/// Interval arithmetic for exclusive resources (processors and links).
+///
+/// Both schedulers use *insertion-based* slot search: a new task/message
+/// may occupy any idle gap of sufficient length, not just the tail of the
+/// timeline. This is the behaviour the paper attributes to BSA ("messages
+/// are incrementally scheduled to suitable slots").
+
+namespace bsa::sched {
+
+/// Half-open busy interval [start, finish).
+struct Interval {
+  Time start = 0;
+  Time finish = 0;
+};
+
+/// True when [a) and [b) overlap by more than the time tolerance.
+[[nodiscard]] bool intervals_overlap(const Interval& a, const Interval& b) noexcept;
+
+/// Earliest start >= ready such that [start, start+duration) does not
+/// overlap any busy interval. `busy` must be sorted by start and mutually
+/// non-overlapping. Zero-duration requests return max(ready, 0).
+[[nodiscard]] Time earliest_fit(std::span<const Interval> busy, Time ready,
+                                Time duration);
+
+/// Insert `iv` into a sorted non-overlapping interval vector, keeping it
+/// sorted. Throws InvariantError if `iv` overlaps an existing interval.
+void insert_interval(std::vector<Interval>& busy, const Interval& iv);
+
+/// Merge two sorted non-overlapping interval lists into one sorted list.
+/// The result may contain touching intervals but callers guarantee no
+/// overlaps between the inputs.
+[[nodiscard]] std::vector<Interval> merge_busy(std::span<const Interval> a,
+                                               std::span<const Interval> b);
+
+/// True when `busy` is sorted by start and mutually non-overlapping.
+[[nodiscard]] bool is_well_formed(std::span<const Interval> busy) noexcept;
+
+}  // namespace bsa::sched

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+/// \file validate.hpp
+/// Full invariant checking for schedules. Used by tests, by property
+/// sweeps, and (in debug builds) by the algorithms after every run.
+///
+/// A schedule is *valid* when:
+///  1. every task is placed exactly once with finish = start + actual cost;
+///  2. tasks on one processor never overlap in time;
+///  3. precedence holds: a task starts no earlier than the arrival of
+///     every incoming message (same-processor messages arrive at the
+///     predecessor's finish);
+///  4. every inter-processor message has a contiguous route from the
+///     source's processor to the destination's processor; hop k+1 starts
+///     no earlier than hop k finishes (store-and-forward); the first hop
+///     starts no earlier than the source finishes; hop durations equal the
+///     actual communication cost on that hop's link;
+///  5. messages on one link never overlap (link exclusivity — the paper's
+///     contention constraint);
+///  6. link bookings mirror routes exactly.
+
+namespace bsa::sched {
+
+struct ValidationReport {
+  std::vector<std::string> issues;
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  /// All issues joined with newlines ("valid" when empty).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validate `s` against its graph/topology and the cost model that
+/// produced it. Collects all violations instead of stopping at the first.
+[[nodiscard]] ValidationReport validate(
+    const Schedule& s, const net::HeterogeneousCostModel& costs);
+
+}  // namespace bsa::sched

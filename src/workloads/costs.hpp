@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+/// \file costs.hpp
+/// Shared cost-assignment policy for workload generators (§3 of the
+/// paper): task execution costs are drawn uniformly from [100, 200]
+/// (average ~150) and communication costs are drawn around
+/// (average exec cost / granularity), so granularity 0.1 yields
+/// fine-grained graphs (communication ~10x computation) and granularity
+/// 10 coarse-grained ones.
+
+namespace bsa::workloads {
+
+struct CostParams {
+  Cost exec_lo = 100;
+  Cost exec_hi = 200;
+  /// Average execution cost / average communication cost (paper §3).
+  double granularity = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Draw one execution cost.
+[[nodiscard]] inline Cost draw_exec_cost(Rng& rng, const CostParams& p) {
+  return static_cast<Cost>(rng.uniform_int(static_cast<std::int64_t>(p.exec_lo),
+                                           static_cast<std::int64_t>(p.exec_hi)));
+}
+
+/// Draw one communication cost: uniform in [0.5, 1.5] x target average,
+/// at least 1 so no message is free.
+[[nodiscard]] inline Cost draw_comm_cost(Rng& rng, const CostParams& p) {
+  const double avg_exec = 0.5 * (p.exec_lo + p.exec_hi);
+  const double target = avg_exec / p.granularity;
+  const double v = target * rng.uniform_real(0.5, 1.5);
+  return v < 1.0 ? Cost{1} : static_cast<Cost>(static_cast<std::int64_t>(v));
+}
+
+}  // namespace bsa::workloads

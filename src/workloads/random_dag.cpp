@@ -1,0 +1,153 @@
+#include "workloads/random_dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace bsa::workloads {
+namespace {
+
+/// Disjoint-set union used to track weak connectivity while edges are
+/// generated.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns true when the sets were distinct (a merge happened).
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+graph::TaskGraph random_layered_dag(const RandomDagParams& params) {
+  BSA_REQUIRE(params.num_tasks >= 2, "need at least two tasks");
+  BSA_REQUIRE(params.granularity > 0, "granularity must be positive");
+  BSA_REQUIRE(params.max_preds >= 1, "max_preds must be >= 1");
+  const auto n = static_cast<std::size_t>(params.num_tasks);
+  Rng rng(derive_seed(params.seed, 0x7264ULL));  // "rd"
+
+  // --- layer assignment ----------------------------------------------------
+  const double base_layers =
+      params.layer_factor * std::sqrt(static_cast<double>(n));
+  int num_layers = std::max(
+      2, static_cast<int>(std::lround(base_layers * rng.uniform_real(0.75, 1.25))));
+  num_layers = std::min(num_layers, params.num_tasks);
+
+  // One task per layer first (layers must be non-empty), rest at random.
+  std::vector<int> layer_of(n);
+  for (int l = 0; l < num_layers; ++l) {
+    layer_of[static_cast<std::size_t>(l)] = l;
+  }
+  for (std::size_t t = static_cast<std::size_t>(num_layers); t < n; ++t) {
+    layer_of[t] = static_cast<int>(rng.index(static_cast<std::size_t>(num_layers)));
+  }
+  // Task ids in layer order => ids are topologically ordered.
+  std::sort(layer_of.begin(), layer_of.end());
+  std::vector<std::vector<TaskId>> layers(static_cast<std::size_t>(num_layers));
+  for (std::size_t t = 0; t < n; ++t) {
+    layers[static_cast<std::size_t>(layer_of[t])].push_back(
+        static_cast<TaskId>(t));
+  }
+
+  // --- edge generation -------------------------------------------------------
+  std::set<std::pair<TaskId, TaskId>> edges;
+  UnionFind uf(n);
+  auto add_edge = [&](TaskId a, TaskId b) {
+    if (edges.insert({a, b}).second) {
+      uf.unite(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+      return true;
+    }
+    return false;
+  };
+  auto random_task_in_layer = [&](int l) {
+    const auto& ts = layers[static_cast<std::size_t>(l)];
+    return ts[rng.index(ts.size())];
+  };
+
+  std::vector<int> out_degree(n, 0);
+  for (int l = 1; l < num_layers; ++l) {
+    for (const TaskId t : layers[static_cast<std::size_t>(l)]) {
+      const auto preds = static_cast<int>(
+          rng.uniform_int(1, params.max_preds));
+      for (int k = 0; k < preds; ++k) {
+        // Bias towards the adjacent layer (70%).
+        const int src_layer =
+            (l == 1 || rng.bernoulli(0.7))
+                ? l - 1
+                : static_cast<int>(rng.index(static_cast<std::size_t>(l)));
+        const TaskId src = random_task_in_layer(src_layer);
+        if (add_edge(src, t)) {
+          ++out_degree[static_cast<std::size_t>(src)];
+        }
+      }
+    }
+  }
+  // Every non-last-layer task needs a successor.
+  for (int l = 0; l + 1 < num_layers; ++l) {
+    for (const TaskId t : layers[static_cast<std::size_t>(l)]) {
+      if (out_degree[static_cast<std::size_t>(t)] > 0) continue;
+      const TaskId dst = random_task_in_layer(l + 1);
+      if (add_edge(t, dst)) ++out_degree[static_cast<std::size_t>(t)];
+    }
+  }
+  // Bridge residual weakly-connected components: connect a representative
+  // of each non-root component to a task in a different layer.
+  for (std::size_t t = 0; t < n; ++t) {
+    if (uf.find(t) == uf.find(0)) continue;
+    const auto tid = static_cast<TaskId>(t);
+    const int l = layer_of[t];
+    // Pick any task in another layer already connected to component 0.
+    for (std::size_t u = 0; u < n; ++u) {
+      if (uf.find(u) != uf.find(0)) continue;
+      const auto uid = static_cast<TaskId>(u);
+      if (layer_of[u] < l) {
+        if (add_edge(uid, tid)) break;
+      } else if (layer_of[u] > l) {
+        if (add_edge(tid, uid)) break;
+      }
+    }
+    // A same-layer-only residue is impossible: every layer except the
+    // last has out-edges and the one-per-layer seeding guarantees other
+    // layers exist.
+  }
+
+  // --- materialise -----------------------------------------------------------
+  CostParams cp;
+  cp.exec_lo = params.exec_lo;
+  cp.exec_hi = params.exec_hi;
+  cp.granularity = params.granularity;
+  cp.seed = params.seed;
+  graph::TaskGraphBuilder b;
+  for (std::size_t t = 0; t < n; ++t) {
+    (void)b.add_task(draw_exec_cost(rng, cp));
+  }
+  for (const auto& [src, dst] : edges) {
+    (void)b.add_edge(src, dst, draw_comm_cost(rng, cp));
+  }
+  graph::TaskGraph g = b.build();
+  BSA_ASSERT(g.is_weakly_connected(), "random DAG not connected");
+  return g;
+}
+
+}  // namespace bsa::workloads

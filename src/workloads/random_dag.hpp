@@ -1,0 +1,36 @@
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "workloads/costs.hpp"
+
+/// \file random_dag.hpp
+/// Randomly structured task graphs (the paper's second suite, §3): exact
+/// target size, connected, execution costs U[100,200], communication
+/// costs set by the granularity parameter.
+
+namespace bsa::workloads {
+
+struct RandomDagParams {
+  int num_tasks = 100;
+  /// Average exec cost / average comm cost (paper: 0.1, 1.0, 10.0).
+  double granularity = 1.0;
+  Cost exec_lo = 100;
+  Cost exec_hi = 200;
+  /// Number of layers ~ layer_factor * sqrt(num_tasks), jittered ±25%.
+  double layer_factor = 1.0;
+  /// Each non-entry task receives 1..max_preds predecessors.
+  int max_preds = 3;
+  std::uint64_t seed = 0;
+};
+
+/// Generate a layered random DAG:
+///  * tasks are spread over L ~ layer_factor*sqrt(n) layers (each layer
+///    non-empty),
+///  * every non-first-layer task draws 1..max_preds predecessors from
+///    earlier layers (biased towards the adjacent layer),
+///  * every non-last-layer task gets at least one successor, and
+///  * weak connectivity is enforced by bridging residual components.
+/// Deterministic in the seed; task ids are topologically ordered by layer.
+[[nodiscard]] graph::TaskGraph random_layered_dag(const RandomDagParams& params);
+
+}  // namespace bsa::workloads

@@ -1,0 +1,79 @@
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "workloads/costs.hpp"
+
+/// \file regular.hpp
+/// Regular application task graphs (§3 of the paper): Gaussian
+/// elimination, LU decomposition, Laplace equation solver and mean value
+/// analysis — matrix-style applications whose task count is O(N^2) in the
+/// problem dimension N — plus FFT and fork-join extras used by examples
+/// and tests.
+///
+/// Every generator is deterministic in (structure parameters, CostParams
+/// seed). *_task_count(...) predicts the exact task count and
+/// *_dim_for(target) picks the dimension whose count is closest to a
+/// target size (the paper sweeps sizes ~50..500 in steps of 50).
+
+namespace bsa::workloads {
+
+/// Gaussian elimination, kji form (Cosnard et al.): for each elimination
+/// step k a pivot task T(k,k) feeds update tasks T(k,j), j>k, which feed
+/// step k+1. dim >= 2.
+[[nodiscard]] graph::TaskGraph gaussian_elimination(int dim,
+                                                    const CostParams& costs = {});
+[[nodiscard]] int gaussian_elimination_task_count(int dim);
+[[nodiscard]] int gaussian_elimination_dim_for(int target_tasks);
+
+/// Right-looking tiled LU decomposition on a tiles x tiles matrix:
+/// GETRF(k) -> TRSM(k,*) -> GEMM(k,*,*) -> step k+1. tiles >= 2.
+[[nodiscard]] graph::TaskGraph lu_decomposition(int tiles,
+                                                const CostParams& costs = {});
+[[nodiscard]] int lu_decomposition_task_count(int tiles);
+[[nodiscard]] int lu_decomposition_dim_for(int target_tasks);
+
+/// Laplace equation solver: dim x dim wavefront lattice, T(i,j) depends
+/// on T(i-1,j) and T(i,j-1). dim >= 2.
+[[nodiscard]] graph::TaskGraph laplace(int dim, const CostParams& costs = {});
+[[nodiscard]] int laplace_task_count(int dim);
+[[nodiscard]] int laplace_dim_for(int target_tasks);
+
+/// Mean value analysis: `levels` population levels over `stations` queueing
+/// stations; station tasks of level k feed an aggregation task which feeds
+/// every station task of level k+1. levels >= 1, stations >= 1.
+[[nodiscard]] graph::TaskGraph mean_value_analysis(int levels, int stations,
+                                                   const CostParams& costs = {});
+[[nodiscard]] int mva_task_count(int levels, int stations);
+[[nodiscard]] int mva_levels_for(int target_tasks, int stations);
+
+/// FFT butterfly over `points` inputs (power of two): log2(points)+1 rows
+/// of `points` tasks.
+[[nodiscard]] graph::TaskGraph fft(int points, const CostParams& costs = {});
+[[nodiscard]] int fft_task_count(int points);
+
+/// `stages` fork-join stages of `width` parallel tasks between join tasks.
+[[nodiscard]] graph::TaskGraph fork_join(int stages, int width,
+                                         const CostParams& costs = {});
+[[nodiscard]] int fork_join_task_count(int stages, int width);
+
+/// Right-looking tiled Cholesky factorisation on a tiles x tiles lower
+/// triangle: POTRF(k) -> TRSM(k,i) -> SYRK/GEMM updates -> step k+1.
+[[nodiscard]] graph::TaskGraph cholesky(int tiles, const CostParams& costs = {});
+[[nodiscard]] int cholesky_task_count(int tiles);
+
+/// One-dimensional stencil pipeline: `steps` time steps over `cells`
+/// cells; T(s,c) depends on T(s-1, c-1..c+1). Models iterative solvers.
+[[nodiscard]] graph::TaskGraph stencil_1d(int steps, int cells,
+                                          const CostParams& costs = {});
+[[nodiscard]] int stencil_1d_task_count(int steps, int cells);
+
+/// Complete out-tree (fan-out `fanout`, `depth` levels; depth 1 = root
+/// only) — divide phase of divide-and-conquer programs.
+[[nodiscard]] graph::TaskGraph out_tree(int depth, int fanout,
+                                        const CostParams& costs = {});
+/// Complete in-tree — the matching reduction phase.
+[[nodiscard]] graph::TaskGraph in_tree(int depth, int fanin,
+                                       const CostParams& costs = {});
+[[nodiscard]] int tree_task_count(int depth, int fanout);
+
+}  // namespace bsa::workloads

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace bsa {
+namespace {
+
+// --- time comparisons -------------------------------------------------------
+
+TEST(TimeCompare, EqualWithinTolerance) {
+  EXPECT_TRUE(time_eq(1.0, 1.0));
+  EXPECT_TRUE(time_eq(1.0, 1.0 + 0.5 * kTimeEpsilon));
+  EXPECT_FALSE(time_eq(1.0, 1.1));
+}
+
+TEST(TimeCompare, StrictLess) {
+  EXPECT_TRUE(time_lt(1.0, 2.0));
+  EXPECT_FALSE(time_lt(1.0, 1.0));
+  EXPECT_FALSE(time_lt(2.0, 1.0));
+  EXPECT_FALSE(time_lt(1.0, 1.0 + 0.5 * kTimeEpsilon));
+}
+
+TEST(TimeCompare, LessOrEqual) {
+  EXPECT_TRUE(time_le(1.0, 1.0));
+  EXPECT_TRUE(time_le(1.0, 2.0));
+  EXPECT_FALSE(time_le(2.0, 1.0));
+}
+
+// --- check macros -----------------------------------------------------------
+
+TEST(Check, RequireThrowsPrecondition) {
+  EXPECT_THROW(BSA_REQUIRE(false, "boom " << 42), PreconditionError);
+  EXPECT_NO_THROW(BSA_REQUIRE(true, "fine"));
+}
+
+TEST(Check, AssertThrowsInvariant) {
+  EXPECT_THROW(BSA_ASSERT(false, "bug"), InvariantError);
+  EXPECT_NO_THROW(BSA_ASSERT(true, "ok"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    BSA_REQUIRE(1 == 2, "value was " << 7);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("value was 7"), std::string::npos);
+  }
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  const auto x = a.uniform_int(0, 1000000);
+  EXPECT_EQ(x, b.uniform_int(0, 1000000));
+  // Different seeds should (overwhelmingly) differ on the first draw.
+  EXPECT_NE(x, c.uniform_int(0, 1000000));
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.5, 1.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 1.5);
+  }
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(3);
+  bool seen[4] = {false, false, false, false};
+  for (int i = 0; i < 200; ++i) seen[rng.index(4)] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(Rng, RejectsBadRanges) {
+  Rng rng(4);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), PreconditionError);
+  EXPECT_THROW((void)rng.index(0), PreconditionError);
+  EXPECT_THROW((void)rng.bernoulli(1.5), PreconditionError);
+}
+
+TEST(HashedUniform, DeterministicAndInRange) {
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto v = hashed_uniform_int(99, key, 1, 50);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+    EXPECT_EQ(v, hashed_uniform_int(99, key, 1, 50));
+  }
+}
+
+TEST(HashedUniform, CoversFullRange) {
+  bool low = false, high = false;
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const auto v = hashed_uniform_int(5, key, 1, 10);
+    if (v == 1) low = true;
+    if (v == 10) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0, 0), derive_seed(1, 0, 1));
+  EXPECT_NE(derive_seed(1, 0, 0, 0), derive_seed(1, 0, 0, 1));
+  EXPECT_EQ(derive_seed(1, 2, 3, 4), derive_seed(1, 2, 3, 4));
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(Stats, AccumulatorBasics) {
+  StatAccumulator acc;
+  for (const double v : {2.0, 4.0, 6.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+}
+
+TEST(Stats, EmptyAccumulator) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, MeanOf) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({4, 1, 3, 2}), 2.5);
+  EXPECT_THROW((void)median_of({}), PreconditionError);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean_of(std::vector<double>{1, 4}), 2.0);
+  EXPECT_THROW((void)geometric_mean_of(std::vector<double>{1, -1}),
+               PreconditionError);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(Table, AlignedOutput) {
+  TextTable t({"name", "value"});
+  t.new_row().cell("x").cell(1.25, 2);
+  t.new_row().cell("longer").cell(static_cast<long long>(42));
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+}
+
+TEST(Table, CsvOutputAndEscaping) {
+  TextTable t({"a", "b"});
+  t.new_row().cell("plain").cell("needs,quote");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nplain,\"needs,quote\"\n");
+  EXPECT_EQ(csv_escape("with \"q\""), "\"with \"\"q\"\"\"");
+}
+
+TEST(Table, RowDisciplineEnforced) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.cell("no row yet"), PreconditionError);
+  t.new_row().cell("ok");
+  EXPECT_THROW(t.cell("too many"), PreconditionError);
+}
+
+// --- cli ------------------------------------------------------------------------
+
+TEST(Cli, ParsesAllForms) {
+  // Note: a bare `--flag` followed by a non-flag token consumes it as the
+  // flag's value, so boolean flags go last or use `--flag=true`.
+  const char* argv[] = {"prog",     "--alpha=3", "--beta", "7",
+                        "pos1",     "--flag",    "--gamma=x y"};
+  CliParser cli(7, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_string("gamma", ""), "x y");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program_name(), "prog");
+}
+
+TEST(Cli, DefaultsAndErrors) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliParser cli(2, argv);
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_THROW((void)cli.get_int("n", 0), PreconditionError);
+}
+
+TEST(Cli, BooleanParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  CliParser cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+}  // namespace
+}  // namespace bsa

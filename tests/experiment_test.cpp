@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "exp/experiment.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace bsa::exp {
+namespace {
+
+TEST(Experiment, TopologyFactory) {
+  EXPECT_EQ(make_topology("ring", 16, 0).num_links(), 16);
+  EXPECT_EQ(make_topology("hypercube", 16, 0).num_links(), 32);
+  EXPECT_EQ(make_topology("clique", 16, 0).num_links(), 120);
+  const auto r = make_topology("random", 16, 5);
+  EXPECT_EQ(r.num_processors(), 16);
+  EXPECT_THROW((void)make_topology("hypercube", 12, 0), PreconditionError);
+  EXPECT_THROW((void)make_topology("grid", 16, 0), PreconditionError);
+  EXPECT_EQ(paper_topologies().size(), 4u);
+}
+
+TEST(Experiment, RegularFactoryHitsTargetSizes) {
+  for (const auto app :
+       {RegularApp::kGaussianElimination, RegularApp::kLuDecomposition,
+        RegularApp::kLaplace, RegularApp::kMeanValueAnalysis}) {
+    const auto g = make_regular(app, 200, 1.0, 3);
+    EXPECT_GT(g.num_tasks(), 120) << app_name(app);
+    EXPECT_LT(g.num_tasks(), 280) << app_name(app);
+    EXPECT_TRUE(g.is_weakly_connected());
+  }
+}
+
+TEST(Experiment, RunAlgorithmProducesValidOutcomes) {
+  workloads::RandomDagParams p;
+  p.num_tasks = 30;
+  p.seed = 2;
+  const auto g = workloads::random_layered_dag(p);
+  const auto topo = make_topology("hypercube", 8, 0);
+  const auto cm =
+      net::HeterogeneousCostModel::uniform(g, topo, 1, 50, 1, 50, 9);
+  for (const Algo a : {Algo::kBsa, Algo::kDls, Algo::kEft, Algo::kMh}) {
+    const auto outcome = run_algorithm(a, g, topo, cm, 1);
+    EXPECT_TRUE(outcome.valid) << algo_name(a);
+    EXPECT_GT(outcome.schedule_length, 0) << algo_name(a);
+    EXPECT_GE(outcome.wall_ms, 0) << algo_name(a);
+  }
+}
+
+TEST(Experiment, AlgoNames) {
+  EXPECT_STREQ(algo_name(Algo::kBsa), "BSA");
+  EXPECT_STREQ(algo_name(Algo::kDls), "DLS");
+  EXPECT_STREQ(algo_name(Algo::kEft), "EFT");
+  EXPECT_STREQ(algo_name(Algo::kMh), "MH");
+}
+
+TEST(Experiment, CellMean) {
+  CellMean m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0);
+  m.add(10);
+  m.add(20);
+  EXPECT_DOUBLE_EQ(m.mean(), 15);
+  EXPECT_EQ(m.count, 2);
+}
+
+TEST(Experiment, PaperParameterLists) {
+  EXPECT_EQ(paper_granularities().size(), 3u);
+  const auto sizes = paper_sizes();
+  EXPECT_GE(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 50);
+  EXPECT_EQ(sizes.back(), 500);
+}
+
+}  // namespace
+}  // namespace bsa::exp

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_stats.hpp"
+#include "paper_fixture.hpp"
+#include "workloads/regular.hpp"
+
+namespace bsa::graph {
+namespace {
+
+namespace pf = bsa::testing;
+
+TEST(GraphStats, PaperGraphNumbers) {
+  const auto g = pf::paper_task_graph();
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_tasks, 9);
+  EXPECT_EQ(s.num_edges, 12);
+  EXPECT_EQ(s.depth, 4);
+  // Levels: {T1}, {T2,T3,T4,T5}, {T6,T7,T8}, {T9} -> width 4.
+  EXPECT_EQ(s.max_width, 4);
+  EXPECT_DOUBLE_EQ(s.total_exec, 300);
+  // 40+10+10+10+100+10+10+10+10+50+60+50 = 370.
+  EXPECT_DOUBLE_EQ(s.total_comm, 370);
+  EXPECT_DOUBLE_EQ(s.cp_length, 230);
+  EXPECT_NEAR(s.parallelism, 300.0 / 230.0, 1e-12);
+  EXPECT_NEAR(s.ccr, 370.0 / 300.0, 1e-12);
+  EXPECT_EQ(s.max_in_degree, 3);   // T9
+  EXPECT_EQ(s.max_out_degree, 5);  // T1
+}
+
+TEST(GraphStats, ChainHasWidthOne) {
+  TaskGraphBuilder b;
+  const TaskId a = b.add_task(10);
+  const TaskId c = b.add_task(10);
+  const TaskId d = b.add_task(10);
+  (void)b.add_edge(a, c, 5);
+  (void)b.add_edge(c, d, 5);
+  const auto s = compute_stats(b.build());
+  EXPECT_EQ(s.max_width, 1);
+  EXPECT_EQ(s.depth, 3);
+  EXPECT_DOUBLE_EQ(s.cp_length, 40);
+}
+
+TEST(GraphStats, ForkJoinWidthEqualsWidthParameter) {
+  const auto g = workloads::fork_join(2, 6);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.max_width, 6);
+  EXPECT_EQ(s.depth, 5);
+}
+
+TEST(GraphStats, PrintRendersAllFields) {
+  const auto s = compute_stats(pf::paper_task_graph());
+  std::ostringstream os;
+  print_stats(os, s);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("tasks: 9"), std::string::npos);
+  EXPECT_NE(text.find("critical path: 230"), std::string::npos);
+  EXPECT_NE(text.find("granularity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsa::graph

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+
+/// \file paper_fixture.hpp
+/// The worked example of the paper (Figure 1 + Table 1 + the 4-processor
+/// ring of Figure 2), reconstructed as documented in DESIGN.md §4:
+///
+///  * nominal execution costs T1..T9 = 20,30,30,40,50,40,40,40,10;
+///  * edges: c12=40, c13=10, c14=10, c15=10, c17=100, c26=10, c27=10,
+///    c38=10, c48=10, c69=50, c79=60, c89=50;
+///  * Table 1 actual execution costs on processors P1..P4;
+///  * ring P1-P2-P3-P4-P1 with homogeneous links (h' = 1).
+///
+/// This reconstruction reproduces the paper's analytic quantities exactly:
+/// nominal CP {T1,T7,T9}, nominal serial order {T1,T2,T7,T4,T3,T8,T6,T9,T5},
+/// per-processor CP lengths {240,226,235,260}, and first pivot P2.
+
+namespace bsa::testing {
+
+// 0-based task ids for the paper's 1-based names.
+inline constexpr TaskId T1 = 0, T2 = 1, T3 = 2, T4 = 3, T5 = 4, T6 = 5,
+                        T7 = 6, T8 = 7, T9 = 8;
+
+inline graph::TaskGraph paper_task_graph() {
+  graph::TaskGraphBuilder b;
+  const Cost exec[9] = {20, 30, 30, 40, 50, 40, 40, 40, 10};
+  for (int i = 0; i < 9; ++i) {
+    (void)b.add_task(exec[i], "T" + std::to_string(i + 1));
+  }
+  (void)b.add_edge(T1, T2, 40);
+  (void)b.add_edge(T1, T3, 10);
+  (void)b.add_edge(T1, T4, 10);
+  (void)b.add_edge(T1, T5, 10);
+  (void)b.add_edge(T1, T7, 100);
+  (void)b.add_edge(T2, T6, 10);
+  (void)b.add_edge(T2, T7, 10);
+  (void)b.add_edge(T3, T8, 10);
+  (void)b.add_edge(T4, T8, 10);
+  (void)b.add_edge(T6, T9, 50);
+  (void)b.add_edge(T7, T9, 60);
+  (void)b.add_edge(T8, T9, 50);
+  return b.build();
+}
+
+/// Ring P1-P2-P3-P4 (0-based ids 0..3).
+inline net::Topology paper_ring() { return net::Topology::ring(4); }
+
+/// Table 1: actual execution cost of each task on P1..P4.
+inline std::vector<Cost> paper_exec_matrix() {
+  return {
+      // P1, P2, P3, P4
+      39, 7,  2,  6,   // T1
+      21, 50, 57, 56,  // T2
+      15, 28, 39, 6,   // T3
+      54, 14, 16, 55,  // T4
+      45, 42, 97, 12,  // T5
+      15, 20, 57, 78,  // T6
+      33, 43, 51, 60,  // T7
+      51, 18, 47, 74,  // T8
+      8,  16, 15, 20,  // T9
+  };
+}
+
+inline net::HeterogeneousCostModel paper_cost_model(
+    const graph::TaskGraph& g, const net::Topology& topo) {
+  return net::HeterogeneousCostModel::from_exec_matrix(
+      g, topo, paper_exec_matrix(), /*link_factor=*/1);
+}
+
+}  // namespace bsa::testing

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/pivot.hpp"
+#include "paper_fixture.hpp"
+
+namespace bsa::core {
+namespace {
+
+namespace pf = bsa::testing;
+
+TEST(Pivot, PaperCpLengthsExact) {
+  // §2.2: "The CP lengths are 240, 226, 235, and 260, respectively."
+  const auto g = pf::paper_task_graph();
+  const auto topo = pf::paper_ring();
+  const auto cm = pf::paper_cost_model(g, topo);
+  const auto sel = select_first_pivot(g, topo, cm);
+  ASSERT_EQ(sel.cp_length_by_proc.size(), 4u);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[0], 240);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[1], 226);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[2], 235);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[3], 260);
+}
+
+TEST(Pivot, PaperPivotIsP2) {
+  // "Thus, the first pivot processor is P2."
+  const auto g = pf::paper_task_graph();
+  const auto topo = pf::paper_ring();
+  const auto cm = pf::paper_cost_model(g, topo);
+  const auto sel = select_first_pivot(g, topo, cm);
+  EXPECT_EQ(sel.pivot, 1);  // 0-based P2
+}
+
+TEST(Pivot, HomogeneousSystemPicksFirstProcessor) {
+  const auto g = pf::paper_task_graph();
+  const auto topo = net::Topology::ring(4);
+  const auto cm = net::HeterogeneousCostModel::homogeneous(g, topo);
+  const auto sel = select_first_pivot(g, topo, cm);
+  EXPECT_EQ(sel.pivot, 0);  // all equal, tie towards smaller id
+  for (const Cost c : sel.cp_length_by_proc) EXPECT_DOUBLE_EQ(c, 230);
+}
+
+TEST(Pivot, UniformlyFastProcessorWins) {
+  // One processor twice as fast as the rest for every task.
+  const auto g = pf::paper_task_graph();
+  const auto topo = net::Topology::ring(3);
+  std::vector<Cost> matrix(9u * 3u);
+  for (TaskId t = 0; t < 9; ++t) {
+    for (ProcId p = 0; p < 3; ++p) {
+      const Cost nominal = g.task_cost(t);
+      matrix[static_cast<std::size_t>(t) * 3 + static_cast<std::size_t>(p)] =
+          p == 2 ? nominal : nominal * 2;
+    }
+  }
+  const auto cm =
+      net::HeterogeneousCostModel::from_exec_matrix(g, topo, matrix);
+  const auto sel = select_first_pivot(g, topo, cm);
+  EXPECT_EQ(sel.pivot, 2);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[2], 230);
+  // Slower processors have longer CPs (exec doubled along the CP).
+  EXPECT_GT(sel.cp_length_by_proc[0], 230);
+}
+
+TEST(Pivot, CpLengthUsesActualExecAndNominalComm) {
+  // Single-edge graph: pivot CP length = exec(a,p)+comm+exec(b,p).
+  graph::TaskGraphBuilder b;
+  const TaskId a = b.add_task(10);
+  const TaskId c = b.add_task(10);
+  (void)b.add_edge(a, c, 7);
+  const auto g = b.build();
+  const auto topo = net::Topology::ring(2);
+  const std::vector<Cost> matrix{10, 30, 10, 30};  // P0 nominal, P1 3x
+  const auto cm =
+      net::HeterogeneousCostModel::from_exec_matrix(g, topo, matrix);
+  const auto sel = select_first_pivot(g, topo, cm);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[0], 27);
+  EXPECT_DOUBLE_EQ(sel.cp_length_by_proc[1], 67);
+  EXPECT_EQ(sel.pivot, 0);
+}
+
+}  // namespace
+}  // namespace bsa::core

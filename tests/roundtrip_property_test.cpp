@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/bsa.hpp"
+#include "graph/graph_io.hpp"
+#include "sched/schedule_io.hpp"
+#include "sched/validate.hpp"
+#include "workloads/random_dag.hpp"
+#include "workloads/regular.hpp"
+
+namespace bsa {
+namespace {
+
+/// Round-trip properties over randomly generated instances: text
+/// serialization of graphs and schedules must preserve every observable.
+
+class GraphRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(GraphRoundTrip, TextPreservesEverything) {
+  const auto [n, seed] = GetParam();
+  workloads::RandomDagParams params;
+  params.num_tasks = n;
+  params.granularity = 1.0;
+  params.seed = seed;
+  const auto g = workloads::random_layered_dag(params);
+  const auto h = graph::from_text(graph::to_text(g));
+  ASSERT_EQ(h.num_tasks(), g.num_tasks());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(h.task_cost(t), g.task_cost(t));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_src(e), g.edge_src(e));
+    EXPECT_EQ(h.edge_dst(e), g.edge_dst(e));
+    EXPECT_DOUBLE_EQ(h.edge_cost(e), g.edge_cost(e));
+  }
+  EXPECT_EQ(h.topological_order(), g.topological_order());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GraphRoundTrip,
+    ::testing::Combine(::testing::Values(10, 50, 150),
+                       ::testing::Values(1u, 2u, 3u)));
+
+class ScheduleRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ScheduleRoundTrip, TextPreservesValidityAndTimes) {
+  const auto [granularity, seed] = GetParam();
+  workloads::RandomDagParams params;
+  params.num_tasks = 50;
+  params.granularity = granularity;
+  params.seed = seed;
+  const auto g = workloads::random_layered_dag(params);
+  const auto topo = net::Topology::random(8, 2, 5, seed);
+  const auto cm = net::HeterogeneousCostModel::uniform_processor_speeds(
+      g, topo, 1, 30, 1, 30, derive_seed(seed, 8));
+  const auto result = core::schedule_bsa(g, topo, cm);
+
+  const auto restored =
+      sched::schedule_from_text(sched::schedule_to_text(result.schedule), g,
+                                topo);
+  ASSERT_TRUE(restored.all_placed());
+  EXPECT_TRUE(sched::validate(restored, cm).ok());
+  EXPECT_DOUBLE_EQ(restored.makespan(), result.schedule.makespan());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(restored.proc_of(t), result.schedule.proc_of(t));
+    EXPECT_DOUBLE_EQ(restored.start_of(t), result.schedule.start_of(t));
+  }
+  // Link booking orders are reconstructed identically.
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto& a = result.schedule.bookings_on(l);
+    const auto& b = restored.bookings_on(l);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].edge, b[i].edge);
+      EXPECT_EQ(a[i].hop_index, b[i].hop_index);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleRoundTrip,
+    ::testing::Combine(::testing::Values(0.1, 1.0, 10.0),
+                       ::testing::Values(4u, 5u)));
+
+/// Regular generators also round-trip (they carry task names).
+TEST(GraphRoundTrip, RegularGeneratorsKeepNames) {
+  const auto g = workloads::gaussian_elimination(8);
+  const auto h = graph::from_text(graph::to_text(g));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(h.task_name(t), g.task_name(t));
+  }
+}
+
+}  // namespace
+}  // namespace bsa

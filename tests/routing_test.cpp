@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "network/routing.hpp"
+
+namespace bsa::net {
+namespace {
+
+TEST(RoutingTable, RoutesAreShortest) {
+  const Topology t = Topology::hypercube(4);
+  const RoutingTable rt(t);
+  for (ProcId a = 0; a < 16; ++a) {
+    for (ProcId b = 0; b < 16; ++b) {
+      const auto route = rt.route(a, b);
+      EXPECT_EQ(static_cast<int>(route.size()), t.hop_distance(a, b));
+      EXPECT_EQ(rt.distance(a, b), t.hop_distance(a, b));
+    }
+  }
+}
+
+TEST(RoutingTable, RouteIsContiguousWalk) {
+  const Topology t = Topology::random(12, 2, 5, 3);
+  const RoutingTable rt(t);
+  for (ProcId a = 0; a < 12; ++a) {
+    for (ProcId b = 0; b < 12; ++b) {
+      ProcId cur = a;
+      for (const LinkId l : rt.route(a, b)) {
+        cur = t.opposite(l, cur);
+      }
+      EXPECT_EQ(cur, b);
+      const auto procs = rt.route_processors(a, b);
+      EXPECT_EQ(procs.front(), a);
+      EXPECT_EQ(procs.back(), b);
+      EXPECT_EQ(procs.size(), rt.route(a, b).size() + 1);
+    }
+  }
+}
+
+TEST(RoutingTable, SelfRouteEmpty) {
+  const Topology t = Topology::ring(5);
+  const RoutingTable rt(t);
+  EXPECT_TRUE(rt.route(2, 2).empty());
+  EXPECT_EQ(rt.distance(2, 2), 0);
+}
+
+TEST(RoutingTable, Deterministic) {
+  const Topology t = Topology::clique(8);
+  const RoutingTable a(t), b(t);
+  for (ProcId x = 0; x < 8; ++x) {
+    for (ProcId y = 0; y < 8; ++y) {
+      EXPECT_EQ(a.route(x, y), b.route(x, y));
+    }
+  }
+}
+
+TEST(RoutingTable, RejectsBadIds) {
+  const Topology t = Topology::ring(4);
+  const RoutingTable rt(t);
+  EXPECT_THROW((void)rt.route(-1, 2), PreconditionError);
+  EXPECT_THROW((void)rt.distance(0, 9), PreconditionError);
+}
+
+TEST(EcubeRoute, DimensionOrdered) {
+  const Topology t = Topology::hypercube(4);
+  // 0b0000 -> 0b1011: flips bit 0, then bit 1, then bit 3.
+  const auto route = ecube_route(t, 0, 11);
+  ASSERT_EQ(route.size(), 3u);
+  ProcId cur = 0;
+  const ProcId expected[] = {1, 3, 11};
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    cur = t.opposite(route[i], cur);
+    EXPECT_EQ(cur, expected[i]);
+  }
+}
+
+TEST(EcubeRoute, MatchesHammingDistance) {
+  const Topology t = Topology::hypercube(3);
+  for (ProcId a = 0; a < 8; ++a) {
+    for (ProcId b = 0; b < 8; ++b) {
+      const auto route = ecube_route(t, a, b);
+      EXPECT_EQ(static_cast<int>(route.size()),
+                __builtin_popcount(static_cast<unsigned>(a) ^
+                                   static_cast<unsigned>(b)));
+    }
+  }
+}
+
+TEST(EcubeRoute, RejectsNonHypercube) {
+  const Topology t = Topology::ring(6);
+  // 0 -> 3 requires flipping bits 0 and 1; link 1-3 does not exist in a
+  // 6-ring.
+  EXPECT_THROW((void)ecube_route(t, 0, 3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bsa::net

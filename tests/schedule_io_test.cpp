@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/bsa.hpp"
+#include "paper_fixture.hpp"
+#include "sched/schedule_io.hpp"
+#include "sched/validate.hpp"
+
+namespace bsa::sched {
+namespace {
+
+namespace pf = bsa::testing;
+
+struct ScheduleIoTest : ::testing::Test {
+  graph::TaskGraph g = pf::paper_task_graph();
+  net::Topology topo = pf::paper_ring();
+  net::HeterogeneousCostModel cm = pf::paper_cost_model(g, topo);
+};
+
+TEST_F(ScheduleIoTest, RoundTripBsaSchedule) {
+  const auto result = core::schedule_bsa(g, topo, cm);
+  const Schedule restored =
+      schedule_from_text(schedule_to_text(result.schedule), g, topo);
+  ASSERT_TRUE(restored.all_placed());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(restored.proc_of(t), result.schedule.proc_of(t));
+    EXPECT_DOUBLE_EQ(restored.start_of(t), result.schedule.start_of(t));
+    EXPECT_DOUBLE_EQ(restored.finish_of(t), result.schedule.finish_of(t));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& a = result.schedule.route_of(e);
+    const auto& b = restored.route_of(e);
+    ASSERT_EQ(a.size(), b.size()) << "message " << e;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].link, b[k].link);
+      EXPECT_DOUBLE_EQ(a[k].start, b[k].start);
+    }
+  }
+  EXPECT_TRUE(validate(restored, cm).ok());
+}
+
+TEST_F(ScheduleIoTest, PartialScheduleSerialises) {
+  Schedule s(g, topo);
+  s.place_task(pf::T1, 0, 0, 39);
+  const Schedule restored = schedule_from_text(schedule_to_text(s), g, topo);
+  EXPECT_EQ(restored.num_placed(), 1);
+  EXPECT_DOUBLE_EQ(restored.finish_of(pf::T1), 39);
+}
+
+TEST_F(ScheduleIoTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)schedule_from_text("task 0\n", g, topo),
+               PreconditionError);
+  EXPECT_THROW((void)schedule_from_text("bogus 1 2 3 4\n", g, topo),
+               PreconditionError);
+  EXPECT_THROW((void)schedule_from_text("task 99 0 0 1\n", g, topo),
+               PreconditionError);
+  EXPECT_THROW((void)schedule_from_text("hop 0 99 0 1\n", g, topo),
+               PreconditionError);
+}
+
+TEST_F(ScheduleIoTest, CsvContainsAllEvents) {
+  const auto result = core::schedule_bsa(g, topo, cm);
+  std::ostringstream os;
+  write_schedule_csv(os, result.schedule);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,who,where,start,finish"), std::string::npos);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_NE(csv.find("task," + g.task_name(t) + ","), std::string::npos);
+  }
+  // At least one hop row for a crossing message.
+  EXPECT_NE(csv.find("hop,"), std::string::npos);
+}
+
+TEST_F(ScheduleIoTest, DotShowsAssignments) {
+  const auto result = core::schedule_bsa(g, topo, cm);
+  std::ostringstream os;
+  write_schedule_dot(os, result.schedule, "demo");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("T1"), std::string::npos);
+  // Unplaced tasks render grey.
+  Schedule partial(g, topo);
+  partial.place_task(pf::T1, 0, 0, 39);
+  std::ostringstream os2;
+  write_schedule_dot(os2, partial);
+  EXPECT_NE(os2.str().find("(unplaced)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsa::sched

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sched/timeline.hpp"
+
+namespace bsa::sched {
+namespace {
+
+TEST(EarliestFit, EmptyTimeline) {
+  EXPECT_DOUBLE_EQ(earliest_fit({}, 0, 10), 0);
+  EXPECT_DOUBLE_EQ(earliest_fit({}, 7, 10), 7);
+  EXPECT_DOUBLE_EQ(earliest_fit({}, -5, 10), 0);  // clamped to zero
+}
+
+TEST(EarliestFit, FitsBeforeFirstBooking) {
+  const std::vector<Interval> busy{{20, 30}};
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 0, 10), 0);
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 5, 10), 5);
+  // Does not fit before: pushed after the booking.
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 15, 10), 30);
+}
+
+TEST(EarliestFit, FitsInMiddleGap) {
+  const std::vector<Interval> busy{{0, 10}, {25, 40}};
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 0, 15), 10);
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 0, 16), 40);  // gap too small
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 12, 10), 12);
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 18, 5), 18);  // fits [18,23)
+}
+
+TEST(EarliestFit, ExactFitUsesGapBoundary) {
+  const std::vector<Interval> busy{{0, 10}, {20, 30}};
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 0, 10), 10);  // exactly fills gap
+}
+
+TEST(EarliestFit, ReadyInsideBooking) {
+  const std::vector<Interval> busy{{0, 10}, {10, 20}};
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 5, 1), 20);
+}
+
+TEST(EarliestFit, ZeroDuration) {
+  const std::vector<Interval> busy{{0, 10}};
+  // Zero-length request fits at the boundary.
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 0, 0), 0);
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 4, 0), 10);
+  EXPECT_THROW((void)earliest_fit(busy, 0, -1), PreconditionError);
+}
+
+TEST(EarliestFit, AppendsAfterLast) {
+  const std::vector<Interval> busy{{0, 10}, {10, 20}, {20, 35}};
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 0, 5), 35);
+  EXPECT_DOUBLE_EQ(earliest_fit(busy, 50, 5), 50);
+}
+
+TEST(InsertInterval, KeepsSortedOrder) {
+  std::vector<Interval> busy{{0, 10}, {30, 40}};
+  insert_interval(busy, {15, 20});
+  ASSERT_EQ(busy.size(), 3u);
+  EXPECT_DOUBLE_EQ(busy[1].start, 15);
+  EXPECT_TRUE(is_well_formed(busy));
+}
+
+TEST(InsertInterval, RejectsOverlap) {
+  std::vector<Interval> busy{{0, 10}, {30, 40}};
+  EXPECT_THROW(insert_interval(busy, {5, 12}), InvariantError);
+  EXPECT_THROW(insert_interval(busy, {25, 31}), InvariantError);
+  // Touching is allowed.
+  EXPECT_NO_THROW(insert_interval(busy, {10, 30}));
+}
+
+TEST(IntervalsOverlap, Cases) {
+  EXPECT_TRUE(intervals_overlap({0, 10}, {5, 15}));
+  EXPECT_TRUE(intervals_overlap({5, 15}, {0, 10}));
+  EXPECT_FALSE(intervals_overlap({0, 10}, {10, 20}));  // touching
+  EXPECT_FALSE(intervals_overlap({0, 10}, {20, 30}));
+  EXPECT_FALSE(intervals_overlap({5, 5}, {0, 10}));  // empty interval
+}
+
+TEST(MergeBusy, Merges) {
+  const std::vector<Interval> a{{0, 5}, {20, 25}};
+  const std::vector<Interval> b{{7, 9}, {30, 31}};
+  const auto merged = merge_busy(a, b);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(is_well_formed(merged));
+  EXPECT_DOUBLE_EQ(merged[1].start, 7);
+}
+
+TEST(IsWellFormed, DetectsProblems) {
+  EXPECT_TRUE(is_well_formed({}));
+  EXPECT_TRUE(is_well_formed(std::vector<Interval>{{0, 1}, {1, 2}}));
+  EXPECT_FALSE(is_well_formed(std::vector<Interval>{{1, 2}, {0, 1}}));
+  EXPECT_FALSE(is_well_formed(std::vector<Interval>{{0, 5}, {4, 6}}));
+  EXPECT_FALSE(is_well_formed(std::vector<Interval>{{3, 2}}));
+}
+
+}  // namespace
+}  // namespace bsa::sched

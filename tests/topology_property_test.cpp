@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "network/routing.hpp"
+#include "network/topology.hpp"
+
+namespace bsa::net {
+namespace {
+
+/// Structural properties every topology factory must satisfy: symmetry of
+/// adjacency, consistency of link lookups, connectivity, BFS coverage and
+/// routing-table sanity.
+
+struct Factory {
+  std::string name;
+  std::function<Topology()> make;
+};
+
+std::vector<Factory> factories() {
+  return {
+      {"ring-5", [] { return Topology::ring(5); }},
+      {"ring-16", [] { return Topology::ring(16); }},
+      {"linear-7", [] { return Topology::linear(7); }},
+      {"star-9", [] { return Topology::star(9); }},
+      {"hypercube-8", [] { return Topology::hypercube(3); }},
+      {"hypercube-16", [] { return Topology::hypercube(4); }},
+      {"mesh-3x5", [] { return Topology::mesh(3, 5); }},
+      {"torus-4x4", [] { return Topology::torus(4, 4); }},
+      {"clique-10", [] { return Topology::clique(10); }},
+      {"random-12", [] { return Topology::random(12, 2, 6, 3); }},
+      {"random-16", [] { return Topology::random(16, 2, 8, 9); }},
+  };
+}
+
+class TopologyProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologyProperty, StructurallySound) {
+  const Factory f = factories()[GetParam()];
+  const Topology t = f.make();
+  const int m = t.num_processors();
+
+  // Adjacency symmetric and consistent with link_between/opposite.
+  std::size_t directed_pairs = 0;
+  for (ProcId p = 0; p < m; ++p) {
+    for (const ProcId q : t.neighbors(p)) {
+      ++directed_pairs;
+      const LinkId l = t.link_between(p, q);
+      ASSERT_NE(l, kInvalidLink) << f.name;
+      EXPECT_EQ(t.link_between(q, p), l) << f.name;
+      EXPECT_EQ(t.opposite(l, p), q) << f.name;
+      EXPECT_EQ(t.opposite(l, q), p) << f.name;
+    }
+  }
+  EXPECT_EQ(directed_pairs, 2u * static_cast<std::size_t>(t.num_links()))
+      << f.name;
+
+  // Every link's endpoints list each other as neighbours.
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    const auto [a, b] = t.link_endpoints(l);
+    EXPECT_LT(a, b) << f.name;
+    EXPECT_NE(t.link_between(a, b), kInvalidLink) << f.name;
+  }
+
+  // BFS covers everything exactly once from every root.
+  for (ProcId root = 0; root < m; root += std::max(1, m / 3)) {
+    const auto order = t.bfs_order(root);
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(m)) << f.name;
+    const std::set<ProcId> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size()) << f.name;
+    EXPECT_EQ(order.front(), root) << f.name;
+  }
+
+  // Routing table: routes exist, have shortest length, and walk the
+  // topology; distance is symmetric.
+  const RoutingTable rt(t);
+  for (ProcId a = 0; a < m; a += std::max(1, m / 4)) {
+    for (ProcId b = 0; b < m; ++b) {
+      EXPECT_EQ(rt.distance(a, b), t.hop_distance(a, b)) << f.name;
+      EXPECT_EQ(rt.distance(a, b), rt.distance(b, a)) << f.name;
+      ProcId cur = a;
+      for (const LinkId l : rt.route(a, b)) cur = t.opposite(l, cur);
+      EXPECT_EQ(cur, b) << f.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFactories, TopologyProperty,
+                         ::testing::Range<std::size_t>(0, 11));
+
+}  // namespace
+}  // namespace bsa::net

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "network/topology.hpp"
+
+namespace bsa::net {
+namespace {
+
+TEST(Topology, RingStructure) {
+  const Topology t = Topology::ring(16);
+  EXPECT_EQ(t.num_processors(), 16);
+  EXPECT_EQ(t.num_links(), 16);
+  for (ProcId p = 0; p < 16; ++p) EXPECT_EQ(t.degree(p), 2);
+  EXPECT_NE(t.link_between(0, 1), kInvalidLink);
+  EXPECT_NE(t.link_between(15, 0), kInvalidLink);
+  EXPECT_EQ(t.link_between(0, 2), kInvalidLink);
+  EXPECT_EQ(t.name(), "ring-16");
+}
+
+TEST(Topology, RingOfTwoIsSingleLink) {
+  const Topology t = Topology::ring(2);
+  EXPECT_EQ(t.num_links(), 1);
+  EXPECT_EQ(t.degree(0), 1);
+}
+
+TEST(Topology, HypercubeStructure) {
+  const Topology t = Topology::hypercube(4);
+  EXPECT_EQ(t.num_processors(), 16);
+  EXPECT_EQ(t.num_links(), 32);  // m * d / 2
+  for (ProcId p = 0; p < 16; ++p) EXPECT_EQ(t.degree(p), 4);
+  // Neighbours differ in exactly one bit.
+  for (ProcId p = 0; p < 16; ++p) {
+    for (const ProcId q : t.neighbors(p)) {
+      const unsigned diff = static_cast<unsigned>(p) ^ static_cast<unsigned>(q);
+      EXPECT_EQ(diff & (diff - 1), 0u);
+    }
+  }
+}
+
+TEST(Topology, CliqueStructure) {
+  const Topology t = Topology::clique(16);
+  EXPECT_EQ(t.num_links(), 16 * 15 / 2);
+  for (ProcId p = 0; p < 16; ++p) EXPECT_EQ(t.degree(p), 15);
+  EXPECT_EQ(t.hop_distance(3, 11), 1);
+}
+
+TEST(Topology, RandomRespectsDegreeBounds) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Topology t = Topology::random(16, 2, 8, seed);
+    EXPECT_EQ(t.num_processors(), 16);
+    for (ProcId p = 0; p < 16; ++p) {
+      EXPECT_GE(t.degree(p), 2) << "seed " << seed;
+      EXPECT_LE(t.degree(p), 8) << "seed " << seed;
+    }
+    // Connectivity: bfs reaches everyone (asserted inside bfs_order).
+    EXPECT_EQ(t.bfs_order(0).size(), 16u);
+  }
+}
+
+TEST(Topology, RandomIsSeedDeterministic) {
+  const Topology a = Topology::random(16, 2, 8, 7);
+  const Topology b = Topology::random(16, 2, 8, 7);
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (LinkId l = 0; l < a.num_links(); ++l) {
+    EXPECT_EQ(a.link_endpoints(l), b.link_endpoints(l));
+  }
+}
+
+TEST(Topology, MeshAndTorus) {
+  const Topology m = Topology::mesh(3, 4);
+  EXPECT_EQ(m.num_processors(), 12);
+  EXPECT_EQ(m.num_links(), 3 * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(m.hop_distance(0, 11), 5);      // corner to corner
+
+  const Topology t = Topology::torus(3, 3);
+  EXPECT_EQ(t.num_processors(), 9);
+  EXPECT_EQ(t.num_links(), 18);
+  for (ProcId p = 0; p < 9; ++p) EXPECT_EQ(t.degree(p), 4);
+}
+
+TEST(Topology, StarAndLinear) {
+  const Topology s = Topology::star(5);
+  EXPECT_EQ(s.degree(0), 4);
+  for (ProcId p = 1; p < 5; ++p) EXPECT_EQ(s.degree(p), 1);
+
+  const Topology l = Topology::linear(4);
+  EXPECT_EQ(l.num_links(), 3);
+  EXPECT_EQ(l.hop_distance(0, 3), 3);
+}
+
+TEST(Topology, FromLinksValidation) {
+  using P = std::pair<ProcId, ProcId>;
+  const std::vector<P> self{{0, 0}};
+  EXPECT_THROW((void)Topology::from_links(2, self), PreconditionError);
+  const std::vector<P> dup{{0, 1}, {1, 0}};
+  EXPECT_THROW((void)Topology::from_links(2, dup), PreconditionError);
+  const std::vector<P> oob{{0, 5}};
+  EXPECT_THROW((void)Topology::from_links(2, oob), PreconditionError);
+  // Disconnected network rejected.
+  const std::vector<P> split{{0, 1}, {2, 3}};
+  EXPECT_THROW((void)Topology::from_links(4, split), InvariantError);
+}
+
+TEST(Topology, NeighborsSortedAndLinksParallel) {
+  const Topology t = Topology::hypercube(3);
+  for (ProcId p = 0; p < t.num_processors(); ++p) {
+    const auto nbrs = t.neighbors(p);
+    const auto links = t.links_of(p);
+    ASSERT_EQ(nbrs.size(), links.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      }
+      EXPECT_EQ(t.opposite(links[i], p), nbrs[i]);
+    }
+  }
+}
+
+TEST(Topology, OppositeRejectsNonEndpoint) {
+  const Topology t = Topology::ring(4);
+  const LinkId l = t.link_between(0, 1);
+  EXPECT_THROW((void)t.opposite(l, 2), PreconditionError);
+}
+
+TEST(Topology, BfsOrderStartsAtRootAndCoversAll) {
+  const Topology t = Topology::hypercube(4);
+  const auto order = t.bfs_order(5);
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_EQ(order[0], 5);
+  const std::set<ProcId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 16u);
+  // BFS property: hop distance is non-decreasing along the order.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(t.hop_distance(5, order[i]), t.hop_distance(5, order[i - 1]));
+  }
+}
+
+TEST(Topology, HopDistanceOnRing) {
+  const Topology t = Topology::ring(6);
+  EXPECT_EQ(t.hop_distance(0, 3), 3);
+  EXPECT_EQ(t.hop_distance(0, 5), 1);
+  EXPECT_EQ(t.hop_distance(2, 2), 0);
+}
+
+}  // namespace
+}  // namespace bsa::net

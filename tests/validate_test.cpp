@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "network/cost_model.hpp"
+#include "sched/schedule.hpp"
+#include "sched/validate.hpp"
+
+namespace bsa::sched {
+namespace {
+
+/// Two-task pipeline A(10) -5-> B(20) used to probe every invariant.
+struct ValidateTest : ::testing::Test {
+  graph::TaskGraph make_graph() {
+    graph::TaskGraphBuilder b;
+    const TaskId a = b.add_task(10, "A");
+    const TaskId bb = b.add_task(20, "B");
+    (void)b.add_edge(a, bb, 5);
+    return b.build();
+  }
+  graph::TaskGraph g = make_graph();
+  net::Topology topo = net::Topology::ring(3);  // triangle P0-P1-P2
+  net::HeterogeneousCostModel cm =
+      net::HeterogeneousCostModel::homogeneous(g, topo);
+  TaskId A = 0, B = 1;
+};
+
+TEST_F(ValidateTest, ValidSameProcessorSchedule) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 10);
+  s.place_task(B, 0, 10, 30);
+  const auto report = validate(s, cm);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.to_string(), "valid");
+}
+
+TEST_F(ValidateTest, ValidCrossProcessorSchedule) {
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 10, 15}});
+  s.place_task(B, 1, 15, 35);
+  EXPECT_TRUE(validate(s, cm).ok());
+}
+
+TEST_F(ValidateTest, DetectsUnplacedTask) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 10);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("not placed"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsWrongDuration) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 12);  // should be 10
+  s.place_task(B, 0, 12, 32);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("duration"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsProcessorOverlap) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 10);
+  s.place_task(B, 0, 5, 25);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("overlap"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsPrecedenceViolationSameProc) {
+  Schedule s(g, topo);
+  s.place_task(B, 0, 0, 20);
+  s.place_task(A, 0, 20, 30);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("precedence"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsMissingRoute) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 10);
+  s.place_task(B, 1, 15, 35);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("no route"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsRouteToWrongProcessor) {
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 10, 15}});
+  s.place_task(B, 2, 15, 35);  // route ends at P1, task on P2
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("ends at"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsBrokenRouteWalk) {
+  Schedule s(g, topo);
+  const LinkId l12 = topo.link_between(1, 2);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l12, 10, 15}});  // link not incident to P0
+  s.place_task(B, 2, 15, 35);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("route broken"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsHopBeforeDataAvailable) {
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 5, 10}});  // starts before A finishes
+  s.place_task(B, 1, 15, 35);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("before its data"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsWrongHopDuration) {
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 10, 18}});  // cost is 5, duration 8
+  s.place_task(B, 1, 18, 38);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("comm cost"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsTaskBeforeMessageArrival) {
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 10, 15}});
+  s.place_task(B, 1, 12, 32);  // starts before arrival at 15
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("arrives"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsSpuriousRouteForColocatedTasks) {
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 10, 15}});
+  s.place_task(B, 0, 15, 35);
+  const auto report = validate(s, cm);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("co-located"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsLinkContention) {
+  // Second graph with two parallel crossing messages.
+  graph::TaskGraphBuilder b2;
+  const TaskId a = b2.add_task(10);
+  const TaskId c = b2.add_task(10);
+  const TaskId d = b2.add_task(10);
+  (void)b2.add_edge(a, c, 5);
+  (void)b2.add_edge(a, d, 5);
+  const graph::TaskGraph g2 = b2.build();
+  const auto cm2 = net::HeterogeneousCostModel::homogeneous(g2, topo);
+  Schedule s(g2, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(a, 0, 0, 10);
+  s.set_route(0, {Hop{l01, 10, 15}});
+  s.set_route(1, {Hop{l01, 15, 20}});
+  // Force an overlap through the raw time setter (set_route would refuse).
+  s.set_hop_times(1, 0, 12, 17);
+  s.place_task(c, 1, 15, 25);
+  s.place_task(d, 1, 25, 35);
+  const auto report = validate(s, cm2);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("contention"), std::string::npos);
+}
+
+TEST_F(ValidateTest, CollectsMultipleIssues) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 12);   // wrong duration
+  s.place_task(B, 1, 0, 20);   // no route + starts before pred finishes
+  const auto report = validate(s, cm);
+  EXPECT_GE(report.issues.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bsa::sched

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/bsa.hpp"
+#include "graph/traversal.hpp"
+#include "network/cost_model.hpp"
+#include "sched/validate.hpp"
+#include "workloads/regular.hpp"
+
+namespace bsa::workloads {
+namespace {
+
+TEST(Cholesky, TaskCountFormula) {
+  // tiles=2: k=0: POTRF + TRSM + SYRK = 3; k=1: POTRF = 1 -> 4.
+  EXPECT_EQ(cholesky_task_count(2), 4);
+  // tiles=4: k=0: 1+3+3+3=10, k=1: 1+2+2+1=6, k=2: 1+1+1+0=3, k=3: 1 -> 20.
+  EXPECT_EQ(cholesky_task_count(4), 20);
+  const auto g = cholesky(4);
+  EXPECT_EQ(g.num_tasks(), 20);
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(Cholesky, PotrfChainSequential) {
+  const auto g = cholesky(5);
+  TaskId p0 = kInvalidTask, p4 = kInvalidTask;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (g.task_name(t) == "POTRF0") p0 = t;
+    if (g.task_name(t) == "POTRF4") p4 = t;
+  }
+  ASSERT_NE(p0, kInvalidTask);
+  ASSERT_NE(p4, kInvalidTask);
+  EXPECT_TRUE(graph::is_reachable(g, p0, p4));
+  // POTRF0 is the unique entry.
+  ASSERT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.entry_tasks()[0], p0);
+}
+
+TEST(Stencil, CountAndStructure) {
+  EXPECT_EQ(stencil_1d_task_count(4, 6), 24);
+  const auto g = stencil_1d(3, 5);
+  EXPECT_EQ(g.num_tasks(), 15);
+  // Interior cell feeds 3 neighbours in the next step.
+  // Edges: per step pair: 3*cells - 2 (boundaries lose one each).
+  EXPECT_EQ(g.num_edges(), 2 * (3 * 5 - 2));
+  EXPECT_EQ(graph::graph_depth(g), 3);
+  EXPECT_TRUE(g.is_weakly_connected());
+}
+
+TEST(Trees, CountsAndShape) {
+  EXPECT_EQ(tree_task_count(3, 2), 7);
+  EXPECT_EQ(tree_task_count(1, 5), 1);
+  const auto out = out_tree(3, 2);
+  EXPECT_EQ(out.num_tasks(), 7);
+  EXPECT_EQ(out.entry_tasks().size(), 1u);
+  EXPECT_EQ(out.exit_tasks().size(), 4u);  // leaves
+  const auto in = in_tree(3, 2);
+  EXPECT_EQ(in.num_tasks(), 7);
+  EXPECT_EQ(in.entry_tasks().size(), 4u);
+  EXPECT_EQ(in.exit_tasks().size(), 1u);  // root
+  EXPECT_EQ(graph::graph_depth(in), 3);
+}
+
+TEST(Trees, RejectBadParameters) {
+  EXPECT_THROW((void)out_tree(0, 2), PreconditionError);
+  EXPECT_THROW((void)in_tree(2, 0), PreconditionError);
+  EXPECT_THROW((void)cholesky(1), PreconditionError);
+  EXPECT_THROW((void)stencil_1d(0, 3), PreconditionError);
+}
+
+/// All the extra generators must be schedulable end to end.
+class ExtraWorkloadSchedulable
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtraWorkloadSchedulable, BsaProducesValidSchedules) {
+  const int which = GetParam();
+  CostParams cp;
+  cp.seed = 5;
+  const graph::TaskGraph g = [&] {
+    switch (which) {
+      case 0:
+        return cholesky(5, cp);
+      case 1:
+        return stencil_1d(4, 8, cp);
+      case 2:
+        return out_tree(4, 2, cp);
+      case 3:
+        return in_tree(4, 2, cp);
+      default:
+        return fft(8, cp);
+    }
+  }();
+  const auto topo = net::Topology::hypercube(3);
+  const auto cm = net::HeterogeneousCostModel::uniform_processor_speeds(
+      g, topo, 1, 10, 1, 10, 3);
+  const auto result = core::schedule_bsa(g, topo, cm);
+  const auto report = sched::validate(result.schedule, cm);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, ExtraWorkloadSchedulable,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace bsa::workloads
