@@ -9,7 +9,9 @@
 /// connectivity; both algorithms shorter on the clique than on the ring.
 ///
 /// Flags: --full (paper's 10 sizes, 3 seeds), --seeds N, --procs N,
-///        --per-pair, --eft, --csv, --seed S.
+///        --per-pair, --eft, --csv, --seed S,
+///        --threads/--jobs N (parallel runtime; 0 = all cores), --out FILE
+///        (stream per-scenario JSONL rows).
 
 #include <iostream>
 

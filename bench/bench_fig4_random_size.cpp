@@ -5,7 +5,9 @@
 /// Expected shape (paper §3): as Figure 3 — BSA at or below DLS with both
 /// producing longer schedules than on the regular suite.
 ///
-/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S.
+/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S,
+///        --threads/--jobs N (parallel runtime; 0 = all cores), --out FILE
+///        (stream per-scenario JSONL rows).
 
 #include <iostream>
 

@@ -7,7 +7,9 @@
 /// 0.1 where message scheduling dominates; topology matters less than on
 /// the size axis.
 ///
-/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S.
+/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S,
+///        --threads/--jobs N (parallel runtime; 0 = all cores), --out FILE
+///        (stream per-scenario JSONL rows).
 
 #include <iostream>
 

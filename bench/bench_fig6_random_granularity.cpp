@@ -6,7 +6,9 @@
 /// suite — sharp increase at fine granularity, largest BSA advantage at
 /// granularity 0.1.
 ///
-/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S.
+/// Flags: --full, --seeds N, --procs N, --per-pair, --eft, --csv, --seed S,
+///        --threads/--jobs N (parallel runtime; 0 = all cores), --out FILE
+///        (stream per-scenario JSONL rows).
 
 #include <iostream>
 

@@ -1,7 +1,11 @@
 /// Reproduces Figure 7 of the paper: effect of the heterogeneity range.
 /// Ten 500-task random graphs (granularity 1.0) are scheduled by BSA and
 /// DLS on the 16-processor hypercube while the heterogeneity factor range
-/// sweeps over U[1,10], U[1,50], U[1,100], U[1,200].
+/// sweeps over U[1,10], U[1,50], U[1,100], U[1,200]. The sweep runs on
+/// the parallel experiment runtime; the same ten graphs are reused for
+/// every range. Graph seeds derive from the scenario grid coordinates,
+/// so absolute numbers differ from the pre-runtime serial driver for the
+/// same --seed (the figure's shape conclusions are unaffected).
 ///
 /// Expected shape (paper §3): both algorithms produce longer schedules as
 /// the range grows (more slow processors), but BSA's schedule lengths
@@ -10,16 +14,21 @@
 ///
 /// Flags: --full (10 graphs of 500 tasks as in the paper; default is a
 ///        quicker 4 graphs of 250 tasks), --graphs N, --tasks N,
-///        --per-pair, --csv, --seed S.
+///        --per-pair, --csv, --seed S, --threads/--jobs N (0 = all
+///        cores), --out FILE (stream per-scenario JSONL rows).
 
 #include <iostream>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cli.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
-#include "workloads/random_dag.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/sweep_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace bsa;
@@ -28,50 +37,52 @@ int main(int argc, char** argv) {
       cli.get_bool("full", false) || exp::full_benchmarks_requested();
   const int num_graphs = static_cast<int>(cli.get_int("graphs", full ? 10 : 4));
   const int num_tasks = static_cast<int>(cli.get_int("tasks", full ? 500 : 250));
-  const bool per_pair = cli.get_bool("per-pair", false);
-  const bool csv = cli.get_bool("csv", false);
-  const auto base_seed =
-      static_cast<std::uint64_t>(cli.get_int("seed", 2026));
 
-  const auto topo = exp::make_topology("hypercube", 16, base_seed);
-  const std::vector<int> ranges{10, 50, 100, 200};
+  runtime::ScenarioGrid grid;
+  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.sizes = {num_tasks};
+  grid.granularities = {1.0};
+  grid.topologies = {"hypercube"};
+  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
+  grid.procs = 16;
+  grid.het_highs = {10, 50, 100, 200};
+  grid.per_pair = cli.get_bool("per-pair", false);
+  grid.seeds_per_cell = num_graphs;
+  grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
+  runtime::SweepRunner runner({.threads = cli.threads(1)});
 
   std::cout << "=== Figure 7: effect of heterogeneity range ===\n"
             << num_graphs << " random graphs of " << num_tasks
             << " tasks, granularity 1.0, 16-processor hypercube, factors "
-            << (per_pair ? "per (task,processor) pair" : "per processor")
-            << "\n\n";
+            << (grid.per_pair ? "per (task,processor) pair" : "per processor")
+            << ", " << set.size() << " scenarios on " << runner.threads()
+            << " thread(s)\n\n";
+
+  std::unique_ptr<runtime::JsonlSink> jsonl;
+  if (const auto out = cli.out_path()) {
+    jsonl = std::make_unique<runtime::JsonlSink>(*out);
+  }
+  const auto results = runner.run(set, jsonl.get());
+
+  std::map<int, exp::CellMean> dls_by_range, bsa_by_range;
+  for (const runtime::ScenarioResult& r : results) {
+    (r.spec.algo == exp::Algo::kDls ? dls_by_range : bsa_by_range)
+        [r.spec.het_hi].add(r.schedule_length);
+  }
 
   TextTable table({"heterogeneity range", "DLS", "BSA", "BSA/DLS"});
-  for (const int hi : ranges) {
-    exp::CellMean dls_mean, bsa_mean;
-    for (int i = 0; i < num_graphs; ++i) {
-      workloads::RandomDagParams params;
-      params.num_tasks = num_tasks;
-      params.granularity = 1.0;
-      params.seed = derive_seed(base_seed, static_cast<std::uint64_t>(i));
-      const auto g = workloads::random_layered_dag(params);
-      const auto cm_seed = derive_seed(params.seed, 17);
-      const auto cm =
-          per_pair ? net::HeterogeneousCostModel::uniform(g, topo, 1, hi, 1,
-                                                          hi, cm_seed)
-                   : net::HeterogeneousCostModel::uniform_processor_speeds(
-                         g, topo, 1, hi, 1, hi, cm_seed);
-      dls_mean.add(
-          exp::run_algorithm(exp::Algo::kDls, g, topo, cm, params.seed)
-              .schedule_length);
-      bsa_mean.add(
-          exp::run_algorithm(exp::Algo::kBsa, g, topo, cm, params.seed)
-              .schedule_length);
-    }
+  for (const auto& [hi, dls_mean] : dls_by_range) {
+    const double dls = dls_mean.mean();
+    const double bsa = bsa_by_range.at(hi).mean();
     table.new_row()
         .cell("[1, " + std::to_string(hi) + "]")
-        .cell(dls_mean.mean(), 1)
-        .cell(bsa_mean.mean(), 1)
-        .cell(dls_mean.mean() > 0 ? bsa_mean.mean() / dls_mean.mean() : 0.0,
-              3);
+        .cell(dls, 1)
+        .cell(bsa, 1)
+        .cell(dls > 0 ? bsa / dls : 0.0, 3);
   }
-  if (csv) {
+  if (cli.get_bool("csv", false)) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);

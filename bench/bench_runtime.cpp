@@ -1,90 +1,113 @@
-/// Algorithm running-time comparison (google-benchmark).
+/// Algorithm running-time comparison on the parallel experiment runtime.
 ///
 /// The paper (§3, last paragraph) reports that BSA's and DLS's running
 /// times were "about the same because the two algorithms are of
 /// comparable time complexity" (O(m^2 e n) vs O(n^2 m e / ready)). This
 /// bench measures both schedulers (plus the EFT ablation) across graph
-/// sizes and topologies so the claim can be checked on this machine.
+/// sizes and topologies so the claim can be checked on this machine, and
+/// records the perf trajectory as BENCH_runtime.json via the runtime's
+/// result sink.
+///
+/// Timing note: per-scenario wall_ms is measured inside the scenario
+/// worker, so --threads > 1 speeds the sweep up without perturbing the
+/// per-algorithm means much; use --threads 1 for the most stable numbers.
+///
+/// Flags: --reps N (default 3), --full (adds 400-task graphs),
+///        --threads/--jobs N (0 = all cores), --seed S,
+///        --out FILE (JSONL rows; default BENCH_runtime.json holds the
+///        aggregate report either way).
 
-#include <benchmark/benchmark.h>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "baselines/dls.hpp"
-#include "baselines/eft.hpp"
-#include "core/bsa.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
 #include "exp/experiment.hpp"
-#include "workloads/random_dag.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/sweep_runner.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace bsa;
+  const CliParser cli(argc, argv);
+  const bool full =
+      cli.get_bool("full", false) || exp::full_benchmarks_requested();
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
 
-using namespace bsa;
+  runtime::ScenarioGrid grid;
+  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.sizes = full ? std::vector<int>{50, 100, 200, 400}
+                    : std::vector<int>{50, 100, 200};
+  grid.granularities = {1.0};
+  grid.topologies = {"ring", "hypercube", "clique"};
+  grid.algos = {exp::Algo::kBsa, exp::Algo::kDls, exp::Algo::kEft};
+  grid.procs = 16;
+  grid.het_highs = {50};
+  grid.seeds_per_cell = reps;
+  grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
-struct Instance {
-  graph::TaskGraph g;
-  net::Topology topo;
-  net::HeterogeneousCostModel cm;
-};
+  const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
+  runtime::SweepRunner runner({.threads = cli.threads(1)});
 
-Instance make_instance(int n, const char* topo_kind) {
-  workloads::RandomDagParams params;
-  params.num_tasks = n;
-  params.granularity = 1.0;
-  params.seed = 42;
-  auto g = workloads::random_layered_dag(params);
-  auto topo = exp::make_topology(topo_kind, 16, 1);
-  auto cm = net::HeterogeneousCostModel::uniform_processor_speeds(
-      g, topo, 1, 50, 1, 50, 7);
-  return Instance{std::move(g), std::move(topo), std::move(cm)};
-}
+  std::cout << "=== scheduler running times (means over " << reps
+            << " graphs/cell, " << set.size() << " scenarios on "
+            << runner.threads() << " thread(s)) ===\n\n";
 
-void BM_Bsa(benchmark::State& state, const char* topo_kind) {
-  const Instance inst = make_instance(static_cast<int>(state.range(0)),
-                                      topo_kind);
-  for (auto _ : state) {
-    auto result = core::schedule_bsa(inst.g, inst.topo, inst.cm);
-    benchmark::DoNotOptimize(result.schedule_length());
+  std::unique_ptr<runtime::JsonlSink> jsonl;
+  if (const auto out = cli.out_path()) {
+    jsonl = std::make_unique<runtime::JsonlSink>(*out);
   }
-  state.SetComplexityN(state.range(0));
-}
+  const auto results = runner.run(set, jsonl.get());
 
-void BM_Dls(benchmark::State& state, const char* topo_kind) {
-  const Instance inst = make_instance(static_cast<int>(state.range(0)),
-                                      topo_kind);
-  for (auto _ : state) {
-    auto result = baselines::schedule_dls(inst.g, inst.topo, inst.cm);
-    benchmark::DoNotOptimize(result.schedule_length());
+  // (topology, size, algo) -> wall-time / schedule-length accumulators,
+  // keyed in enumeration order for a stable report.
+  struct Cell {
+    StatAccumulator wall, length;
+  };
+  std::vector<std::string> order;
+  std::map<std::string, Cell> cells;
+  for (const runtime::ScenarioResult& r : results) {
+    const std::string label = std::string(exp::algo_name(r.spec.algo)) + "/" +
+                              r.spec.topology + "/" +
+                              std::to_string(r.spec.size);
+    if (cells.find(label) == cells.end()) order.push_back(label);
+    Cell& c = cells[label];
+    c.wall.add(r.wall_ms);
+    c.length.add(r.schedule_length);
+    BSA_REQUIRE(r.valid, "invalid schedule from " << label);
   }
-  state.SetComplexityN(state.range(0));
-}
 
-void BM_Eft(benchmark::State& state, const char* topo_kind) {
-  const Instance inst = make_instance(static_cast<int>(state.range(0)),
-                                      topo_kind);
-  for (auto _ : state) {
-    auto result =
-        baselines::schedule_eft_oblivious(inst.g, inst.topo, inst.cm);
-    benchmark::DoNotOptimize(result.schedule_length());
+  TextTable table({"algo/topology/size", "mean ms", "min ms", "max ms",
+                   "mean schedule length"});
+  std::vector<runtime::BenchEntry> entries;
+  for (const std::string& label : order) {
+    const Cell& c = cells.at(label);
+    table.new_row()
+        .cell(label)
+        .cell(c.wall.mean(), 2)
+        .cell(c.wall.min(), 2)
+        .cell(c.wall.max(), 2)
+        .cell(c.length.mean(), 1);
+    runtime::BenchEntry e;
+    e.label = label;
+    e.runs = c.wall.count();
+    e.mean_wall_ms = c.wall.mean();
+    e.mean_schedule_length = c.length.mean();
+    entries.push_back(std::move(e));
   }
-  state.SetComplexityN(state.range(0));
+  table.print(std::cout);
+
+  const std::string report_path = "BENCH_runtime.json";
+  std::ofstream report(report_path, std::ios::trunc);
+  BSA_REQUIRE(report.good(), "cannot write " << report_path);
+  runtime::write_bench_json(report, "runtime", runner.threads(), entries);
+  std::cout << "\nwrote " << entries.size() << " aggregate entries to "
+            << report_path << '\n';
+  return 0;
 }
-
-}  // namespace
-
-BENCHMARK_CAPTURE(BM_Bsa, ring, "ring")
-    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_Dls, ring, "ring")
-    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_Eft, ring, "ring")
-    ->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Unit(benchmark::kMillisecond)->Complexity();
-BENCHMARK_CAPTURE(BM_Bsa, hypercube, "hypercube")
-    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Dls, hypercube, "hypercube")
-    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Bsa, clique, "clique")
-    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_Dls, clique, "clique")
-    ->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();

@@ -1,44 +1,34 @@
 #include "fig_common.hpp"
 
-#include <iostream>
 #include <map>
+#include <memory>
 #include <ostream>
 
 #include "common/check.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
-#include "workloads/random_dag.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/sweep_runner.hpp"
 
 namespace bsa::bench {
 namespace {
 
-net::HeterogeneousCostModel make_costs(const SweepConfig& cfg,
-                                       const graph::TaskGraph& g,
-                                       const net::Topology& topo,
-                                       std::uint64_t seed) {
-  if (cfg.per_pair) {
-    return net::HeterogeneousCostModel::uniform(g, topo, cfg.het_lo,
-                                                cfg.het_hi, cfg.het_lo,
-                                                cfg.het_hi, seed);
-  }
-  return net::HeterogeneousCostModel::uniform_processor_speeds(
-      g, topo, cfg.het_lo, cfg.het_hi, cfg.het_lo, cfg.het_hi, seed);
-}
-
-graph::TaskGraph make_instance(const SweepConfig& cfg, bool regular,
-                               int app_index, int size, double granularity,
-                               std::uint64_t seed) {
-  if (regular) {
-    return exp::make_regular(exp::paper_regular_apps()[
-                                 static_cast<std::size_t>(app_index)],
-                             size, granularity, seed);
-  }
-  workloads::RandomDagParams params;
-  params.num_tasks = size;
-  params.granularity = granularity;
-  params.seed = seed;
-  (void)cfg;
-  return workloads::random_layered_dag(params);
+runtime::ScenarioGrid make_grid(const SweepConfig& cfg) {
+  runtime::ScenarioGrid grid;
+  grid.workload = cfg.regular_suite ? runtime::WorkloadKind::kRegularApp
+                                    : runtime::WorkloadKind::kRandomDag;
+  grid.sizes = cfg.sizes;
+  grid.granularities = cfg.granularities;
+  grid.topologies = exp::paper_topologies();
+  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
+  if (cfg.include_eft) grid.algos.push_back(exp::Algo::kEft);
+  grid.procs = cfg.procs;
+  grid.het_lo = cfg.het_lo;
+  grid.het_highs = {cfg.het_hi};
+  grid.per_pair = cfg.per_pair;
+  grid.seeds_per_cell = cfg.seeds_per_cell;
+  grid.base_seed = cfg.base_seed;
+  return grid;
 }
 
 }  // namespace
@@ -59,15 +49,18 @@ void apply_cli(const CliParser& cli, SweepConfig* config) {
       static_cast<std::uint64_t>(cli.get_int("seed",
                                              static_cast<std::int64_t>(
                                                  config->base_seed)));
+  config->threads = cli.threads(config->threads);
+  config->out_path = cli.out_path().value_or(config->out_path);
 }
 
 void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
                    std::ostream& os) {
   BSA_REQUIRE(!cfg.sizes.empty() && !cfg.granularities.empty(),
               "empty sweep axes");
-  const int num_apps =
-      cfg.regular_suite ? static_cast<int>(exp::paper_regular_apps().size())
-                        : 1;
+
+  const runtime::ScenarioSet set =
+      runtime::ScenarioSet::from_grid(make_grid(cfg));
+  runtime::SweepRunner runner({.threads = cfg.threads});
 
   os << "=== " << figure_name << ": average schedule lengths, "
      << (cfg.regular_suite ? "regular" : "random") << " graphs, x-axis = "
@@ -83,56 +76,44 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
   os << "} " << cfg.procs << " processors, heterogeneity U[" << cfg.het_lo
      << "," << cfg.het_hi << "] "
      << (cfg.per_pair ? "per (task,processor) pair" : "per processor")
-     << ", " << cfg.seeds_per_cell << " seed(s)/cell\n\n";
+     << ", " << cfg.seeds_per_cell << " seed(s)/cell, " << set.size()
+     << " scenarios on " << runner.threads() << " thread(s)\n\n";
+
+  std::unique_ptr<runtime::JsonlSink> jsonl;
+  if (!cfg.out_path.empty()) {
+    jsonl = std::make_unique<runtime::JsonlSink>(cfg.out_path);
+  }
+  const std::vector<runtime::ScenarioResult> results =
+      runner.run(set, jsonl.get());
+
+  // topology -> x value -> per-algorithm accumulator. Results arrive in
+  // enumeration order, so aggregation is deterministic too.
+  struct Cells {
+    std::map<double, exp::CellMean> by_algo[3];  // DLS, BSA, EFT
+    bool all_valid = true;
+  };
+  std::map<std::string, Cells> per_topology;
+  for (const runtime::ScenarioResult& r : results) {
+    Cells& cells = per_topology[r.spec.topology];
+    const int slot = r.spec.algo == exp::Algo::kDls   ? 0
+                     : r.spec.algo == exp::Algo::kBsa ? 1
+                                                      : 2;
+    cells.by_algo[slot][r.spec.x_value(cfg.x_axis_granularity)].add(
+        r.schedule_length);
+    cells.all_valid = cells.all_valid && r.valid;
+  }
 
   for (const std::string& kind : exp::paper_topologies()) {
     const net::Topology topo =
         exp::make_topology(kind, cfg.procs, cfg.base_seed);
-
-    // x value -> per-algorithm accumulator.
-    std::map<double, exp::CellMean> dls_cells, bsa_cells, eft_cells;
-    bool all_valid = true;
-
-    for (const int size : cfg.sizes) {
-      for (const double gran : cfg.granularities) {
-        for (int app = 0; app < num_apps; ++app) {
-          for (int rep = 0; rep < cfg.seeds_per_cell; ++rep) {
-            const std::uint64_t seed = derive_seed(
-                cfg.base_seed,
-                static_cast<std::uint64_t>(size) * 1000 +
-                    static_cast<std::uint64_t>(gran * 10),
-                static_cast<std::uint64_t>(app),
-                static_cast<std::uint64_t>(rep));
-            const auto g = make_instance(cfg, cfg.regular_suite, app, size,
-                                         gran, seed);
-            const auto cm = make_costs(cfg, g, topo, derive_seed(seed, 17));
-            const double x = cfg.x_axis_granularity
-                                 ? gran
-                                 : static_cast<double>(size);
-            const auto dls = exp::run_algorithm(exp::Algo::kDls, g, topo, cm,
-                                                seed);
-            const auto bsa = exp::run_algorithm(exp::Algo::kBsa, g, topo, cm,
-                                                seed);
-            all_valid = all_valid && dls.valid && bsa.valid;
-            dls_cells[x].add(dls.schedule_length);
-            bsa_cells[x].add(bsa.schedule_length);
-            if (cfg.include_eft) {
-              const auto eft = exp::run_algorithm(exp::Algo::kEft, g, topo,
-                                                  cm, seed);
-              all_valid = all_valid && eft.valid;
-              eft_cells[x].add(eft.schedule_length);
-            }
-          }
-        }
-      }
-    }
+    const Cells& cells = per_topology.at(kind);
 
     std::vector<std::string> headers{
         cfg.x_axis_granularity ? "granularity" : "graph size", "DLS", "BSA",
         "BSA/DLS"};
     if (cfg.include_eft) headers.push_back("EFT (oblivious)");
     TextTable table(headers);
-    for (const auto& [x, dls_cell] : dls_cells) {
+    for (const auto& [x, dls_cell] : cells.by_algo[0]) {
       table.new_row();
       if (cfg.x_axis_granularity) {
         table.cell(x, 1);
@@ -140,11 +121,11 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
         table.cell(static_cast<long long>(x));
       }
       const double dls_mean = dls_cell.mean();
-      const double bsa_mean = bsa_cells[x].mean();
+      const double bsa_mean = cells.by_algo[1].at(x).mean();
       table.cell(dls_mean, 1);
       table.cell(bsa_mean, 1);
       table.cell(dls_mean > 0 ? bsa_mean / dls_mean : 0.0, 3);
-      if (cfg.include_eft) table.cell(eft_cells[x].mean(), 1);
+      if (cfg.include_eft) table.cell(cells.by_algo[2].at(x).mean(), 1);
     }
     os << "-- " << topo.name() << " (" << topo.num_links() << " links) --\n";
     if (cfg.print_csv) {
@@ -152,9 +133,13 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
     } else {
       table.print(os);
     }
-    os << (all_valid ? "all schedules validated OK"
-                     : "WARNING: some schedules failed validation")
+    os << (cells.all_valid ? "all schedules validated OK"
+                           : "WARNING: some schedules failed validation")
        << "\n\n";
+  }
+  if (jsonl != nullptr) {
+    os << "wrote " << jsonl->rows_written() << " JSONL rows to "
+       << cfg.out_path << "\n";
   }
 }
 

@@ -10,9 +10,10 @@
 
 /// \file fig_common.hpp
 /// Shared driver for the figure-reproduction benches (Figures 3-6 of the
-/// paper): build the workload suite, run DLS and BSA (optionally the
-/// contention-oblivious EFT ablation) on every instance, aggregate cell
-/// means, and print one paper-style series table per topology.
+/// paper): enumerate the (workload × topology × algorithm) scenario grid,
+/// evaluate it on the parallel experiment runtime (runtime::SweepRunner),
+/// aggregate cell means, and print one paper-style series table per
+/// topology. Aggregated numbers are bit-identical at any --threads value.
 
 namespace bsa::bench {
 
@@ -38,14 +39,20 @@ struct SweepConfig {
   std::uint64_t base_seed = 2026;
   bool include_eft = false;
   bool print_csv = false;
+  /// Worker threads for the sweep (0 = all hardware threads).
+  int threads = 1;
+  /// When non-empty, every scenario result is also streamed to this path
+  /// as JSON Lines.
+  std::string out_path;
 };
 
 /// Apply the standard command-line flags (--full, --seeds, --procs,
-/// --per-pair, --eft, --csv, --seed) to a config.
+/// --per-pair, --eft, --csv, --seed, --threads/--jobs, --out) to a
+/// config.
 void apply_cli(const CliParser& cli, SweepConfig* config);
 
-/// Run the sweep and print one table per topology to `os`. `figure_name`
-/// labels the output (e.g. "Figure 3").
+/// Run the sweep on the parallel runtime and print one table per
+/// topology to `os`. `figure_name` labels the output (e.g. "Figure 3").
 void run_and_print(const SweepConfig& config, const std::string& figure_name,
                    std::ostream& os);
 

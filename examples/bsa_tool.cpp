@@ -4,7 +4,7 @@
 ///
 ///   $ ./bsa_tool graph.tg --topology ring --procs 8 --algo bsa --gantt
 ///   $ ./bsa_tool graph.tg --topology hypercube --procs 16 --het 50
-///   $ cat graph.tg | ./bsa_tool --algo all
+///   $ cat graph.tg | ./bsa_tool --algo all --threads 3 --out runs.jsonl
 ///
 /// Graph format (see graph::read_text):
 ///   task <cost> [name]
@@ -17,16 +17,23 @@
 ///   --het N / --link-het N   heterogeneity ranges U[1,N]  (default 1)
 ///   --per-pair         per-(task,processor) factors instead of speeds
 ///   --seed S           RNG seed
+///   --threads N        run the requested algorithms concurrently on the
+///                      experiment runtime's thread pool (0 = all cores)
 ///   --gantt            render an ASCII Gantt chart
 ///   --dot              print the graph in Graphviz DOT and exit
 ///   --stats            print workload statistics before scheduling
 ///   --export FILE      write the (last) schedule in text form to FILE
 ///   --export-csv FILE  write the (last) schedule as CSV event rows
+///   --out FILE         append one JSONL metrics row per algorithm run
+///                      (the file accretes across invocations)
 ///   --validate         run the full invariant checker and report
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "baselines/dls.hpp"
 #include "baselines/eft.hpp"
@@ -35,6 +42,8 @@
 #include "exp/experiment.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/graph_stats.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sched/gantt.hpp"
 #include "sched/schedule_io.hpp"
 #include "sched/metrics.hpp"
@@ -46,7 +55,7 @@ using namespace bsa;
 
 void report(const std::string& name, const sched::Schedule& s,
             const net::HeterogeneousCostModel& cm, bool gantt,
-            bool run_validate) {
+            const std::optional<sched::ValidationReport>& validation) {
   std::cout << "--- " << name << " ---\n";
   sched::print_listing(std::cout, s);
   if (gantt) {
@@ -58,8 +67,8 @@ void report(const std::string& name, const sched::Schedule& s,
             << ", total hops: " << metrics.total_hops
             << ", avg processor utilisation: "
             << metrics.avg_proc_utilization << '\n';
-  if (run_validate) {
-    std::cout << "validation: " << sched::validate(s, cm).to_string() << '\n';
+  if (validation.has_value()) {
+    std::cout << "validation: " << validation->to_string() << '\n';
   }
   std::cout << '\n';
 }
@@ -115,35 +124,96 @@ int main(int argc, char** argv) {
     const std::string algo = cli.get_string("algo", "bsa");
     const bool gantt = cli.get_bool("gantt", false);
     const bool run_validate = cli.get_bool("validate", false);
-    std::optional<sched::Schedule> last;
+
+    struct Run {
+      std::string name;
+      exp::Algo algo;
+      std::optional<sched::Schedule> schedule;
+      double wall_ms = 0;
+    };
+    std::vector<Run> runs;
     if (algo == "bsa" || algo == "all") {
-      core::BsaOptions opt;
-      opt.seed = seed;
-      auto result = core::schedule_bsa(g, topo, cm, opt);
-      report("BSA", result.schedule, cm, gantt, run_validate);
-      last = std::move(result.schedule);
+      runs.push_back({"BSA", exp::Algo::kBsa, std::nullopt, 0});
     }
     if (algo == "dls" || algo == "all") {
-      auto result = baselines::schedule_dls(g, topo, cm);
-      report("DLS", result.schedule, cm, gantt, run_validate);
-      last = std::move(result.schedule);
+      runs.push_back({"DLS", exp::Algo::kDls, std::nullopt, 0});
     }
     if (algo == "eft" || algo == "all") {
-      auto result = baselines::schedule_eft_oblivious(g, topo, cm);
-      report("EFT (contention oblivious)", result.schedule, cm, gantt,
-             run_validate);
-      last = std::move(result.schedule);
+      runs.push_back(
+          {"EFT (contention oblivious)", exp::Algo::kEft, std::nullopt, 0});
     }
-    BSA_REQUIRE(last.has_value(), "unknown --algo '" << algo << "'");
+    BSA_REQUIRE(!runs.empty(), "unknown --algo '" << algo << "'");
+
+    // The graph, topology and cost model are immutable, so the requested
+    // algorithms can run concurrently; reports stay in request order.
+    runtime::ThreadPool pool(cli.threads(1));
+    pool.parallel_for(runs.size(), 1, [&](std::size_t i) {
+      Run& r = runs[i];
+      core::BsaOptions opt;
+      opt.seed = seed;
+      const auto t0 = std::chrono::steady_clock::now();
+      switch (r.algo) {
+        case exp::Algo::kBsa:
+          r.schedule = core::schedule_bsa(g, topo, cm, opt).schedule;
+          break;
+        case exp::Algo::kDls:
+          r.schedule = baselines::schedule_dls(g, topo, cm).schedule;
+          break;
+        default:
+          r.schedule = baselines::schedule_eft_oblivious(g, topo, cm).schedule;
+      }
+      r.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    });
+
+    std::unique_ptr<runtime::JsonlSink> jsonl;
+    if (const auto out = cli.out_path()) {
+      jsonl = std::make_unique<runtime::JsonlSink>(*out, /*append=*/true);
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& r = runs[i];
+      // Validate at most once per schedule; --validate prints the full
+      // report and --out records the verdict.
+      std::optional<sched::ValidationReport> validation;
+      if (run_validate || jsonl != nullptr) {
+        validation = sched::validate(*r.schedule, cm);
+      }
+      report(r.name, *r.schedule, cm, gantt,
+             run_validate ? validation : std::nullopt);
+      if (jsonl != nullptr) {
+        runtime::ScenarioResult row;
+        row.spec.index = i;
+        row.spec.workload = runtime::WorkloadKind::kExternal;
+        row.spec.size = g.num_tasks();
+        row.spec.granularity = g.granularity();
+        row.spec.topology = topo_kind;
+        row.spec.procs = procs;
+        row.spec.het_lo = 1;
+        row.spec.het_hi = het;
+        row.spec.link_het_lo = 1;
+        row.spec.link_het_hi = link_het;
+        row.spec.per_pair = cli.get_bool("per-pair", false);
+        row.spec.algo = r.algo;
+        row.spec.instance_seed = seed;
+        row.schedule_length = r.schedule->makespan();
+        row.wall_ms = r.wall_ms;
+        row.valid = validation->ok();
+        jsonl->consume(row);
+      }
+    }
+    if (jsonl != nullptr) jsonl->flush();
+
+    const sched::Schedule& last = *runs.back().schedule;
     if (cli.has("export")) {
       std::ofstream out(cli.get_string("export", ""));
       BSA_REQUIRE(out.good(), "cannot write --export file");
-      sched::write_schedule_text(out, *last);
+      sched::write_schedule_text(out, last);
     }
     if (cli.has("export-csv")) {
       std::ofstream out(cli.get_string("export-csv", ""));
       BSA_REQUIRE(out.good(), "cannot write --export-csv file");
-      sched::write_schedule_csv(out, *last);
+      sched::write_schedule_csv(out, last);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

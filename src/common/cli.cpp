@@ -73,6 +73,24 @@ double CliParser::get_double(const std::string& name, double fallback) const {
   return v;
 }
 
+int CliParser::threads(int fallback) const {
+  const std::int64_t v =
+      get_int("threads", get_int("jobs", static_cast<std::int64_t>(fallback)));
+  BSA_REQUIRE(v >= 0, "--threads/--jobs expects a non-negative count, got "
+                          << v);
+  return static_cast<int>(v);
+}
+
+std::optional<std::string> CliParser::out_path() const {
+  if (!has("out")) return std::nullopt;
+  const std::string path = get_string("out", "");
+  // A bare `--out` parses as the boolean literal; a file literally named
+  // "true" can still be requested as `--out ./true`.
+  BSA_REQUIRE(!path.empty() && path != "true",
+              "--out expects a path (e.g. --out results.jsonl)");
+  return path;
+}
+
 bool CliParser::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

@@ -30,6 +30,15 @@ class CliParser {
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Worker-thread count from `--threads N` (alias `--jobs N` / `-j`-style
+  /// `--jobs=N`). Returns `fallback` when neither flag is present; 0 is
+  /// accepted and conventionally means "all hardware threads". Negative
+  /// values are rejected.
+  [[nodiscard]] int threads(int fallback = 1) const;
+
+  /// Output path from `--out <path>`; std::nullopt when absent.
+  [[nodiscard]] std::optional<std::string> out_path() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "core/bsa.hpp"
 #include "sched/validate.hpp"
+#include "workloads/random_dag.hpp"
 #include "workloads/regular.hpp"
 
 namespace bsa::exp {
@@ -129,6 +130,37 @@ graph::TaskGraph make_regular(RegularApp app, int target_tasks,
   }
   BSA_REQUIRE(false, "unknown app");
   return workloads::laplace(2, cp);  // unreachable
+}
+
+graph::TaskGraph make_instance(bool regular, int app_index, int size,
+                               double granularity, std::uint64_t seed) {
+  if (regular) {
+    const auto& apps = paper_regular_apps();
+    BSA_REQUIRE(app_index >= 0 &&
+                    app_index < static_cast<int>(apps.size()),
+                "make_instance: app_index " << app_index << " out of range");
+    return make_regular(apps[static_cast<std::size_t>(app_index)], size,
+                        granularity, seed);
+  }
+  workloads::RandomDagParams params;
+  params.num_tasks = size;
+  params.granularity = granularity;
+  params.seed = seed;
+  return workloads::random_layered_dag(params);
+}
+
+net::HeterogeneousCostModel make_cost_model(const graph::TaskGraph& g,
+                                            const net::Topology& topo,
+                                            int het_lo, int het_hi,
+                                            int link_lo, int link_hi,
+                                            bool per_pair,
+                                            std::uint64_t seed) {
+  if (per_pair) {
+    return net::HeterogeneousCostModel::uniform(g, topo, het_lo, het_hi,
+                                                link_lo, link_hi, seed);
+  }
+  return net::HeterogeneousCostModel::uniform_processor_speeds(
+      g, topo, het_lo, het_hi, link_lo, link_hi, seed);
 }
 
 bool full_benchmarks_requested() {

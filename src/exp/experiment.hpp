@@ -57,6 +57,23 @@ enum class RegularApp : unsigned char {
                                             double granularity,
                                             std::uint64_t seed);
 
+/// Build the graph for one experiment cell: `regular` selects
+/// paper_regular_apps()[app_index], otherwise a random layered DAG of
+/// `size` tasks. Deterministic in the seed; this is the instance factory
+/// the runtime sweeps share with the figure drivers.
+[[nodiscard]] graph::TaskGraph make_instance(bool regular, int app_index,
+                                             int size, double granularity,
+                                             std::uint64_t seed);
+
+/// The experiments' heterogeneity model: execution factors
+/// U[het_lo,het_hi] and link factors U[link_lo,link_hi], one per
+/// processor/link (`per_pair == false`, DESIGN.md §3 note 9) or one per
+/// (task,processor) / (message,link) pair (the paper's §2.1 literal
+/// model). The paper's sweeps use the same range for both.
+[[nodiscard]] net::HeterogeneousCostModel make_cost_model(
+    const graph::TaskGraph& g, const net::Topology& topo, int het_lo,
+    int het_hi, int link_lo, int link_hi, bool per_pair, std::uint64_t seed);
+
 /// Mean accumulator for an experiment cell.
 struct CellMean {
   double sum = 0;

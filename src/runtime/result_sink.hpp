@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "runtime/scenario.hpp"
+
+/// \file result_sink.hpp
+/// Result sinks for the experiment runtime.
+///
+/// A ResultSink receives one ScenarioResult per evaluated scenario.
+/// Sinks are thread-safe (consume may be called from any thread), but the
+/// SweepRunner feeds them in enumeration order after the sweep so that
+/// emitted files are byte-identical at any thread count.
+
+namespace bsa::runtime {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// Record one result. Implementations must be safe to call concurrently.
+  virtual void consume(const ScenarioResult& row) = 0;
+  /// Flush buffered output (no-op by default).
+  virtual void flush() {}
+};
+
+/// Serialise one result as a single-line JSON object (JSON Lines row).
+/// Numbers are formatted with round-trip precision so re-parsing yields
+/// bit-identical values.
+[[nodiscard]] std::string to_jsonl(const ScenarioResult& row);
+
+/// Escape a string for embedding in a JSON document (no surrounding
+/// quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Format a double with round-trip (max_digits10) precision; integral
+/// values print without an exponent or trailing zeros.
+[[nodiscard]] std::string json_number(double v);
+
+/// A parsed scalar from a flat JSONL row.
+using JsonScalar = std::variant<std::nullptr_t, bool, double, std::string>;
+
+/// Parse one flat JSON object line (string/number/bool/null values; no
+/// nesting) into key -> scalar. Throws PreconditionError on malformed
+/// input. This is intentionally minimal — just enough for round-trip
+/// tests and downstream tooling; rows produced by to_jsonl always parse.
+[[nodiscard]] std::map<std::string, JsonScalar> parse_jsonl_row(
+    const std::string& line);
+
+/// Streams rows to an ostream as JSON Lines.
+class JsonlSink : public ResultSink {
+ public:
+  /// Write to a caller-owned stream (kept alive by the caller).
+  explicit JsonlSink(std::ostream& os);
+  /// Open `path` for writing — truncated by default, appended to with
+  /// `append == true` (JSONL accretes across runs). Throws
+  /// PreconditionError when the file cannot be opened.
+  explicit JsonlSink(const std::string& path, bool append = false);
+
+  void consume(const ScenarioResult& row) override;
+  void flush() override;
+  [[nodiscard]] std::size_t rows_written() const;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  mutable std::mutex mu_;
+  std::size_t rows_ = 0;
+};
+
+/// Collects every row in memory (in consume order).
+class CollectingSink : public ResultSink {
+ public:
+  void consume(const ScenarioResult& row) override;
+  [[nodiscard]] const std::vector<ScenarioResult>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ScenarioResult> rows_;
+};
+
+/// Fan out every row to several sinks (none owned).
+class TeeSink : public ResultSink {
+ public:
+  explicit TeeSink(std::vector<ResultSink*> sinks);
+  void consume(const ScenarioResult& row) override;
+  void flush() override;
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+/// One aggregated entry of a BENCH_*.json perf report.
+struct BenchEntry {
+  std::string label;   ///< e.g. "BSA/ring/100"
+  std::size_t runs = 0;
+  double mean_wall_ms = 0;
+  double mean_schedule_length = 0;
+};
+
+/// Write the repo's BENCH_*.json perf-trajectory format: a single JSON
+/// object with bench metadata and one entry per aggregate cell.
+void write_bench_json(std::ostream& os, const std::string& bench_name,
+                      int threads, const std::vector<BenchEntry>& entries);
+
+}  // namespace bsa::runtime

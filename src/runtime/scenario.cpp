@@ -1,0 +1,109 @@
+#include "runtime/scenario.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace bsa::runtime {
+
+const char* workload_kind_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kRegularApp:
+      return "regular";
+    case WorkloadKind::kRandomDag:
+      return "random";
+    case WorkloadKind::kExternal:
+      return "external";
+  }
+  return "?";
+}
+
+ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
+  BSA_REQUIRE(!grid.sizes.empty(), "ScenarioGrid: no sizes");
+  BSA_REQUIRE(!grid.granularities.empty(), "ScenarioGrid: no granularities");
+  BSA_REQUIRE(!grid.topologies.empty(), "ScenarioGrid: no topologies");
+  BSA_REQUIRE(!grid.algos.empty(), "ScenarioGrid: no algorithms");
+  BSA_REQUIRE(!grid.het_highs.empty(), "ScenarioGrid: no heterogeneity range");
+  BSA_REQUIRE(grid.seeds_per_cell > 0, "ScenarioGrid: seeds_per_cell < 1");
+
+  const int num_apps =
+      grid.workload == WorkloadKind::kRegularApp
+          ? static_cast<int>(exp::paper_regular_apps().size())
+          : 1;
+
+  ScenarioSet set;
+  set.scenarios_.reserve(grid.topologies.size() * grid.het_highs.size() *
+                         grid.sizes.size() * grid.granularities.size() *
+                         static_cast<std::size_t>(num_apps) *
+                         static_cast<std::size_t>(grid.seeds_per_cell) *
+                         grid.algos.size());
+  for (const std::string& topo : grid.topologies) {
+    for (const int het_hi : grid.het_highs) {
+      for (const int size : grid.sizes) {
+        for (const double gran : grid.granularities) {
+          for (int app = 0; app < num_apps; ++app) {
+            for (int rep = 0; rep < grid.seeds_per_cell; ++rep) {
+              // The historical cell-seed formula of the serial figure
+              // drivers, kept so the parallel runtime reproduces their
+              // exact numbers. Depends on the cell coordinates only —
+              // never on topology, range, algorithm or thread count.
+              const std::uint64_t instance_seed = derive_seed(
+                  grid.base_seed,
+                  static_cast<std::uint64_t>(size) * 1000 +
+                      static_cast<std::uint64_t>(gran * 10),
+                  static_cast<std::uint64_t>(app),
+                  static_cast<std::uint64_t>(rep));
+              for (const exp::Algo algo : grid.algos) {
+                ScenarioSpec s;
+                s.index = set.scenarios_.size();
+                s.workload = grid.workload;
+                s.app_index = app;
+                s.size = size;
+                s.granularity = gran;
+                s.topology = topo;
+                s.procs = grid.procs;
+                s.het_lo = grid.het_lo;
+                s.het_hi = het_hi;
+                s.link_het_lo = grid.het_lo;
+                s.link_het_hi = het_hi;
+                s.per_pair = grid.per_pair;
+                s.algo = algo;
+                s.rep = rep;
+                s.instance_seed = instance_seed;
+                s.topology_seed = grid.base_seed;
+                s.algo_seed = instance_seed;
+                set.scenarios_.push_back(std::move(s));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return set;
+}
+
+ScenarioResult evaluate_scenario(const ScenarioSpec& spec) {
+  BSA_REQUIRE(spec.workload != WorkloadKind::kExternal,
+              "evaluate_scenario: external graphs are not reconstructible "
+              "from a spec");
+  const graph::TaskGraph g =
+      exp::make_instance(spec.workload == WorkloadKind::kRegularApp,
+                         spec.app_index, spec.size, spec.granularity,
+                         spec.instance_seed);
+  const net::Topology topo =
+      exp::make_topology(spec.topology, spec.procs, spec.topology_seed);
+  const net::HeterogeneousCostModel cm =
+      exp::make_cost_model(g, topo, spec.het_lo, spec.het_hi,
+                           spec.link_het_lo, spec.link_het_hi, spec.per_pair,
+                           derive_seed(spec.instance_seed, 17));
+  const exp::RunOutcome outcome =
+      exp::run_algorithm(spec.algo, g, topo, cm, spec.algo_seed);
+  ScenarioResult r;
+  r.spec = spec;
+  r.schedule_length = outcome.schedule_length;
+  r.wall_ms = outcome.wall_ms;
+  r.valid = outcome.valid;
+  return r;
+}
+
+}  // namespace bsa::runtime

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exp/experiment.hpp"
+
+/// \file scenario.hpp
+/// Scenario enumeration for experiment sweeps.
+///
+/// A *scenario* is one (workload instance × system × algorithm) evaluation
+/// — the unit of work the parallel runtime shards across threads. A
+/// ScenarioSet enumerates the full cross product of a ScenarioGrid in a
+/// canonical order, pre-deriving every random seed from the grid
+/// coordinates, so evaluating the set is embarrassingly parallel and
+/// bit-identical at any thread count.
+
+namespace bsa::runtime {
+
+/// Which workload family a scenario draws its task graph from.
+enum class WorkloadKind : unsigned char {
+  kRegularApp,  ///< exp::paper_regular_apps()[app_index] (Figures 3/5)
+  kRandomDag,   ///< workloads::random_layered_dag (Figures 4/6/7)
+  kExternal,    ///< caller-supplied graph (e.g. bsa_tool file input);
+                ///< not enumerable by a ScenarioGrid
+};
+[[nodiscard]] const char* workload_kind_name(WorkloadKind k);
+
+/// One fully-specified evaluation. Everything random about the scenario
+/// is fixed by the embedded seeds; evaluate_scenario is a pure function
+/// of this struct.
+struct ScenarioSpec {
+  std::size_t index = 0;  ///< position in the ScenarioSet enumeration
+  WorkloadKind workload = WorkloadKind::kRandomDag;
+  int app_index = 0;  ///< into exp::paper_regular_apps() for kRegularApp
+  int size = 100;     ///< target task count
+  double granularity = 1.0;
+  std::string topology = "ring";  ///< kind for exp::make_topology
+  int procs = 16;
+  int het_lo = 1;
+  int het_hi = 50;
+  /// Link-factor range; grids use the execution range for links too, but
+  /// external runs (bsa_tool --link-het) may differ.
+  int link_het_lo = 1;
+  int link_het_hi = 50;
+  bool per_pair = false;  ///< per-(task,processor) factors vs per-processor
+  exp::Algo algo = exp::Algo::kBsa;
+  int rep = 0;  ///< replicate number within the cell
+  /// Seeds the graph instance; shared by every algorithm/topology/range
+  /// evaluating the same cell so ratio columns compare like with like.
+  std::uint64_t instance_seed = 0;
+  /// Seeds the topology factory (relevant for the "random" topology).
+  std::uint64_t topology_seed = 0;
+  /// Tie-breaking seed handed to the scheduling algorithm.
+  std::uint64_t algo_seed = 0;
+
+  /// The x value a figure sweep aggregates this scenario under.
+  [[nodiscard]] double x_value(bool x_axis_granularity) const {
+    return x_axis_granularity ? granularity : static_cast<double>(size);
+  }
+};
+
+/// Outcome of one scenario evaluation.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  Time schedule_length = 0;
+  double wall_ms = 0;  ///< algorithm wall-clock time (non-deterministic)
+  bool valid = false;  ///< full invariant validation result
+};
+
+/// Axes of a sweep; the cross product is enumerated topology-outermost:
+///   topology × het_hi × size × granularity × app × rep × algo.
+struct ScenarioGrid {
+  WorkloadKind workload = WorkloadKind::kRandomDag;
+  std::vector<int> sizes;
+  std::vector<double> granularities = {1.0};
+  std::vector<std::string> topologies;
+  std::vector<exp::Algo> algos;
+  int procs = 16;
+  int het_lo = 1;
+  /// Upper heterogeneity bounds; more than one realises the Figure 7
+  /// range sweep.
+  std::vector<int> het_highs = {50};
+  bool per_pair = false;
+  int seeds_per_cell = 1;
+  std::uint64_t base_seed = 2026;
+};
+
+/// The enumerated, seeded cross product of a ScenarioGrid.
+class ScenarioSet {
+ public:
+  /// Enumerate the grid. Instance seeds are derived from
+  /// (base_seed, size, granularity, app, rep) only — identical graphs are
+  /// handed to every algorithm, topology and heterogeneity range of a
+  /// cell, and the derivation is independent of enumeration position.
+  [[nodiscard]] static ScenarioSet from_grid(const ScenarioGrid& grid);
+
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return scenarios_.empty(); }
+  [[nodiscard]] const ScenarioSpec& operator[](std::size_t i) const {
+    return scenarios_[i];
+  }
+  [[nodiscard]] const std::vector<ScenarioSpec>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  [[nodiscard]] auto begin() const noexcept { return scenarios_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return scenarios_.end(); }
+
+ private:
+  std::vector<ScenarioSpec> scenarios_;
+};
+
+/// Evaluate one scenario: build the graph, topology and cost model from
+/// the spec's seeds, run the algorithm and validate the schedule.
+/// Deterministic in the spec (except the wall_ms timing field).
+[[nodiscard]] ScenarioResult evaluate_scenario(const ScenarioSpec& spec);
+
+}  // namespace bsa::runtime

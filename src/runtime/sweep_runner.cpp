@@ -1,0 +1,43 @@
+#include "runtime/sweep_runner.hpp"
+
+#include <algorithm>
+
+#include "runtime/thread_pool.hpp"
+
+namespace bsa::runtime {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : threads_(options.threads <= 0 ? default_thread_count()
+                                    : options.threads),
+      chunk_size_(options.chunk_size) {}
+
+std::vector<ScenarioResult> SweepRunner::run(const ScenarioSet& set,
+                                             ResultSink* sink) const {
+  std::vector<ScenarioResult> results(set.size());
+  if (!set.empty()) {
+    const auto evaluate = [&set, &results](std::size_t i) {
+      results[i] = evaluate_scenario(set[i]);
+    };
+    if (threads_ == 1) {
+      // Inline fast path: no pool startup for serial runs.
+      for (std::size_t i = 0; i < set.size(); ++i) evaluate(i);
+    } else {
+      // Several chunks per thread so long scenarios (500-task graphs)
+      // don't leave workers idle behind a static partition.
+      const std::size_t chunk =
+          chunk_size_ > 0
+              ? chunk_size_
+              : std::max<std::size_t>(
+                    1, set.size() / (static_cast<std::size_t>(threads_) * 8));
+      ThreadPool pool(threads_);
+      pool.parallel_for(set.size(), chunk, evaluate);
+    }
+  }
+  if (sink != nullptr) {
+    for (const ScenarioResult& r : results) sink->consume(r);
+    sink->flush();
+  }
+  return results;
+}
+
+}  // namespace bsa::runtime

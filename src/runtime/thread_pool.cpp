@@ -1,0 +1,104 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace bsa::runtime {
+
+int default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads <= 0 ? default_thread_count() : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  BSA_REQUIRE(task != nullptr, "ThreadPool::submit: null task");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    BSA_REQUIRE(!shutting_down_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  BSA_REQUIRE(chunk > 0, "ThreadPool::parallel_for: chunk must be positive");
+  // One claim ticket per chunk; workers grab the next unclaimed chunk.
+  // The chunk an index lands in is a pure function of (n, chunk), so the
+  // sharding itself is deterministic at any worker count.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  const std::size_t num_tasks =
+      std::min<std::size_t>(num_chunks, static_cast<std::size_t>(size()));
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    submit([next, n, chunk, &body] {
+      for (;;) {
+        const std::size_t c = next->fetch_add(1);
+        const std::size_t begin = c * chunk;
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    });
+  }
+  wait();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace bsa::runtime

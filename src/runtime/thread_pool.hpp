@@ -1,0 +1,72 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Chunked work-queue thread pool for the experiment runtime.
+///
+/// The pool is deliberately simple: a fixed set of workers draining one
+/// shared FIFO queue. Scenario sweeps submit *chunks* of scenario indices
+/// (see parallel_for), so queue contention is amortised over many
+/// scenarios and the sharding stays deterministic: which thread runs a
+/// chunk never affects what the chunk computes or where it stores its
+/// results.
+
+namespace bsa::runtime {
+
+/// Number of workers to use when the caller passes `threads <= 0`:
+/// the hardware concurrency, with a floor of 1.
+[[nodiscard]] int default_thread_count() noexcept;
+
+class ThreadPool {
+ public:
+  /// Start `threads` workers (<= 0 selects default_thread_count()).
+  explicit ThreadPool(int threads = 0);
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueue one task. Tasks must not themselves call submit/parallel_for
+  /// on the same pool (no nested parallelism).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception raised by any task (later ones are dropped).
+  void wait();
+
+  /// Run `body(i)` for every i in [0, n), sharding [0, n) into contiguous
+  /// chunks of at most `chunk` indices that workers claim dynamically.
+  /// Blocks until all iterations complete; rethrows the first exception.
+  /// `n == 0` is a no-op. Iteration order within a chunk is ascending;
+  /// chunk-to-thread assignment is non-deterministic, so `body` must only
+  /// touch per-index state (e.g. slot i of a pre-sized results vector).
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace bsa::runtime
