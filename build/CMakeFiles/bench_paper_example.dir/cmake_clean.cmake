@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_example.dir/bench/bench_paper_example.cpp.o"
+  "CMakeFiles/bench_paper_example.dir/bench/bench_paper_example.cpp.o.d"
+  "bench_paper_example"
+  "bench_paper_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

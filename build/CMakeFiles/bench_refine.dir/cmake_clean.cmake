@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refine.dir/bench/bench_refine.cpp.o"
+  "CMakeFiles/bench_refine.dir/bench/bench_refine.cpp.o.d"
+  "bench_refine"
+  "bench_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dls.cpp" "CMakeFiles/bsa.dir/src/baselines/dls.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/baselines/dls.cpp.o.d"
+  "/root/repo/src/baselines/eft.cpp" "CMakeFiles/bsa.dir/src/baselines/eft.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/baselines/eft.cpp.o.d"
+  "/root/repo/src/baselines/list_common.cpp" "CMakeFiles/bsa.dir/src/baselines/list_common.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/baselines/list_common.cpp.o.d"
+  "/root/repo/src/baselines/mh.cpp" "CMakeFiles/bsa.dir/src/baselines/mh.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/baselines/mh.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "CMakeFiles/bsa.dir/src/common/cli.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/common/cli.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/bsa.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/bsa.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/bsa.cpp" "CMakeFiles/bsa.dir/src/core/bsa.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/core/bsa.cpp.o.d"
+  "/root/repo/src/core/pivot.cpp" "CMakeFiles/bsa.dir/src/core/pivot.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/core/pivot.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "CMakeFiles/bsa.dir/src/core/refine.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/core/refine.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "CMakeFiles/bsa.dir/src/core/serialization.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/core/serialization.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "CMakeFiles/bsa.dir/src/exp/experiment.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/exp/experiment.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "CMakeFiles/bsa.dir/src/graph/graph_io.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "CMakeFiles/bsa.dir/src/graph/graph_stats.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/graph/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/levels.cpp" "CMakeFiles/bsa.dir/src/graph/levels.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/graph/levels.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "CMakeFiles/bsa.dir/src/graph/task_graph.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/graph/task_graph.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "CMakeFiles/bsa.dir/src/graph/traversal.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/graph/traversal.cpp.o.d"
+  "/root/repo/src/network/cost_model.cpp" "CMakeFiles/bsa.dir/src/network/cost_model.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/network/cost_model.cpp.o.d"
+  "/root/repo/src/network/routing.cpp" "CMakeFiles/bsa.dir/src/network/routing.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/network/routing.cpp.o.d"
+  "/root/repo/src/network/topology.cpp" "CMakeFiles/bsa.dir/src/network/topology.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/network/topology.cpp.o.d"
+  "/root/repo/src/runtime/result_sink.cpp" "CMakeFiles/bsa.dir/src/runtime/result_sink.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/runtime/result_sink.cpp.o.d"
+  "/root/repo/src/runtime/scenario.cpp" "CMakeFiles/bsa.dir/src/runtime/scenario.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/runtime/scenario.cpp.o.d"
+  "/root/repo/src/runtime/sweep_runner.cpp" "CMakeFiles/bsa.dir/src/runtime/sweep_runner.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/runtime/sweep_runner.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "CMakeFiles/bsa.dir/src/runtime/thread_pool.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/sched/assignment.cpp" "CMakeFiles/bsa.dir/src/sched/assignment.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/assignment.cpp.o.d"
+  "/root/repo/src/sched/event_sim.cpp" "CMakeFiles/bsa.dir/src/sched/event_sim.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/event_sim.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "CMakeFiles/bsa.dir/src/sched/gantt.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/gantt.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "CMakeFiles/bsa.dir/src/sched/metrics.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/metrics.cpp.o.d"
+  "/root/repo/src/sched/retime.cpp" "CMakeFiles/bsa.dir/src/sched/retime.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/retime.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "CMakeFiles/bsa.dir/src/sched/schedule.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "CMakeFiles/bsa.dir/src/sched/schedule_io.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/schedule_io.cpp.o.d"
+  "/root/repo/src/sched/timeline.cpp" "CMakeFiles/bsa.dir/src/sched/timeline.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/timeline.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "CMakeFiles/bsa.dir/src/sched/validate.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/sched/validate.cpp.o.d"
+  "/root/repo/src/workloads/random_dag.cpp" "CMakeFiles/bsa.dir/src/workloads/random_dag.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/workloads/random_dag.cpp.o.d"
+  "/root/repo/src/workloads/regular.cpp" "CMakeFiles/bsa.dir/src/workloads/regular.cpp.o" "gcc" "CMakeFiles/bsa.dir/src/workloads/regular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bsa.
+# This may be replaced when dependencies are built.

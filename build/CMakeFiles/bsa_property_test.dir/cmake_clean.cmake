@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsa_property_test.dir/tests/bsa_property_test.cpp.o"
+  "CMakeFiles/bsa_property_test.dir/tests/bsa_property_test.cpp.o.d"
+  "bsa_property_test"
+  "bsa_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

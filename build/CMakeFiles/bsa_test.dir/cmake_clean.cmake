@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsa_test.dir/tests/bsa_test.cpp.o"
+  "CMakeFiles/bsa_test.dir/tests/bsa_test.cpp.o.d"
+  "bsa_test"
+  "bsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

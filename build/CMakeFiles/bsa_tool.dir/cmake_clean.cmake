@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsa_tool.dir/examples/bsa_tool.cpp.o"
+  "CMakeFiles/bsa_tool.dir/examples/bsa_tool.cpp.o.d"
+  "bsa_tool"
+  "bsa_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsa_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_test.dir/tests/dls_test.cpp.o"
+  "CMakeFiles/dls_test.dir/tests/dls_test.cpp.o.d"
+  "dls_test"
+  "dls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eft_test.dir/tests/eft_test.cpp.o"
+  "CMakeFiles/eft_test.dir/tests/eft_test.cpp.o.d"
+  "eft_test"
+  "eft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

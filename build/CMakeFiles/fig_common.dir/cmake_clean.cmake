@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_common.dir/bench/fig_common.cpp.o"
+  "CMakeFiles/fig_common.dir/bench/fig_common.cpp.o.d"
+  "libfig_common.a"
+  "libfig_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

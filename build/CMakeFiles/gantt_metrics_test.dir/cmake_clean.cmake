@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_metrics_test.dir/tests/gantt_metrics_test.cpp.o"
+  "CMakeFiles/gantt_metrics_test.dir/tests/gantt_metrics_test.cpp.o.d"
+  "gantt_metrics_test"
+  "gantt_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

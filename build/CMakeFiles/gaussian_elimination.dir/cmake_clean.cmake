@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_elimination.dir/examples/gaussian_elimination.cpp.o"
+  "CMakeFiles/gaussian_elimination.dir/examples/gaussian_elimination.cpp.o.d"
+  "gaussian_elimination"
+  "gaussian_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

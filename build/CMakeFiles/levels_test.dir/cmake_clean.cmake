@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levels_test.dir/tests/levels_test.cpp.o"
+  "CMakeFiles/levels_test.dir/tests/levels_test.cpp.o.d"
+  "levels_test"
+  "levels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

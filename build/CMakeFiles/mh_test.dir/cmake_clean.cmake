@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_test.dir/tests/mh_test.cpp.o"
+  "CMakeFiles/mh_test.dir/tests/mh_test.cpp.o.d"
+  "mh_test"
+  "mh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_and_refine.dir/examples/partition_and_refine.cpp.o"
+  "CMakeFiles/partition_and_refine.dir/examples/partition_and_refine.cpp.o.d"
+  "partition_and_refine"
+  "partition_and_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_and_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

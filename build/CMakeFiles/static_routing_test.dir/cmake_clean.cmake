@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_routing_test.dir/tests/static_routing_test.cpp.o"
+  "CMakeFiles/static_routing_test.dir/tests/static_routing_test.cpp.o.d"
+  "static_routing_test"
+  "static_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

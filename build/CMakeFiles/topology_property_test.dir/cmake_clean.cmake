@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_property_test.dir/tests/topology_property_test.cpp.o"
+  "CMakeFiles/topology_property_test.dir/tests/topology_property_test.cpp.o.d"
+  "topology_property_test"
+  "topology_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_extra_test.dir/tests/workloads_extra_test.cpp.o"
+  "CMakeFiles/workloads_extra_test.dir/tests/workloads_extra_test.cpp.o.d"
+  "workloads_extra_test"
+  "workloads_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
