@@ -3,9 +3,10 @@
 /// DLS on the 16-processor hypercube while the heterogeneity factor range
 /// sweeps over U[1,10], U[1,50], U[1,100], U[1,200]. The sweep runs on
 /// the parallel experiment runtime; the same ten graphs are reused for
-/// every range. Graph seeds derive from the scenario grid coordinates,
-/// so absolute numbers differ from the pre-runtime serial driver for the
-/// same --seed (the figure's shape conclusions are unaffected).
+/// every range. Graph seeds use the legacy sequential derivation
+/// (derive_seed(base_seed, i), the pre-runtime serial driver's formula),
+/// so the table matches the original serial driver for the same --seed;
+/// pass --seed-mode grid for coordinate-derived seeds instead.
 ///
 /// Expected shape (paper §3): both algorithms produce longer schedules as
 /// the range grows (more slow processors), but BSA's schedule lengths
@@ -14,8 +15,9 @@
 ///
 /// Flags: --full (10 graphs of 500 tasks as in the paper; default is a
 ///        quicker 4 graphs of 250 tasks), --graphs N, --tasks N,
-///        --per-pair, --csv, --seed S, --threads/--jobs N (0 = all
-///        cores), --out FILE (stream per-scenario JSONL rows).
+///        --per-pair, --csv, --seed S, --seed-mode legacy|grid,
+///        --threads/--jobs N (0 = all cores), --out FILE (stream
+///        per-scenario JSONL rows).
 
 #include <iostream>
 #include <map>
@@ -49,6 +51,16 @@ int main(int argc, char** argv) {
   grid.per_pair = cli.get_bool("per-pair", false);
   grid.seeds_per_cell = num_graphs;
   grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  const std::string seed_mode = cli.get_string("seed-mode", "legacy");
+  if (seed_mode == "legacy") {
+    grid.seed_mode = runtime::SeedMode::kLegacySequential;
+  } else if (seed_mode == "grid") {
+    grid.seed_mode = runtime::SeedMode::kGridCoordinates;
+  } else {
+    std::cerr << "--seed-mode expects 'legacy' or 'grid', got '" << seed_mode
+              << "'\n";
+    return 1;
+  }
 
   const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
   runtime::SweepRunner runner({.threads = cli.threads(1)});
@@ -57,8 +69,9 @@ int main(int argc, char** argv) {
             << num_graphs << " random graphs of " << num_tasks
             << " tasks, granularity 1.0, 16-processor hypercube, factors "
             << (grid.per_pair ? "per (task,processor) pair" : "per processor")
-            << ", " << set.size() << " scenarios on " << runner.threads()
-            << " thread(s)\n\n";
+            << ", " << runtime::seed_mode_name(grid.seed_mode)
+            << " seeds, " << set.size() << " scenarios on "
+            << runner.threads() << " thread(s)\n\n";
 
   std::unique_ptr<runtime::JsonlSink> jsonl;
   if (const auto out = cli.out_path()) {

@@ -5,18 +5,32 @@
 /// Small residuals mean the scheduler's output is already near a local
 /// optimum of the contention-aware objective.
 ///
+/// Both candidate-evaluation engines are timed head to head: the full
+/// per-candidate re-list (MoveEval::kRelist, "before") and the
+/// incremental RetimeContext-based move evaluation
+/// (MoveEval::kRetimeDelta, "after"). The timings are appended to
+/// BENCH_refine.json (same schema as BENCH_runtime.json) so the perf
+/// trajectory is tracked run over run.
+///
 /// Flags: --tasks N, --seeds N, --rounds N, --per-pair, --seed S.
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "baselines/dls.hpp"
 #include "baselines/eft.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/bsa.hpp"
 #include "core/refine.hpp"
 #include "exp/experiment.hpp"
+#include "runtime/result_sink.hpp"
 #include "workloads/random_dag.hpp"
 
 int main(int argc, char** argv) {
@@ -32,11 +46,13 @@ int main(int argc, char** argv) {
   std::cout << "=== local-search refinement headroom ===\n"
             << num_tasks << "-task random graphs, granularity 1.0, "
             << "16-processor hypercube, " << seeds << " seed(s), " << rounds
-            << " refinement round(s)\n\n";
+            << " refinement round(s), re-list vs retime-delta move "
+               "evaluation\n\n";
 
   const auto topo = exp::make_topology("hypercube", 16, base_seed);
-  TextTable table({"scheduler", "before", "after refine", "improvement %",
-                   "moves"});
+  TextTable table({"scheduler", "eval", "before", "after refine",
+                   "improvement %", "moves", "mean ms"});
+  std::vector<runtime::BenchEntry> entries;
   struct Row {
     const char* name;
     exp::Algo algo;
@@ -44,8 +60,12 @@ int main(int argc, char** argv) {
   for (const Row row : {Row{"BSA", exp::Algo::kBsa},
                         Row{"DLS", exp::Algo::kDls},
                         Row{"EFT (oblivious)", exp::Algo::kEft}}) {
-    exp::CellMean before, after;
-    int total_moves = 0;
+    struct EvalCell {
+      exp::CellMean before, after;
+      StatAccumulator wall;
+      int total_moves = 0;
+    };
+    EvalCell relist, delta;
     for (int rep = 0; rep < seeds; ++rep) {
       workloads::RandomDagParams params;
       params.num_tasks = num_tasks;
@@ -71,26 +91,57 @@ int main(int argc, char** argv) {
           s = baselines::schedule_eft_oblivious(g, topo, cm).schedule;
           break;
       }
-      core::RefineOptions opt;
-      opt.max_rounds = rounds;
-      const auto refined = core::refine_schedule(s, cm, opt);
-      before.add(s.makespan());
-      after.add(refined.final_length);
-      total_moves += refined.moves_applied;
+      for (EvalCell* cell : {&relist, &delta}) {
+        core::RefineOptions opt;
+        opt.max_rounds = rounds;
+        opt.move_eval = cell == &relist ? core::MoveEval::kRelist
+                                        : core::MoveEval::kRetimeDelta;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto refined = core::refine_schedule(s, cm, opt);
+        const auto t1 = std::chrono::steady_clock::now();
+        cell->wall.add(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        cell->before.add(s.makespan());
+        cell->after.add(refined.final_length);
+        cell->total_moves += refined.moves_applied;
+      }
     }
-    const double pct =
-        before.mean() > 0
-            ? 100.0 * (before.mean() - after.mean()) / before.mean()
-            : 0.0;
-    table.new_row()
-        .cell(row.name)
-        .cell(before.mean(), 1)
-        .cell(after.mean(), 1)
-        .cell(pct, 1)
-        .cell(static_cast<long long>(total_moves));
+    for (const auto& [eval_name, cell] :
+         {std::pair<const char*, const EvalCell&>{"relist", relist},
+          std::pair<const char*, const EvalCell&>{"retime-delta", delta}}) {
+      const double pct =
+          cell.before.mean() > 0
+              ? 100.0 * (cell.before.mean() - cell.after.mean()) /
+                    cell.before.mean()
+              : 0.0;
+      table.new_row()
+          .cell(row.name)
+          .cell(eval_name)
+          .cell(cell.before.mean(), 1)
+          .cell(cell.after.mean(), 1)
+          .cell(pct, 1)
+          .cell(static_cast<long long>(cell.total_moves))
+          .cell(cell.wall.mean(), 2);
+      runtime::BenchEntry e;
+      e.label = std::string(eval_name) + "/" + row.name + "/" +
+                std::to_string(num_tasks);
+      e.runs = static_cast<int>(cell.wall.count());
+      e.mean_wall_ms = cell.wall.mean();
+      e.mean_schedule_length = cell.after.mean();
+      entries.push_back(std::move(e));
+    }
   }
   table.print(std::cout);
   std::cout << "\nsmall improvement % = the scheduler was already near a "
-               "single-move local optimum\n";
+               "single-move local optimum; retime-delta explores a "
+               "slightly different neighbourhood, so its endpoint may "
+               "differ from relist\n";
+
+  const std::string report_path = "BENCH_refine.json";
+  std::ofstream report(report_path, std::ios::trunc);
+  BSA_REQUIRE(report.good(), "cannot write " << report_path);
+  runtime::write_bench_json(report, "refine", 1, entries);
+  std::cout << "wrote " << entries.size() << " entries to " << report_path
+            << '\n';
   return 0;
 }

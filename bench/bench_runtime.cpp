@@ -8,6 +8,14 @@
 /// records the perf trajectory as BENCH_runtime.json via the runtime's
 /// result sink.
 ///
+/// A second section times BSA's re-timing engines head to head on the
+/// largest graphs: the per-migration full constraint-graph rebuild
+/// (sched::try_retime, "before") against the persistent incremental
+/// RetimeContext ("after"); both rows land in BENCH_runtime.json as
+/// bsa-retime-full/... and bsa-retime-incremental/... entries so the
+/// speedup is tracked run over run. The two engines produce bit-identical
+/// schedules (enforced here and by retime_context_test).
+///
 /// Timing note: per-scenario wall_ms is measured inside the scenario
 /// worker, so --threads > 1 speeds the sweep up without perturbing the
 /// per-algorithm means much; use --threads 1 for the most stable numbers.
@@ -17,8 +25,10 @@
 ///        --out FILE (JSONL rows; default BENCH_runtime.json holds the
 ///        aggregate report either way).
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <utility>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,12 +36,34 @@
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/bsa.hpp"
 #include "exp/experiment.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace {
+
+/// Time one BSA run; returns (wall ms, schedule length).
+std::pair<double, bsa::Time> timed_bsa(const bsa::graph::TaskGraph& g,
+                                       const bsa::net::Topology& topo,
+                                       const bsa::net::HeterogeneousCostModel& cm,
+                                       std::uint64_t seed, bool incremental) {
+  bsa::core::BsaOptions opt;
+  opt.seed = seed;
+  opt.incremental_retime = incremental;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = bsa::core::schedule_bsa(g, topo, cm, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double, std::milli>(t1 - t0).count(),
+          result.schedule.makespan()};
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bsa;
@@ -102,6 +134,61 @@ int main(int argc, char** argv) {
     entries.push_back(std::move(e));
   }
   table.print(std::cout);
+
+  // --- re-timing engines, before vs after -----------------------------------
+  // The incremental RetimeContext replaced the per-migration full rebuild
+  // as BSA's default; time both on the largest graphs of the sweep.
+  const int retime_size = grid.sizes.back();
+  std::cout << "\n=== BSA re-timing engines on " << retime_size
+            << "-task graphs (full rebuild vs incremental context) ===\n\n";
+  TextTable retime_table({"topology", "full ms", "incremental ms", "speedup",
+                          "schedule length"});
+  for (const std::string& topo_kind : grid.topologies) {
+    const auto topo = exp::make_topology(topo_kind, grid.procs,
+                                         grid.base_seed);
+    StatAccumulator full_ms, inc_ms, lengths;
+    for (int rep = 0; rep < reps; ++rep) {
+      workloads::RandomDagParams params;
+      params.num_tasks = retime_size;
+      params.granularity = 1.0;
+      params.seed = derive_seed(grid.base_seed,
+                                static_cast<std::uint64_t>(rep), 99);
+      const auto g = workloads::random_layered_dag(params);
+      const auto cm = exp::make_cost_model(g, topo, 1, 50, 1, 50, false,
+                                           derive_seed(params.seed, 17));
+      const auto [ms_full, len_full] =
+          timed_bsa(g, topo, cm, params.seed, /*incremental=*/false);
+      const auto [ms_inc, len_inc] =
+          timed_bsa(g, topo, cm, params.seed, /*incremental=*/true);
+      BSA_REQUIRE(len_full == len_inc,
+                  "re-timing engines disagree on " << topo_kind << " rep "
+                                                   << rep);
+      full_ms.add(ms_full);
+      inc_ms.add(ms_inc);
+      lengths.add(len_full);
+    }
+    retime_table.new_row()
+        .cell(topo_kind)
+        .cell(full_ms.mean(), 2)
+        .cell(inc_ms.mean(), 2)
+        .cell(inc_ms.mean() > 0 ? full_ms.mean() / inc_ms.mean() : 0.0, 2)
+        .cell(lengths.mean(), 1);
+    runtime::BenchEntry before;
+    before.label = "bsa-retime-full/" + topo_kind + "/" +
+                   std::to_string(retime_size);
+    before.runs = static_cast<int>(full_ms.count());
+    before.mean_wall_ms = full_ms.mean();
+    before.mean_schedule_length = lengths.mean();
+    entries.push_back(std::move(before));
+    runtime::BenchEntry after;
+    after.label = "bsa-retime-incremental/" + topo_kind + "/" +
+                  std::to_string(retime_size);
+    after.runs = static_cast<int>(inc_ms.count());
+    after.mean_wall_ms = inc_ms.mean();
+    after.mean_schedule_length = lengths.mean();
+    entries.push_back(std::move(after));
+  }
+  retime_table.print(std::cout);
 
   const std::string report_path = "BENCH_runtime.json";
   std::ofstream report(report_path, std::ios::trunc);

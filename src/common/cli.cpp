@@ -1,6 +1,9 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -55,10 +58,16 @@ std::int64_t CliParser::get_int(const std::string& name,
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  BSA_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+  BSA_REQUIRE(end != nullptr && *end == '\0' && end != it->second.c_str() &&
+                  !it->second.empty(),
               "flag --" << name << " expects an integer, got '" << it->second
                         << "'");
+  // strtoll silently clamps to LLONG_MIN/MAX on overflow; reject instead
+  // of handing the caller a clamped value.
+  BSA_REQUIRE(errno != ERANGE,
+              "flag --" << name << " is out of range: '" << it->second << "'");
   return v;
 }
 
@@ -66,10 +75,16 @@ double CliParser::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
-  BSA_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+  BSA_REQUIRE(end != nullptr && *end == '\0' && end != it->second.c_str() &&
+                  !it->second.empty(),
               "flag --" << name << " expects a number, got '" << it->second
                         << "'");
+  // Overflow clamps to +-HUGE_VAL with ERANGE; underflow-to-zero is
+  // accepted (the nearest representable value is a fine answer there).
+  BSA_REQUIRE(errno != ERANGE || std::abs(v) != HUGE_VAL,
+              "flag --" << name << " is out of range: '" << it->second << "'");
   return v;
 }
 
@@ -78,6 +93,8 @@ int CliParser::threads(int fallback) const {
       get_int("threads", get_int("jobs", static_cast<std::int64_t>(fallback)));
   BSA_REQUIRE(v >= 0, "--threads/--jobs expects a non-negative count, got "
                           << v);
+  BSA_REQUIRE(v <= std::numeric_limits<int>::max(),
+              "--threads/--jobs count " << v << " is out of range");
   return static_cast<int>(v);
 }
 

@@ -9,6 +9,7 @@
 #include "core/pivot.hpp"
 #include "network/routing.hpp"
 #include "sched/retime.hpp"
+#include "sched/retime_context.hpp"
 #include "sched/timeline.hpp"
 #include "sched/validate.hpp"
 
@@ -73,6 +74,7 @@ class BsaRunner {
       }
       if (trace_.migrations.size() == migrations_before) break;
     }
+    if (retime_ctx_.has_value()) trace_.retime = retime_ctx_->stats();
     return BsaResult{std::move(sched_), std::move(trace_)};
   }
 
@@ -364,8 +366,24 @@ class BsaRunner {
     // improving is not allowed to push its successors past the old SL).
     const bool guarded = opt_.policy == MigrationPolicy::kMakespanGuarded;
     const Time makespan_before = guarded ? sched_.makespan() : Time{0};
-    std::optional<Schedule> snapshot;
-    if (guarded) snapshot.emplace(sched_);
+    if (guarded) {
+      // Copy-assign into a long-lived snapshot: inner vectors keep their
+      // capacity across migrations, so the guard costs no allocations on
+      // the hot path.
+      if (!snapshot_.has_value()) {
+        snapshot_.emplace(sched_);
+      } else {
+        *snapshot_ = sched_;
+      }
+    }
+
+    // The incremental engine captures the pre-migration structure around
+    // `t` (lazily constructed here: the schedule is a re-timing fixpoint
+    // between migrations, which construction requires).
+    if (opt_.incremental_retime) {
+      if (!retime_ctx_.has_value()) retime_ctx_.emplace(sched_, costs_);
+      retime_ctx_->begin_migration(t);
+    }
 
     if (opt_.routing == RouteDiscipline::kIncremental) {
       commit_incoming_incremental(t, pivot, py);
@@ -392,12 +410,18 @@ class BsaRunner {
 
     // Bubble up: earliest times under the new orders; replay on the rare
     // order cycle introduced by re-issued outgoing routes.
-    if (!sched::try_retime(sched_, costs_, nullptr)) {
+    const bool retimed =
+        retime_ctx_.has_value()
+            ? retime_ctx_->retime_migration(t, nullptr)
+            : sched::try_retime(sched_, costs_, nullptr);
+    if (!retimed) {
       (void)sched::replay_retime(sched_, costs_, opt_.insertion_slots);
+      if (retime_ctx_.has_value()) retime_ctx_->invalidate();
     }
 
     if (guarded && time_lt(makespan_before, sched_.makespan())) {
-      sched_ = std::move(*snapshot);  // reject: schedule got longer
+      sched_ = *snapshot_;  // reject: schedule got longer
+      if (retime_ctx_.has_value()) retime_ctx_->resync_migration(t);
       return;
     }
 
@@ -569,6 +593,11 @@ class BsaRunner {
   BsaTrace trace_;
   /// Only built for RouteDiscipline::kStaticShortestPath.
   std::optional<net::RoutingTable> routing_table_;
+  /// Incremental re-timing engine, bound to sched_; constructed lazily at
+  /// the first migration when opt_.incremental_retime is set.
+  std::optional<sched::RetimeContext> retime_ctx_;
+  /// Reused rollback snapshot for the makespan guard.
+  std::optional<Schedule> snapshot_;
 };
 
 }  // namespace

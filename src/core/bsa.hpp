@@ -8,6 +8,7 @@
 #include "graph/task_graph.hpp"
 #include "network/cost_model.hpp"
 #include "network/topology.hpp"
+#include "sched/retime_context.hpp"
 #include "sched/schedule.hpp"
 
 /// \file bsa.hpp
@@ -105,6 +106,11 @@ struct BsaOptions {
   /// Run the full invariant validator after every migration (slow; used
   /// by tests).
   bool validate_each_step = false;
+  /// Re-time each migration incrementally with a persistent RetimeContext
+  /// (bit-identical to the full rebuild, much faster on large graphs).
+  /// false = rebuild the whole constraint graph per migration with
+  /// sched::try_retime (the reference implementation).
+  bool incremental_retime = true;
 };
 
 /// One committed migration, for tracing/debugging.
@@ -127,6 +133,8 @@ struct BsaTrace {
   Time initial_serial_length = 0;       ///< SL right after serialization
   std::vector<ProcId> pivot_sequence;   ///< BFS processor list
   std::vector<Migration> migrations;
+  /// Re-timing engine counters (zero when incremental_retime is off).
+  sched::RetimeContext::Stats retime;
 };
 
 struct BsaResult {

@@ -2,17 +2,168 @@
 
 #include <algorithm>
 #include <numeric>
+#include <vector>
 
 #include "common/check.hpp"
 #include "sched/assignment.hpp"
+#include "sched/retime.hpp"
+#include "sched/retime_context.hpp"
 
 namespace bsa::core {
+namespace {
+
+/// Candidate processors for `t`: cheapest execution first, capped by
+/// options.candidates_per_task.
+std::vector<ProcId> move_candidates(TaskId t, const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    const RefineOptions& options) {
+  std::vector<ProcId> procs(static_cast<std::size_t>(topo.num_processors()));
+  std::iota(procs.begin(), procs.end(), 0);
+  std::sort(procs.begin(), procs.end(), [&](ProcId a, ProcId b) {
+    const Cost ca = costs.exec_cost(t, a);
+    const Cost cb = costs.exec_cost(t, b);
+    if (!time_eq(ca, cb)) return ca < cb;
+    return a < b;
+  });
+  if (options.candidates_per_task > 0 &&
+      static_cast<std::size_t>(options.candidates_per_task) < procs.size()) {
+    procs.resize(static_cast<std::size_t>(options.candidates_per_task));
+  }
+  return procs;
+}
+
+/// Move `t` to `p` on the live schedule: clear its incident routes,
+/// re-route crossing messages along static shortest paths (deterministic
+/// source-finish order), place `t` at its earliest slot and re-time
+/// incrementally through `ctx`. Deliberately independent of BSA's
+/// static commit (core/bsa.cpp): outgoing messages here re-route from
+/// the task's actual new finish rather than BSA's pre-retime estimate,
+/// so this defines refine's own move semantics, not a mirror of BSA's.
+void apply_move(sched::Schedule& s, const net::HeterogeneousCostModel& costs,
+                const net::RoutingTable& table, sched::RetimeContext& ctx,
+                TaskId t, ProcId p) {
+  const auto& g = s.task_graph();
+  ctx.begin_migration(t);
+  s.unplace_task(t);
+  for (const EdgeId e : g.in_edges(t)) s.clear_route(e);
+  for (const EdgeId e : g.out_edges(t)) s.clear_route(e);
+
+  std::vector<EdgeId> incoming;
+  for (const EdgeId e : g.in_edges(t)) {
+    if (s.proc_of(g.edge_src(e)) != p) incoming.push_back(e);
+  }
+  std::sort(incoming.begin(), incoming.end(), [&](EdgeId a, EdgeId b) {
+    const Time fa = s.finish_of(g.edge_src(a));
+    const Time fb = s.finish_of(g.edge_src(b));
+    if (!time_eq(fa, fb)) return fa < fb;
+    return a < b;
+  });
+  Time drt = 0;
+  for (const EdgeId e : g.in_edges(t)) {
+    if (s.proc_of(g.edge_src(e)) == p) {
+      drt = std::max(drt, s.finish_of(g.edge_src(e)));
+    }
+  }
+  for (const EdgeId e : incoming) {
+    const TaskId src = g.edge_src(e);
+    Time ready = s.finish_of(src);
+    for (const LinkId l : table.route(s.proc_of(src), p)) {
+      const Time dur = costs.comm_cost(e, l);
+      const Time st = s.earliest_link_slot(l, ready, dur);
+      s.append_hop(e, sched::Hop{l, st, st + dur});
+      ready = st + dur;
+    }
+    drt = std::max(drt, ready);
+  }
+
+  const Time dur = costs.exec_cost(t, p);
+  const Time st = s.earliest_task_slot(p, drt, dur);
+  s.place_task(t, p, st, st + dur);
+
+  for (const EdgeId e : g.out_edges(t)) {
+    const TaskId dst = g.edge_dst(e);
+    const ProcId pd = s.proc_of(dst);
+    if (pd == p) continue;
+    Time ready = st + dur;
+    for (const LinkId l : table.route(p, pd)) {
+      const Time hd = costs.comm_cost(e, l);
+      const Time hs = s.earliest_link_slot(l, ready, hd);
+      s.append_hop(e, sched::Hop{l, hs, hs + hd});
+      ready = hs + hd;
+    }
+  }
+
+  if (!ctx.retime_migration(t, nullptr)) {
+    (void)sched::replay_retime(s, costs, true);
+    ctx.invalidate();
+  }
+}
+
+/// Incremental local search: one live schedule, one RetimeContext; each
+/// candidate move is applied, measured, and either kept or rolled back
+/// from a snapshot.
+RefineResult refine_retime_delta(const sched::Schedule& input,
+                                 const net::HeterogeneousCostModel& costs,
+                                 const RefineOptions& options) {
+  const auto& g = input.task_graph();
+  const auto& topo = input.topology();
+  const net::RoutingTable table(topo);
+
+  RefineResult result{input, input.makespan(), input.makespan(), 0, 0};
+  sched::Schedule& s = result.schedule;
+  sched::RetimeContext ctx(s, costs);
+  // Pull the input to its earliest-time fixpoint so the context's
+  // incremental updates start from consistent ground.
+  if (!ctx.retime_full(nullptr)) {
+    (void)sched::replay_retime(s, costs, true);
+    ctx.invalidate();
+  }
+  Time best_len = s.makespan();
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool improved_this_round = false;
+    int stale = 0;
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      const ProcId original = s.proc_of(t);
+      ProcId best_proc = original;
+      for (const ProcId p : move_candidates(t, topo, costs, options)) {
+        if (p == original) continue;
+        ++result.candidates_evaluated;
+        sched::Schedule snapshot = s;
+        apply_move(s, costs, table, ctx, t, p);
+        if (time_lt(s.makespan(), best_len)) {
+          best_len = s.makespan();
+          best_proc = p;
+        }
+        s = std::move(snapshot);
+        ctx.resync_migration(t);
+      }
+      if (best_proc != original) {
+        apply_move(s, costs, table, ctx, t, best_proc);
+        best_len = s.makespan();
+        ++result.moves_applied;
+        improved_this_round = true;
+        stale = 0;
+      } else if (options.patience > 0 && ++stale >= options.patience) {
+        break;
+      }
+    }
+    if (!improved_this_round) break;
+  }
+  result.final_length = best_len;
+  return result;
+}
+
+}  // namespace
 
 RefineResult refine_schedule(const sched::Schedule& input,
                              const net::HeterogeneousCostModel& costs,
                              const RefineOptions& options) {
   BSA_REQUIRE(input.all_placed(), "refine requires a complete schedule");
   BSA_REQUIRE(options.max_rounds >= 1, "max_rounds must be >= 1");
+  if (options.move_eval == MoveEval::kRetimeDelta) {
+    return refine_retime_delta(input, costs, options);
+  }
   const auto& g = input.task_graph();
   const auto& topo = input.topology();
   const net::RoutingTable table(topo);
@@ -30,30 +181,13 @@ RefineResult refine_schedule(const sched::Schedule& input,
 
   RefineResult result{best, input.makespan(), best_len, 0, 0};
 
-  // Candidate processors per task: cheapest execution first.
-  auto candidates_for = [&](TaskId t) {
-    std::vector<ProcId> procs(static_cast<std::size_t>(topo.num_processors()));
-    std::iota(procs.begin(), procs.end(), 0);
-    std::sort(procs.begin(), procs.end(), [&](ProcId a, ProcId b) {
-      const Cost ca = costs.exec_cost(t, a);
-      const Cost cb = costs.exec_cost(t, b);
-      if (!time_eq(ca, cb)) return ca < cb;
-      return a < b;
-    });
-    if (options.candidates_per_task > 0 &&
-        static_cast<std::size_t>(options.candidates_per_task) < procs.size()) {
-      procs.resize(static_cast<std::size_t>(options.candidates_per_task));
-    }
-    return procs;
-  };
-
   for (int round = 0; round < options.max_rounds; ++round) {
     bool improved_this_round = false;
     int stale = 0;
     for (TaskId t = 0; t < g.num_tasks(); ++t) {
       const ProcId original = assignment[static_cast<std::size_t>(t)];
       ProcId best_proc = original;
-      for (const ProcId p : candidates_for(t)) {
+      for (const ProcId p : move_candidates(t, topo, costs, options)) {
         if (p == original) continue;
         assignment[static_cast<std::size_t>(t)] = p;
         ++result.candidates_evaluated;

@@ -19,6 +19,23 @@
 
 namespace bsa::core {
 
+/// How a candidate single-task move is evaluated.
+enum class MoveEval : unsigned char {
+  /// Re-derive the whole schedule from the tweaked assignment with
+  /// sched::schedule_from_assignment — the reference behaviour.
+  kRelist,
+  /// Apply the move to the live schedule (unplace, static shortest-path
+  /// re-route of the task's messages, earliest-slot placement) and
+  /// re-time incrementally with a persistent sched::RetimeContext;
+  /// rejected moves restore a snapshot and resync the context. Much
+  /// faster on large graphs. The neighbourhood it explores differs
+  /// slightly from kRelist (moves are applied to the evolved schedule
+  /// instead of re-listing every task), so schedules are not expected to
+  /// be identical between the modes — only valid and monotonically
+  /// improving.
+  kRetimeDelta,
+};
+
 struct RefineOptions {
   /// Full passes over all tasks (each pass tries every task once).
   int max_rounds = 2;
@@ -29,6 +46,8 @@ struct RefineOptions {
   /// Stop a round early after this many consecutive non-improving tasks
   /// (<= 0 disables early stopping).
   int patience = 0;
+  /// Candidate evaluation engine (see MoveEval).
+  MoveEval move_eval = MoveEval::kRelist;
 };
 
 struct RefineResult {

@@ -17,6 +17,16 @@ const char* workload_kind_name(WorkloadKind k) {
   return "?";
 }
 
+const char* seed_mode_name(SeedMode m) {
+  switch (m) {
+    case SeedMode::kGridCoordinates:
+      return "grid";
+    case SeedMode::kLegacySequential:
+      return "legacy";
+  }
+  return "?";
+}
+
 ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
   BSA_REQUIRE(!grid.sizes.empty(), "ScenarioGrid: no sizes");
   BSA_REQUIRE(!grid.granularities.empty(), "ScenarioGrid: no granularities");
@@ -29,6 +39,14 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
       grid.workload == WorkloadKind::kRegularApp
           ? static_cast<int>(exp::paper_regular_apps().size())
           : 1;
+  // Legacy seeds depend on the replicate index alone: on a grid with
+  // several sizes, granularities or apps they would silently hand the
+  // same instance seed to cells that are supposed to be independent.
+  BSA_REQUIRE(grid.seed_mode != SeedMode::kLegacySequential ||
+                  (grid.sizes.size() == 1 && grid.granularities.size() == 1 &&
+                   num_apps == 1),
+              "ScenarioGrid: kLegacySequential requires a single size, "
+              "granularity and app (seeds derive from the replicate only)");
 
   ScenarioSet set;
   set.scenarios_.reserve(grid.topologies.size() * grid.het_highs.size() *
@@ -42,16 +60,22 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
         for (const double gran : grid.granularities) {
           for (int app = 0; app < num_apps; ++app) {
             for (int rep = 0; rep < grid.seeds_per_cell; ++rep) {
-              // The historical cell-seed formula of the serial figure
-              // drivers, kept so the parallel runtime reproduces their
-              // exact numbers. Depends on the cell coordinates only —
-              // never on topology, range, algorithm or thread count.
-              const std::uint64_t instance_seed = derive_seed(
-                  grid.base_seed,
-                  static_cast<std::uint64_t>(size) * 1000 +
-                      static_cast<std::uint64_t>(gran * 10),
-                  static_cast<std::uint64_t>(app),
-                  static_cast<std::uint64_t>(rep));
+              // Both formulas depend on the cell only — never on
+              // topology, range, algorithm or thread count — so every
+              // algorithm of a cell schedules the same graph at any
+              // --threads. kLegacySequential reproduces the pre-runtime
+              // serial drivers (fig7); kGridCoordinates additionally
+              // decorrelates cells across sizes/granularities/apps.
+              const std::uint64_t instance_seed =
+                  grid.seed_mode == SeedMode::kLegacySequential
+                      ? derive_seed(grid.base_seed,
+                                    static_cast<std::uint64_t>(rep))
+                      : derive_seed(
+                            grid.base_seed,
+                            static_cast<std::uint64_t>(size) * 1000 +
+                                static_cast<std::uint64_t>(gran * 10),
+                            static_cast<std::uint64_t>(app),
+                            static_cast<std::uint64_t>(rep));
               for (const exp::Algo algo : grid.algos) {
                 ScenarioSpec s;
                 s.index = set.scenarios_.size();

@@ -71,6 +71,25 @@ struct ScenarioResult {
   bool valid = false;  ///< full invariant validation result
 };
 
+/// How per-scenario instance seeds are derived from the grid.
+enum class SeedMode : unsigned char {
+  /// Seeds derive from the full cell coordinates
+  /// (base_seed, size, granularity, app, rep) — independent of the
+  /// enumeration position, so grids that sweep sizes/granularities hand
+  /// identical graphs to every algorithm, topology and range of a cell.
+  kGridCoordinates,
+  /// Seeds derive from the replicate index alone:
+  /// derive_seed(base_seed, rep) — the formula of the pre-runtime serial
+  /// drivers. Figure 7 uses this so its numbers match the seed repo's
+  /// serial driver for the same --seed (the parallel-runtime port had
+  /// silently switched fig7 to coordinate seeds, shifting its table).
+  /// Restricted to single-size, single-granularity, single-app grids
+  /// (enforced by from_grid): any other cells would silently share
+  /// instance seeds.
+  kLegacySequential,
+};
+[[nodiscard]] const char* seed_mode_name(SeedMode m);
+
 /// Axes of a sweep; the cross product is enumerated topology-outermost:
 ///   topology × het_hi × size × granularity × app × rep × algo.
 struct ScenarioGrid {
@@ -87,6 +106,7 @@ struct ScenarioGrid {
   bool per_pair = false;
   int seeds_per_cell = 1;
   std::uint64_t base_seed = 2026;
+  SeedMode seed_mode = SeedMode::kGridCoordinates;
 };
 
 /// The enumerated, seeded cross product of a ScenarioGrid.

@@ -1,0 +1,456 @@
+#include "sched/retime_context.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bsa::sched {
+
+RetimeContext::RetimeContext(Schedule& s,
+                             const net::HeterogeneousCostModel& costs)
+    : s_(&s),
+      costs_(&costs),
+      g_(&s.task_graph()),
+      num_tasks_(s.task_graph().num_tasks()) {
+  const auto n = static_cast<std::size_t>(num_tasks_);
+  start_.resize(n, 0);
+  finish_.resize(n, 0);
+  node_edge_.resize(n, kInvalidEdge);
+  node_k_.resize(n, 0);
+  node_link_.resize(n, kInvalidLink);
+  task_active_.resize(n, 0);
+  hop_nodes_.resize(static_cast<std::size_t>(g_->num_edges()));
+  proc_prev_.resize(n, kNone);
+  proc_next_.resize(n, kNone);
+  link_prev_.resize(n, kNone);
+  link_next_.resize(n, kNone);
+  mark_.resize(n, 0);
+  indeg_.resize(n, 0);
+
+  // Build the structure and adopt the schedule's times: the schedule is
+  // required to be a re-timing fixpoint at construction.
+  ++stats_.full_rebuilds;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    task_active_[static_cast<std::size_t>(t)] = s_->is_placed(t) ? 1 : 0;
+    if (s_->is_placed(t)) {
+      start_[static_cast<std::size_t>(t)] = s_->start_of(t);
+      finish_[static_cast<std::size_t>(t)] = s_->finish_of(t);
+    }
+  }
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) rebuild_edge_hops(e);
+  for (ProcId p = 0; p < s_->topology().num_processors(); ++p) {
+    relink_proc_chain(p);
+  }
+  for (LinkId l = 0; l < s_->topology().num_links(); ++l) {
+    relink_link_chain(l);
+  }
+  seeds_.clear();  // construction only syncs; nothing to recompute
+  stats_.node_count = s_->num_placed() +
+                      static_cast<std::int64_t>(start_.size() - n) -
+                      static_cast<std::int64_t>(free_.size());
+}
+
+// --- node pool --------------------------------------------------------------
+
+void RetimeContext::ensure_node_capacity(int v) {
+  const auto need = static_cast<std::size_t>(v) + 1;
+  if (start_.size() >= need) return;
+  start_.resize(need, 0);
+  finish_.resize(need, 0);
+  node_edge_.resize(need, kInvalidEdge);
+  node_k_.resize(need, 0);
+  node_link_.resize(need, kInvalidLink);
+  link_prev_.resize(need, kNone);
+  link_next_.resize(need, kNone);
+  mark_.resize(need, 0);
+  indeg_.resize(need, 0);
+}
+
+int RetimeContext::alloc_hop_node(EdgeId e, int k, LinkId link) {
+  int v;
+  if (!free_.empty()) {
+    v = free_.back();
+    free_.pop_back();
+  } else {
+    v = static_cast<int>(start_.size());
+    ensure_node_capacity(v);
+  }
+  node_edge_[static_cast<std::size_t>(v)] = e;
+  node_k_[static_cast<std::size_t>(v)] = k;
+  node_link_[static_cast<std::size_t>(v)] = link;
+  link_prev_[static_cast<std::size_t>(v)] = kNone;
+  link_next_[static_cast<std::size_t>(v)] = kNone;
+  return v;
+}
+
+void RetimeContext::free_edge_nodes(EdgeId e) {
+  auto& nodes = hop_nodes_[static_cast<std::size_t>(e)];
+  for (const int v : nodes) free_.push_back(v);
+  nodes.clear();
+}
+
+// --- structure building ------------------------------------------------------
+
+void RetimeContext::rebuild_edge_hops(EdgeId e) {
+  free_edge_nodes(e);
+  auto& nodes = hop_nodes_[static_cast<std::size_t>(e)];
+  const auto& route = s_->route_of(e);
+  nodes.reserve(route.size());
+  for (int k = 0; k < static_cast<int>(route.size()); ++k) {
+    const Hop& h = route[static_cast<std::size_t>(k)];
+    const int v = alloc_hop_node(e, k, h.link);
+    start_[static_cast<std::size_t>(v)] = h.start;
+    finish_[static_cast<std::size_t>(v)] = h.finish;
+    nodes.push_back(v);
+  }
+}
+
+void RetimeContext::seed(int v) { seeds_.push_back(v); }
+
+void RetimeContext::relink_proc_chain(ProcId p) {
+  const auto& order = s_->tasks_on(p);
+  TaskId prev = kNone;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TaskId u = order[i];
+    if (proc_prev_[static_cast<std::size_t>(u)] != prev) {
+      proc_prev_[static_cast<std::size_t>(u)] = prev;
+      seed(u);
+    }
+    proc_next_[static_cast<std::size_t>(u)] =
+        i + 1 < order.size() ? order[i + 1] : kNone;
+    prev = u;
+  }
+}
+
+void RetimeContext::relink_link_chain(LinkId l) {
+  const auto& bookings = s_->bookings_on(l);
+  int prev = kNone;
+  for (std::size_t i = 0; i < bookings.size(); ++i) {
+    const LinkBooking& b = bookings[i];
+    const int v = hop_nodes_[static_cast<std::size_t>(b.edge)]
+                            [static_cast<std::size_t>(b.hop_index)];
+    if (link_prev_[static_cast<std::size_t>(v)] != prev) {
+      link_prev_[static_cast<std::size_t>(v)] = prev;
+      seed(v);
+    }
+    if (i + 1 < bookings.size()) {
+      const LinkBooking& nb = bookings[i + 1];
+      link_next_[static_cast<std::size_t>(v)] =
+          hop_nodes_[static_cast<std::size_t>(nb.edge)]
+                    [static_cast<std::size_t>(nb.hop_index)];
+    } else {
+      link_next_[static_cast<std::size_t>(v)] = kNone;
+    }
+    prev = v;
+  }
+}
+
+// --- dependency enumeration --------------------------------------------------
+
+template <typename Fn>
+void RetimeContext::for_each_pred(int v, Fn&& fn) const {
+  if (is_task_node(v)) {
+    const auto t = static_cast<TaskId>(v);
+    if (proc_prev_[static_cast<std::size_t>(t)] != kNone) {
+      fn(proc_prev_[static_cast<std::size_t>(t)]);
+    }
+    for (const EdgeId e : g_->in_edges(t)) {
+      const auto& nodes = hop_nodes_[static_cast<std::size_t>(e)];
+      if (!nodes.empty()) {
+        fn(nodes.back());
+      } else {
+        const TaskId src = g_->edge_src(e);
+        if (task_active_[static_cast<std::size_t>(src)]) fn(src);
+      }
+    }
+    return;
+  }
+  const EdgeId e = node_edge_[static_cast<std::size_t>(v)];
+  const int k = node_k_[static_cast<std::size_t>(v)];
+  if (k == 0) {
+    const TaskId src = g_->edge_src(e);
+    BSA_ASSERT(task_active_[static_cast<std::size_t>(src)],
+               "routed message with unplaced source");
+    fn(src);
+  } else {
+    fn(hop_nodes_[static_cast<std::size_t>(e)][static_cast<std::size_t>(k - 1)]);
+  }
+  if (link_prev_[static_cast<std::size_t>(v)] != kNone) {
+    fn(link_prev_[static_cast<std::size_t>(v)]);
+  }
+}
+
+template <typename Fn>
+void RetimeContext::for_each_succ(int v, Fn&& fn) const {
+  if (is_task_node(v)) {
+    const auto t = static_cast<TaskId>(v);
+    if (proc_next_[static_cast<std::size_t>(t)] != kNone) {
+      fn(proc_next_[static_cast<std::size_t>(t)]);
+    }
+    for (const EdgeId e : g_->out_edges(t)) {
+      const auto& nodes = hop_nodes_[static_cast<std::size_t>(e)];
+      if (!nodes.empty()) {
+        fn(nodes.front());
+      } else {
+        const TaskId dst = g_->edge_dst(e);
+        if (task_active_[static_cast<std::size_t>(dst)]) fn(dst);
+      }
+    }
+    return;
+  }
+  const EdgeId e = node_edge_[static_cast<std::size_t>(v)];
+  const int k = node_k_[static_cast<std::size_t>(v)];
+  const auto& nodes = hop_nodes_[static_cast<std::size_t>(e)];
+  if (static_cast<std::size_t>(k + 1) < nodes.size()) {
+    fn(nodes[static_cast<std::size_t>(k + 1)]);
+  } else {
+    const TaskId dst = g_->edge_dst(e);
+    if (task_active_[static_cast<std::size_t>(dst)]) fn(dst);
+  }
+  if (link_next_[static_cast<std::size_t>(v)] != kNone) {
+    fn(link_next_[static_cast<std::size_t>(v)]);
+  }
+}
+
+Time RetimeContext::duration_of(int v) const {
+  if (is_task_node(v)) {
+    const auto t = static_cast<TaskId>(v);
+    return costs_->exec_cost(t, s_->proc_of(t));
+  }
+  return costs_->comm_cost(node_edge_[static_cast<std::size_t>(v)],
+                           node_link_[static_cast<std::size_t>(v)]);
+}
+
+// --- partial re-topological-sort ---------------------------------------------
+
+void RetimeContext::collect_region() {
+  region_.clear();
+  queue_.clear();
+  ++epoch_;
+  for (const int v : seeds_) {
+    if (mark_[static_cast<std::size_t>(v)] == epoch_) continue;
+    mark_[static_cast<std::size_t>(v)] = epoch_;
+    indeg_[static_cast<std::size_t>(v)] = 0;
+    region_.push_back(v);
+  }
+  // Downstream closure: every node whose inputs may change. Because every
+  // successor of a region node joins the region, the closure walk also
+  // yields the region-restricted indegrees for free — each constraint
+  // edge inside the region is enumerated exactly once here.
+  for (std::size_t head = 0; head < region_.size(); ++head) {
+    for_each_succ(region_[head], [&](int w) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (mark_[wi] != epoch_) {
+        mark_[wi] = epoch_;
+        indeg_[wi] = 0;
+        region_.push_back(w);
+      }
+      ++indeg_[wi];
+    });
+  }
+}
+
+bool RetimeContext::sweep_region() {
+  // Kahn longest-path sweep over the region (indegrees were accumulated
+  // by collect_region). Values of predecessors outside the region are
+  // fixed by construction.
+  queue_.clear();
+  for (const int v : region_) {
+    if (indeg_[static_cast<std::size_t>(v)] == 0) queue_.push_back(v);
+  }
+  std::size_t processed = 0;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const int v = queue_[head];
+    ++processed;
+    Time st = 0;
+    for_each_pred(v, [&](int u) {
+      st = std::max(st, finish_[static_cast<std::size_t>(u)]);
+    });
+    start_[static_cast<std::size_t>(v)] = st;
+    finish_[static_cast<std::size_t>(v)] = st + duration_of(v);
+    for_each_succ(v, [&](int w) {
+      if (mark_[static_cast<std::size_t>(w)] != epoch_) return;
+      if (--indeg_[static_cast<std::size_t>(w)] == 0) queue_.push_back(w);
+    });
+  }
+  return processed == region_.size();
+}
+
+void RetimeContext::write_back_region() {
+  // Large parts of a region often re-derive their previous times (the
+  // max over their inputs did not move); skip those — set_hop_times in
+  // particular pays a booking lookup per call.
+  for (const int v : region_) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (is_task_node(v)) {
+      const auto t = static_cast<TaskId>(v);
+      if (s_->start_of(t) != start_[vi] || s_->finish_of(t) != finish_[vi]) {
+        s_->set_task_times(t, start_[vi], finish_[vi]);
+      }
+    } else {
+      const Hop& h = s_->route_of(node_edge_[vi])
+                         [static_cast<std::size_t>(node_k_[vi])];
+      if (h.start != start_[vi] || h.finish != finish_[vi]) {
+        s_->set_hop_times(node_edge_[vi], node_k_[vi], start_[vi],
+                          finish_[vi]);
+      }
+    }
+  }
+}
+
+Time RetimeContext::task_makespan() const {
+  Time mk = 0;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    if (task_active_[static_cast<std::size_t>(t)]) {
+      mk = std::max(mk, finish_[static_cast<std::size_t>(t)]);
+    }
+  }
+  return mk;
+}
+
+// --- public API --------------------------------------------------------------
+
+bool RetimeContext::retime_full(Time* makespan) {
+  ++stats_.full_rebuilds;
+  pending_task_ = kInvalidTask;
+  // A full rebuild has no re-appliable delta: a later rollback resync
+  // must fall back to another full rebuild.
+  last_pre_proc_ = kInvalidProc;
+  last_post_proc_ = kInvalidProc;
+  last_links_.clear();
+  seeds_.clear();
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    task_active_[static_cast<std::size_t>(t)] = s_->is_placed(t) ? 1 : 0;
+    proc_prev_[static_cast<std::size_t>(t)] = kNone;
+    proc_next_[static_cast<std::size_t>(t)] = kNone;
+  }
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) rebuild_edge_hops(e);
+  for (ProcId p = 0; p < s_->topology().num_processors(); ++p) {
+    relink_proc_chain(p);
+  }
+  for (LinkId l = 0; l < s_->topology().num_links(); ++l) {
+    relink_link_chain(l);
+  }
+  // Seed every active node: recompute the whole graph.
+  seeds_.clear();
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    if (task_active_[static_cast<std::size_t>(t)]) seed(t);
+  }
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    for (const int v : hop_nodes_[static_cast<std::size_t>(e)]) seed(v);
+  }
+  collect_region();
+  if (!sweep_region()) {
+    stale_ = true;
+    return false;
+  }
+  write_back_region();
+  stats_.nodes_recomputed += static_cast<std::int64_t>(region_.size());
+  stats_.node_count =
+      s_->num_placed() +
+      static_cast<std::int64_t>(start_.size()) - num_tasks_ -
+      static_cast<std::int64_t>(free_.size());
+  stale_ = false;
+  if (makespan != nullptr) *makespan = task_makespan();
+  return true;
+}
+
+void RetimeContext::begin_migration(TaskId t) {
+  BSA_REQUIRE(t >= 0 && t < num_tasks_, "task id " << t << " out of range");
+  pending_task_ = t;
+  pre_proc_ = s_->is_placed(t) ? s_->proc_of(t) : kInvalidProc;
+  pre_links_.clear();
+  for (const EdgeId e : g_->in_edges(t)) {
+    for (const Hop& h : s_->route_of(e)) pre_links_.push_back(h.link);
+  }
+  for (const EdgeId e : g_->out_edges(t)) {
+    for (const Hop& h : s_->route_of(e)) pre_links_.push_back(h.link);
+  }
+}
+
+bool RetimeContext::apply_delta(TaskId t, Time* makespan,
+                                std::vector<LinkId> links, ProcId proc_a,
+                                ProcId proc_b, bool is_resync) {
+  BSA_REQUIRE(s_->is_placed(t), "retime delta for unplaced task " << t);
+  // Collect links of the current (post-mutation) routes too.
+  for (const EdgeId e : g_->in_edges(t)) {
+    for (const Hop& h : s_->route_of(e)) links.push_back(h.link);
+  }
+  for (const EdgeId e : g_->out_edges(t)) {
+    for (const Hop& h : s_->route_of(e)) links.push_back(h.link);
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+
+  seeds_.clear();
+  // The migrated task's incident routes were rewritten: re-allocate their
+  // hop chains (the rest of the graph keeps its nodes).
+  for (const EdgeId e : g_->in_edges(t)) {
+    rebuild_edge_hops(e);
+    for (const int v : hop_nodes_[static_cast<std::size_t>(e)]) seed(v);
+  }
+  for (const EdgeId e : g_->out_edges(t)) {
+    rebuild_edge_hops(e);
+    for (const int v : hop_nodes_[static_cast<std::size_t>(e)]) seed(v);
+    const TaskId dst = g_->edge_dst(e);
+    if (task_active_[static_cast<std::size_t>(dst)]) seed(dst);
+  }
+  seed(t);
+  relink_proc_chain(proc_a);
+  if (proc_b != proc_a && proc_b != kInvalidProc) relink_proc_chain(proc_b);
+  for (const LinkId l : links) relink_link_chain(l);
+
+  collect_region();
+  if (!sweep_region()) {
+    stale_ = true;
+    return false;
+  }
+  write_back_region();
+  if (is_resync) {
+    ++stats_.resyncs;
+  } else {
+    ++stats_.migrations;
+    stats_.nodes_recomputed += static_cast<std::int64_t>(region_.size());
+  }
+  stats_.node_count =
+      s_->num_placed() +
+      static_cast<std::int64_t>(start_.size()) - num_tasks_ -
+      static_cast<std::int64_t>(free_.size());
+  // Remember the delta so a guarded rollback can resync cheaply.
+  last_pre_proc_ = proc_a;
+  last_post_proc_ = proc_b;
+  last_links_ = std::move(links);
+  if (makespan != nullptr) *makespan = task_makespan();
+  return true;
+}
+
+bool RetimeContext::retime_migration(TaskId t, Time* makespan) {
+  if (stale_) return retime_full(makespan);
+  BSA_REQUIRE(pending_task_ == t,
+              "retime_migration(" << t << ") without matching begin_migration");
+  pending_task_ = kInvalidTask;
+  const ProcId post = s_->is_placed(t) ? s_->proc_of(t) : kInvalidProc;
+  return apply_delta(t, makespan, pre_links_,
+                     pre_proc_ == kInvalidProc ? post : pre_proc_, post,
+                     /*is_resync=*/false);
+}
+
+void RetimeContext::resync_migration(TaskId t) {
+  if (stale_) return;  // next retime rebuilds anyway
+  if (last_post_proc_ == kInvalidProc && last_pre_proc_ == kInvalidProc) {
+    // The last retime was a full rebuild (no recorded delta to re-apply).
+    stale_ = true;
+    return;
+  }
+  // The restored schedule differs from the context by the inverse of the
+  // last delta: the same resources are affected, so re-applying the delta
+  // against the restored state resynchronises structure and times.
+  if (!apply_delta(t, nullptr, last_links_,
+                   last_pre_proc_ == kInvalidProc ? last_post_proc_
+                                                  : last_pre_proc_,
+                   last_post_proc_, /*is_resync=*/true)) {
+    stale_ = true;  // restored orders should never be cyclic; be safe
+  }
+}
+
+}  // namespace bsa::sched

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/cost_model.hpp"
+#include "sched/schedule.hpp"
+
+/// \file retime_context.hpp
+/// Incremental re-timing engine.
+///
+/// `try_retime` (retime.hpp) rebuilds the whole order-constraint graph —
+/// one node per task plus one per route hop, edges for precedence, route
+/// chaining, processor order and link transmission order — and runs a
+/// full Kahn longest-path sweep after *every* BSA migration. That full
+/// rebuild dominates BSA's O(m^2 e n) inner loop.
+///
+/// RetimeContext keeps the constraint graph alive across migrations and
+/// applies each migration as a *delta*:
+///
+///  * only the hop chains of the migrated task's incident messages are
+///    re-allocated (their routes are the only ones a migration rewrites);
+///  * only the two affected processor chains and the link chains touched
+///    by the old and new routes are re-linked;
+///  * every node whose predecessor set changed becomes a *seed*; the
+///    downstream closure of the seeds is re-sorted with a worklist-based
+///    partial Kahn pass and only that region's times are recomputed and
+///    written back.
+///
+/// Nodes outside the region provably keep their times: the schedule is a
+/// fixpoint of the constraint system between migrations (every retime
+/// writes earliest-consistent times), and a node outside the closure has
+/// neither a changed predecessor set nor a changed predecessor value.
+/// The engine therefore produces bit-identical schedules to the full
+/// rebuild — tests/retime_context_test.cpp cross-checks this on
+/// randomized scenarios.
+///
+/// The context is bound to one Schedule. Whenever the schedule is
+/// replaced wholesale behind its back (replay_retime fallback), call
+/// `invalidate()`; the next call transparently falls back to a full
+/// rebuild. A makespan-guarded rollback that restores a snapshot taken
+/// at `begin_migration` time can instead call `resync_migration`, which
+/// re-applies the same structural delta against the restored schedule.
+
+namespace bsa::sched {
+
+class RetimeContext {
+ public:
+  /// Bind to `s` and `costs` (both must outlive the context) and build
+  /// the constraint graph from the schedule's current state. Times are
+  /// adopted from the schedule, which must be a re-timing fixpoint
+  /// (true after serialization injection and after every successful
+  /// retime).
+  RetimeContext(Schedule& s, const net::HeterogeneousCostModel& costs);
+
+  RetimeContext(const RetimeContext&) = delete;
+  RetimeContext& operator=(const RetimeContext&) = delete;
+
+  /// Rebuild everything from the schedule and recompute every node —
+  /// behaviourally identical to `try_retime`. Returns false (schedule
+  /// untouched, context stale) when the recorded orders are cyclic.
+  bool retime_full(Time* makespan = nullptr);
+
+  /// Capture the pre-migration structure around task `t`: its processor
+  /// and the links of its incident messages' routes. Must be called
+  /// before the migration mutates the schedule.
+  void begin_migration(TaskId t);
+
+  /// Apply the structural delta around `t` after the migration's
+  /// schedule mutations and re-time the affected region. Requires a
+  /// matching `begin_migration(t)`. Returns false — leaving the schedule
+  /// untouched and the context stale — when the new orders are cyclic
+  /// (the caller then falls back to `replay_retime` exactly like the
+  /// full-rebuild path). A stale context transparently performs a full
+  /// rebuild instead.
+  bool retime_migration(TaskId t, Time* makespan = nullptr);
+
+  /// Re-sync after the caller restored the pre-migration snapshot of the
+  /// schedule (makespan-guarded rollback): re-applies the last delta
+  /// against the restored schedule, which is much cheaper than a full
+  /// rebuild.
+  void resync_migration(TaskId t);
+
+  /// Mark the context stale; the next retime call rebuilds from scratch.
+  /// Use when the schedule was replaced wholesale (replay fallback).
+  void invalidate() noexcept { stale_ = true; }
+
+  /// Perf counters for benches and traces.
+  struct Stats {
+    std::int64_t migrations = 0;       ///< delta re-timings applied
+    std::int64_t resyncs = 0;          ///< rollback resyncs applied
+    std::int64_t full_rebuilds = 0;    ///< full rebuilds (construction, stale)
+    std::int64_t nodes_recomputed = 0; ///< region sizes summed (migrations only)
+    std::int64_t node_count = 0;       ///< active constraint-graph nodes
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr int kNone = -1;
+
+  // --- node identity ------------------------------------------------------
+  // Tasks occupy node ids [0, num_tasks); hop nodes are pool-allocated
+  // beyond that and recycled through free_.
+  [[nodiscard]] bool is_task_node(int v) const noexcept {
+    return v < num_tasks_;
+  }
+  int alloc_hop_node(EdgeId e, int k, LinkId link);
+  void free_edge_nodes(EdgeId e);
+  void ensure_node_capacity(int v);
+
+  // --- structure building -------------------------------------------------
+  void rebuild_edge_hops(EdgeId e);
+  void relink_proc_chain(ProcId p);
+  void relink_link_chain(LinkId l);
+  void seed(int v);
+
+  // --- partial re-topological-sort ----------------------------------------
+  void collect_region();
+  /// Kahn over the seeded region; false on cycle. On success times of the
+  /// region are updated in the node arrays (not yet in the schedule).
+  bool sweep_region();
+  void write_back_region();
+  [[nodiscard]] Time task_makespan() const;
+
+  /// Shared delta driver for retime_migration / resync_migration:
+  /// `links` are the link timelines to re-link (the post-mutation route
+  /// links of `t`'s incident messages are appended internally), proc_a /
+  /// proc_b the two processor chains touched by the move.
+  bool apply_delta(TaskId t, Time* makespan, std::vector<LinkId> links,
+                   ProcId proc_a, ProcId proc_b, bool is_resync);
+
+  template <typename Fn>
+  void for_each_pred(int v, Fn&& fn) const;
+  template <typename Fn>
+  void for_each_succ(int v, Fn&& fn) const;
+
+  [[nodiscard]] Time duration_of(int v) const;
+
+  Schedule* s_;
+  const net::HeterogeneousCostModel* costs_;
+  const graph::TaskGraph* g_;
+  int num_tasks_ = 0;
+
+  // Node payload, indexed by node id.
+  std::vector<Time> start_, finish_;
+  std::vector<EdgeId> node_edge_;  // kInvalidEdge for task nodes
+  std::vector<int> node_k_;
+  std::vector<LinkId> node_link_;
+  std::vector<char> task_active_;  // by TaskId
+
+  std::vector<std::vector<int>> hop_nodes_;  // by EdgeId
+  std::vector<int> free_;                    // recycled hop node ids
+
+  // Chain neighbours (the order constraints that are not derivable from
+  // the task graph alone).
+  std::vector<TaskId> proc_prev_, proc_next_;  // by TaskId
+  std::vector<int> link_prev_, link_next_;     // by node id
+
+  // Region scratch (epoch-stamped so clears are O(region)).
+  std::vector<int> mark_;
+  int epoch_ = 0;
+  std::vector<int> indeg_;
+  std::vector<int> seeds_, region_, queue_;
+
+  // begin_migration capture.
+  TaskId pending_task_ = kInvalidTask;
+  ProcId pre_proc_ = kInvalidProc;
+  std::vector<LinkId> pre_links_;
+  // Last applied delta (for resync_migration after a rollback).
+  ProcId last_pre_proc_ = kInvalidProc;
+  ProcId last_post_proc_ = kInvalidProc;
+  std::vector<LinkId> last_links_;
+
+  bool stale_ = false;
+  Stats stats_;
+};
+
+}  // namespace bsa::sched

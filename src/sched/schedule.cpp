@@ -12,6 +12,33 @@ Schedule::Schedule(const graph::TaskGraph& g, const net::Topology& topo)
   proc_tasks_.resize(static_cast<std::size_t>(topo.num_processors()));
   routes_.resize(static_cast<std::size_t>(g.num_edges()));
   link_bookings_.resize(static_cast<std::size_t>(topo.num_links()));
+  proc_slots_.resize(static_cast<std::size_t>(topo.num_processors()));
+  link_slots_.resize(static_cast<std::size_t>(topo.num_links()));
+}
+
+Schedule::Schedule(const Schedule& other)
+    : graph_(other.graph_),
+      topo_(other.topo_),
+      placements_(other.placements_),
+      proc_tasks_(other.proc_tasks_),
+      routes_(other.routes_),
+      link_bookings_(other.link_bookings_),
+      num_placed_(other.num_placed_),
+      proc_slots_(other.proc_slots_.size()),   // caches stay unbuilt
+      link_slots_(other.link_slots_.size()) {}
+
+Schedule& Schedule::operator=(const Schedule& other) {
+  if (this == &other) return *this;
+  graph_ = other.graph_;
+  topo_ = other.topo_;
+  placements_ = other.placements_;
+  proc_tasks_ = other.proc_tasks_;
+  routes_ = other.routes_;
+  link_bookings_ = other.link_bookings_;
+  num_placed_ = other.num_placed_;
+  proc_slots_.assign(other.proc_slots_.size(), SlotIndex{});
+  link_slots_.assign(other.link_slots_.size(), SlotIndex{});
+  return *this;
 }
 
 void Schedule::check_task(TaskId t) const {
@@ -112,11 +139,17 @@ std::vector<Interval> Schedule::busy_of_link(LinkId l) const {
 }
 
 Time Schedule::earliest_task_slot(ProcId p, Time ready, Time duration) const {
-  return earliest_fit(busy_of_proc(p), ready, duration);
+  check_proc(p);
+  SlotIndex& idx = proc_slots_[static_cast<std::size_t>(p)];
+  if (!idx.built()) idx.build(busy_of_proc(p));
+  return idx.query(ready, duration);
 }
 
 Time Schedule::earliest_link_slot(LinkId l, Time ready, Time duration) const {
-  return earliest_fit(busy_of_link(l), ready, duration);
+  check_link(l);
+  SlotIndex& idx = link_slots_[static_cast<std::size_t>(l)];
+  if (!idx.built()) idx.build(busy_of_link(l));
+  return idx.query(ready, duration);
 }
 
 void Schedule::place_task(TaskId t, ProcId p, Time start, Time finish) {
@@ -127,6 +160,7 @@ void Schedule::place_task(TaskId t, ProcId p, Time start, Time finish) {
   BSA_REQUIRE(time_le(start, finish), "task " << t << " start " << start
                                               << " after finish " << finish);
   pl = Placement{p, start, finish};
+  proc_slots_[static_cast<std::size_t>(p)].reset();
   auto& order = proc_tasks_[static_cast<std::size_t>(p)];
   const auto pos = std::find_if(order.begin(), order.end(), [&](TaskId u) {
     const auto& o = placements_[static_cast<std::size_t>(u)];
@@ -140,6 +174,7 @@ void Schedule::unplace_task(TaskId t) {
   check_task(t);
   auto& pl = placements_[static_cast<std::size_t>(t)];
   BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
+  proc_slots_[static_cast<std::size_t>(pl.proc)].reset();
   auto& order = proc_tasks_[static_cast<std::size_t>(pl.proc)];
   const auto pos = std::find(order.begin(), order.end(), t);
   BSA_ASSERT(pos != order.end(), "task missing from processor order");
@@ -154,6 +189,7 @@ void Schedule::set_task_times(TaskId t, Time start, Time finish) {
   BSA_REQUIRE(pl.proc != kInvalidProc, "task " << t << " is not placed");
   BSA_REQUIRE(time_le(start, finish), "task " << t << " start " << start
                                               << " after finish " << finish);
+  proc_slots_[static_cast<std::size_t>(pl.proc)].reset();
   pl.start = start;
   pl.finish = finish;
 }
@@ -180,6 +216,7 @@ void Schedule::set_route(EdgeId e, std::vector<Hop> hops) {
             return b.edge == e && b.hop_index == hop_index;
           });
       BSA_ASSERT(pos != bookings.end(), "rollback lost a booking");
+      link_slots_[static_cast<std::size_t>(h.link)].reset();
       bookings.erase(pos);
       route.pop_back();
     }
@@ -215,6 +252,7 @@ void Schedule::append_hop(EdgeId e, const Hop& hop) {
     BSA_ASSERT(time_le((pos - 1)->finish, nb.start),
                "hop overlap on link " << hop.link << " (predecessor)");
   }
+  link_slots_[static_cast<std::size_t>(hop.link)].reset();
   route.push_back(hop);
   bookings.insert(pos, nb);
 }
@@ -229,6 +267,7 @@ void Schedule::clear_route(EdgeId e) {
           return b.edge == e && b.hop_index == static_cast<int>(i);
         });
     BSA_ASSERT(pos != bookings.end(), "hop booking missing for message " << e);
+    link_slots_[static_cast<std::size_t>(route[i].link)].reset();
     bookings.erase(pos);
   }
   route.clear();
@@ -250,6 +289,7 @@ void Schedule::set_hop_times(EdgeId e, int hop_index, Time start, Time finish) {
         return b.edge == e && b.hop_index == hop_index;
       });
   BSA_ASSERT(pos != bookings.end(), "hop booking missing for message " << e);
+  link_slots_[static_cast<std::size_t>(hop.link)].reset();
   pos->start = start;
   pos->finish = finish;
 }

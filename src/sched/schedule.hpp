@@ -43,8 +43,14 @@ struct LinkBooking {
 class Schedule {
  public:
   /// An empty schedule over `g` and `topo`; both must outlive the
-  /// schedule. Copyable (used for tentative evaluation in tests).
+  /// schedule. Copyable (used for tentative evaluation in tests); copies
+  /// drop the lazily-built slot caches so snapshots stay cheap.
   Schedule(const graph::TaskGraph& g, const net::Topology& topo);
+  Schedule(const Schedule& other);
+  Schedule& operator=(const Schedule& other);
+  Schedule(Schedule&&) noexcept = default;
+  Schedule& operator=(Schedule&&) noexcept = default;
+  ~Schedule() = default;
 
   [[nodiscard]] const graph::TaskGraph& task_graph() const noexcept {
     return *graph_;
@@ -80,10 +86,14 @@ class Schedule {
 
   // --- slot search --------------------------------------------------------
   /// Earliest start >= ready of an idle gap of `duration` on processor `p`
-  /// (insertion based).
+  /// (insertion based). Served from a lazily-built per-processor
+  /// SlotIndex — amortized O(log k) per query, invalidated by mutations
+  /// of `p`'s timeline. Not thread-safe: concurrent const slot queries on
+  /// the same Schedule race on the cache.
   [[nodiscard]] Time earliest_task_slot(ProcId p, Time ready,
                                         Time duration) const;
-  /// Earliest start >= ready of an idle gap of `duration` on link `l`.
+  /// Earliest start >= ready of an idle gap of `duration` on link `l`
+  /// (same lazily-indexed scheme as earliest_task_slot).
   [[nodiscard]] Time earliest_link_slot(LinkId l, Time ready,
                                         Time duration) const;
   /// Busy intervals of a processor / link in time order (for overlay
@@ -139,6 +149,10 @@ class Schedule {
   std::vector<std::vector<Hop>> routes_;      // by EdgeId
   std::vector<std::vector<LinkBooking>> link_bookings_;  // by LinkId
   int num_placed_ = 0;
+  /// Lazily-built free-slot indexes (reset by mutations, rebuilt on the
+  /// next slot query); never copied with the schedule.
+  mutable std::vector<SlotIndex> proc_slots_;  // by ProcId
+  mutable std::vector<SlotIndex> link_slots_;  // by LinkId
 };
 
 }  // namespace bsa::sched

@@ -1,6 +1,7 @@
 #include "sched/timeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -58,6 +59,89 @@ bool is_well_formed(std::span<const Interval> busy) noexcept {
     if (time_lt(iv.finish, iv.start)) return false;
   }
   return true;
+}
+
+// --- SlotIndex ---------------------------------------------------------------
+
+void SlotIndex::reset() noexcept {
+  built_ = false;
+  n_ = 0;
+}
+
+void SlotIndex::build(std::span<const Interval> busy) {
+  n_ = static_cast<int>(busy.size());
+  gap_end_.resize(busy.size());
+  gap_open_.resize(busy.size());
+  Time open = 0;  // running max of finishes == the scan's `candidate`
+  tail_open_ = 0;
+  for (std::size_t j = 0; j < busy.size(); ++j) {
+    gap_end_[j] = busy[j].start;
+    gap_open_[j] = open;
+    open = std::max(open, busy[j].finish);
+  }
+  tail_open_ = open;
+  // Segment tree of gap capacities (leftmost-fit descent).
+  int p = 1;
+  while (p < std::max(n_, 1)) p *= 2;
+  seg_.assign(static_cast<std::size_t>(2 * p), -kInfiniteTime);
+  for (int j = 0; j < n_; ++j) {
+    seg_[static_cast<std::size_t>(p + j)] =
+        gap_end_[static_cast<std::size_t>(j)] -
+        gap_open_[static_cast<std::size_t>(j)];
+  }
+  for (int v = p - 1; v >= 1; --v) {
+    seg_[static_cast<std::size_t>(v)] =
+        std::max(seg_[static_cast<std::size_t>(2 * v)],
+                 seg_[static_cast<std::size_t>(2 * v + 1)]);
+  }
+  built_ = true;
+}
+
+int SlotIndex::descend(int node, int lo, int hi, int from, Time min_cap) const {
+  if (hi <= from || seg_[static_cast<std::size_t>(node)] < min_cap) return -1;
+  if (hi - lo == 1) return lo >= n_ ? -1 : lo;
+  const int mid = lo + (hi - lo) / 2;
+  const int left = descend(2 * node, lo, mid, from, min_cap);
+  if (left >= 0) return left;
+  return descend(2 * node + 1, mid, hi, from, min_cap);
+}
+
+Time SlotIndex::query(Time ready, Time duration) const {
+  BSA_REQUIRE(duration >= 0, "negative duration " << duration);
+  BSA_ASSERT(built_, "SlotIndex::query before build");
+  const Time r0 = std::max(ready, Time{0});
+  if (n_ == 0) return r0;
+
+  // Gaps left of the ready point (their open edge <= r0): the scan's
+  // candidate there is r0 itself, and the fit predicate is monotone in
+  // the (sorted) gap right edges — binary search.
+  const auto open_begin = gap_open_.begin();
+  const int s = static_cast<int>(
+      std::upper_bound(open_begin, open_begin + n_, r0) - open_begin);
+  const auto end_begin = gap_end_.begin();
+  const int a = static_cast<int>(
+      std::partition_point(end_begin, end_begin + s,
+                           [&](Time end) { return !time_le(r0 + duration, end); }) -
+      end_begin);
+  if (a < s) return r0;
+
+  // Gaps right of the ready point: candidate is the gap's own open edge.
+  // The tree prunes by capacity with an epsilon+ulp slack; leaves are
+  // re-verified with the linear scan's exact predicate below.
+  const Time slack =
+      2 * kTimeEpsilon + 1e-12 * (std::abs(tail_open_) + std::abs(duration) + 1);
+  const int leaves = static_cast<int>(seg_.size()) / 2;
+  int j = s;
+  while (j < n_) {
+    j = descend(1, 0, leaves, j, duration - slack);
+    if (j < 0) break;
+    if (time_le(gap_open_[static_cast<std::size_t>(j)] + duration,
+                gap_end_[static_cast<std::size_t>(j)])) {
+      return gap_open_[static_cast<std::size_t>(j)];
+    }
+    ++j;  // epsilon-marginal false positive: keep searching rightward
+  }
+  return std::max(r0, tail_open_);
 }
 
 }  // namespace bsa::sched

@@ -43,4 +43,42 @@ void insert_interval(std::vector<Interval>& busy, const Interval& iv);
 /// True when `busy` is sorted by start and mutually non-overlapping.
 [[nodiscard]] bool is_well_formed(std::span<const Interval> busy) noexcept;
 
+/// Free-slot index over one resource timeline.
+///
+/// `earliest_fit` answers a slot query with a linear scan over the busy
+/// intervals — O(k) per query. SlotIndex preprocesses the same sorted
+/// interval list into gap records (gap j sits before busy[j]; its left
+/// edge is the running maximum of earlier finishes, exactly the
+/// `candidate` of the linear scan) plus a segment tree over gap
+/// capacities, so each query runs in O(log k): one binary search for the
+/// gaps still left of `ready` and one leftmost-fitting-leaf descent for
+/// the gaps beyond it. Answers are bit-identical to `earliest_fit` — the
+/// tree only prunes (with a small epsilon/ulp slack) and every candidate
+/// gap is re-checked with the scan's exact floating-point predicate.
+///
+/// Build is O(k); the index is immutable — rebuild after the timeline
+/// changes (Schedule caches one per processor/link behind a dirty flag).
+class SlotIndex {
+ public:
+  /// Index `busy` (sorted by start, mutually non-overlapping).
+  void build(std::span<const Interval> busy);
+  void reset() noexcept;
+  [[nodiscard]] bool built() const noexcept { return built_; }
+
+  /// Earliest start >= ready of an idle gap of `duration`; identical to
+  /// sched::earliest_fit over the indexed intervals.
+  [[nodiscard]] Time query(Time ready, Time duration) const;
+
+ private:
+  [[nodiscard]] int descend(int node, int lo, int hi, int from,
+                            Time min_cap) const;
+
+  std::vector<Time> gap_end_;   // gap j right edge = busy[j].start
+  std::vector<Time> gap_open_;  // gap j left edge = max finish of busy[0..j)
+  std::vector<Time> seg_;       // max (gap_end - gap_open) per tree node
+  int n_ = 0;                   // number of busy intervals (== gap count)
+  Time tail_open_ = 0;          // max finish over all intervals
+  bool built_ = false;
+};
+
 }  // namespace bsa::sched

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -227,6 +228,46 @@ TEST(Cli, BooleanParsing) {
   EXPECT_FALSE(cli.get_bool("b", true));
   EXPECT_TRUE(cli.get_bool("c", false));
   EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Cli, IntRejectsTrailingJunkAndEmpty) {
+  const char* argv[] = {"prog", "--a=12x", "--b=", "--c=0x10", "--d=-7"};
+  CliParser cli(5, argv);
+  EXPECT_THROW((void)cli.get_int("a", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_int("b", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_int("c", 0), PreconditionError);  // base 10 only
+  EXPECT_EQ(cli.get_int("d", 0), -7);
+}
+
+TEST(Cli, IntRejectsOutOfRangeInsteadOfClamping) {
+  // One past INT64_MAX, far past, and one below INT64_MIN: strtoll would
+  // silently clamp all three to LLONG_MAX / LLONG_MIN.
+  const char* argv[] = {"prog", "--a=9223372036854775808",
+                        "--b=999999999999999999999999999999",
+                        "--c=-9223372036854775809",
+                        "--ok=9223372036854775807"};
+  CliParser cli(5, argv);
+  EXPECT_THROW((void)cli.get_int("a", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_int("b", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_int("c", 0), PreconditionError);
+  EXPECT_EQ(cli.get_int("ok", 0), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Cli, DoubleRejectsOverflowAndJunk) {
+  const char* argv[] = {"prog", "--a=1e999", "--b=-1e999", "--c=1.5ms",
+                        "--tiny=1e-999"};
+  CliParser cli(5, argv);
+  EXPECT_THROW((void)cli.get_double("a", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_double("b", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_double("c", 0), PreconditionError);
+  // Underflow denormalises towards zero — accepted, not an error.
+  EXPECT_NEAR(cli.get_double("tiny", 1.0), 0.0, 1e-300);
+}
+
+TEST(Cli, ThreadsRejectsOutOfIntRange) {
+  const char* argv[] = {"prog", "--threads=4294967296"};
+  CliParser cli(2, argv);
+  EXPECT_THROW((void)cli.threads(1), PreconditionError);
 }
 
 }  // namespace

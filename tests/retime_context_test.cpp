@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/bsa.hpp"
+#include "core/refine.hpp"
+#include "exp/experiment.hpp"
+#include "network/cost_model.hpp"
+#include "sched/retime.hpp"
+#include "sched/retime_context.hpp"
+#include "sched/schedule.hpp"
+#include "sched/validate.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace bsa {
+namespace {
+
+using core::BsaOptions;
+using sched::Hop;
+using sched::RetimeContext;
+using sched::Schedule;
+
+/// Bit-exact schedule comparison: placements, per-processor orders,
+/// routes (hop links and times) and link-booking orders. Returns a
+/// description of the first difference, empty when identical.
+std::string diff_schedules(const Schedule& a, const Schedule& b) {
+  std::ostringstream os;
+  const auto& g = a.task_graph();
+  const auto& topo = a.topology();
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (a.is_placed(t) != b.is_placed(t)) {
+      os << "task " << t << " placement presence differs";
+      return os.str();
+    }
+    if (!a.is_placed(t)) continue;
+    if (a.proc_of(t) != b.proc_of(t) || a.start_of(t) != b.start_of(t) ||
+        a.finish_of(t) != b.finish_of(t)) {
+      os << "task " << t << ": (" << a.proc_of(t) << "," << a.start_of(t)
+         << "," << a.finish_of(t) << ") vs (" << b.proc_of(t) << ","
+         << b.start_of(t) << "," << b.finish_of(t) << ")";
+      return os.str();
+    }
+  }
+  for (ProcId p = 0; p < topo.num_processors(); ++p) {
+    if (a.tasks_on(p) != b.tasks_on(p)) {
+      os << "processor " << p << " order differs";
+      return os.str();
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ra = a.route_of(e);
+    const auto& rb = b.route_of(e);
+    if (ra.size() != rb.size()) {
+      os << "edge " << e << " route length " << ra.size() << " vs "
+         << rb.size();
+      return os.str();
+    }
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      if (ra[k].link != rb[k].link || ra[k].start != rb[k].start ||
+          ra[k].finish != rb[k].finish) {
+        os << "edge " << e << " hop " << k << " differs";
+        return os.str();
+      }
+    }
+  }
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto& ba = a.bookings_on(l);
+    const auto& bb = b.bookings_on(l);
+    if (ba.size() != bb.size()) {
+      os << "link " << l << " booking count differs";
+      return os.str();
+    }
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      if (ba[i].edge != bb[i].edge || ba[i].hop_index != bb[i].hop_index ||
+          ba[i].start != bb[i].start || ba[i].finish != bb[i].finish) {
+        os << "link " << l << " booking " << i << " differs";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+/// Run BSA twice — incremental re-timing vs full-rebuild reference — and
+/// require bit-identical schedules.
+void expect_engines_agree(const graph::TaskGraph& g, const net::Topology& topo,
+                          const net::HeterogeneousCostModel& cm,
+                          BsaOptions opt, const std::string& label) {
+  opt.incremental_retime = true;
+  const auto inc = core::schedule_bsa(g, topo, cm, opt);
+  opt.incremental_retime = false;
+  const auto full = core::schedule_bsa(g, topo, cm, opt);
+  const std::string diff = diff_schedules(inc.schedule, full.schedule);
+  EXPECT_TRUE(diff.empty()) << label << ": " << diff;
+  EXPECT_EQ(inc.trace.migrations.size(), full.trace.migrations.size())
+      << label;
+  EXPECT_TRUE(sched::validate(inc.schedule, cm).ok()) << label;
+}
+
+TEST(RetimeContextProperty, BitIdenticalToFullRebuildOnRandomScenarios) {
+  const std::vector<std::string> topologies{"ring", "hypercube", "clique",
+                                            "random"};
+  int case_index = 0;
+  for (const std::string& kind : topologies) {
+    for (const int size : {20, 45, 80}) {
+      for (const bool per_pair : {false, true}) {
+        const auto seed = derive_seed(
+            2026, static_cast<std::uint64_t>(case_index), 77);
+        workloads::RandomDagParams params;
+        params.num_tasks = size;
+        params.granularity = per_pair ? 0.5 : 2.0;
+        params.seed = seed;
+        const auto g = workloads::random_layered_dag(params);
+        const auto topo = exp::make_topology(kind, 8, seed);
+        const auto cm = exp::make_cost_model(g, topo, 1, 50, 1, 50, per_pair,
+                                             derive_seed(seed, 17));
+        BsaOptions opt;
+        opt.seed = seed;
+        std::ostringstream label;
+        label << kind << "/" << size << (per_pair ? "/per-pair" : "/per-proc");
+        expect_engines_agree(g, topo, cm, opt, label.str());
+        ++case_index;
+      }
+    }
+  }
+}
+
+TEST(RetimeContextProperty, BitIdenticalAcrossOptionVariants) {
+  const auto seed = derive_seed(99, 5);
+  workloads::RandomDagParams params;
+  params.num_tasks = 60;
+  params.granularity = 1.0;
+  params.seed = seed;
+  const auto g = workloads::random_layered_dag(params);
+  const auto topo = exp::make_topology("hypercube", 16, seed);
+  const auto cm =
+      exp::make_cost_model(g, topo, 1, 100, 1, 100, false, derive_seed(seed, 17));
+
+  for (const auto policy : {core::MigrationPolicy::kMakespanGuarded,
+                            core::MigrationPolicy::kTaskGreedy}) {
+    for (const auto gate :
+         {core::GateRule::kPaper, core::GateRule::kAlwaysConsider}) {
+      for (const bool insertion : {true, false}) {
+        BsaOptions opt;
+        opt.seed = seed;
+        opt.policy = policy;
+        opt.gate = gate;
+        opt.insertion_slots = insertion;
+        opt.max_sweeps = 3;
+        std::ostringstream label;
+        label << "policy=" << static_cast<int>(policy)
+              << " gate=" << static_cast<int>(gate)
+              << " insertion=" << insertion;
+        expect_engines_agree(g, topo, cm, opt, label.str());
+      }
+    }
+  }
+}
+
+TEST(RetimeContextProperty, BitIdenticalUnderStaticRouting) {
+  const auto seed = derive_seed(7, 3);
+  workloads::RandomDagParams params;
+  params.num_tasks = 40;
+  params.granularity = 1.0;
+  params.seed = seed;
+  const auto g = workloads::random_layered_dag(params);
+  const auto topo = exp::make_topology("hypercube", 8, seed);
+  const auto cm =
+      exp::make_cost_model(g, topo, 1, 50, 1, 50, false, derive_seed(seed, 17));
+  for (const auto routing : {core::RouteDiscipline::kStaticShortestPath,
+                             core::RouteDiscipline::kEcube,
+                             core::RouteDiscipline::kIncremental}) {
+    BsaOptions opt;
+    opt.seed = seed;
+    opt.routing = routing;
+    opt.prune_route_cycles =
+        routing == core::RouteDiscipline::kIncremental;
+    expect_engines_agree(g, topo, cm, opt,
+                         "routing=" +
+                             std::to_string(static_cast<int>(routing)));
+  }
+}
+
+// --- direct context unit tests ----------------------------------------------
+
+struct RetimeContextFixture : ::testing::Test {
+  graph::TaskGraph make_graph() {
+    graph::TaskGraphBuilder b;
+    const TaskId a = b.add_task(10, "A");
+    const TaskId bb = b.add_task(10, "B");
+    const TaskId c = b.add_task(10, "C");
+    const TaskId d = b.add_task(10, "D");
+    (void)b.add_edge(a, bb, 4);
+    (void)b.add_edge(a, c, 4);
+    (void)b.add_edge(bb, d, 4);
+    (void)b.add_edge(c, d, 4);
+    return b.build();
+  }
+  graph::TaskGraph g = make_graph();
+  net::Topology topo = net::Topology::ring(3);
+  net::HeterogeneousCostModel cm =
+      net::HeterogeneousCostModel::homogeneous(g, topo);
+  TaskId A = 0, B = 1, C = 2, D = 3;
+};
+
+TEST_F(RetimeContextFixture, FullRetimeMatchesReference) {
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 10);
+  s.place_task(B, 0, 10, 20);
+  s.place_task(C, 0, 20, 30);
+  s.place_task(D, 0, 30, 40);
+  s.unplace_task(B);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.set_route(0, {Hop{l01, 10, 14}});
+  s.place_task(B, 1, 14, 24);
+  s.set_route(2, {Hop{l01, 24, 28}});
+
+  Schedule reference = s;
+  Time mk_ref = 0;
+  ASSERT_TRUE(sched::try_retime(reference, cm, &mk_ref));
+
+  RetimeContext ctx(s, cm);
+  Time mk = 0;
+  ASSERT_TRUE(ctx.retime_full(&mk));
+  EXPECT_DOUBLE_EQ(mk, mk_ref);
+  EXPECT_TRUE(diff_schedules(s, reference).empty());
+  EXPECT_EQ(ctx.stats().node_count, 4 + 2);  // 4 tasks, 2 booked hops
+}
+
+TEST_F(RetimeContextFixture, FullRetimeDetectsOrderCycle) {
+  graph::TaskGraphBuilder b2;
+  const TaskId x = b2.add_task(10);
+  const TaskId y = b2.add_task(10);
+  (void)b2.add_edge(x, y, 4);
+  const graph::TaskGraph g2 = b2.build();
+  const auto cm2 = net::HeterogeneousCostModel::homogeneous(g2, topo);
+  Schedule s(g2, topo);
+  s.place_task(y, 0, 0, 10);
+  s.place_task(x, 0, 10, 20);
+  RetimeContext ctx(s, cm2);
+  Time mk = 0;
+  EXPECT_FALSE(ctx.retime_full(&mk));
+  // Schedule untouched on failure.
+  EXPECT_DOUBLE_EQ(s.start_of(y), 0);
+}
+
+TEST_F(RetimeContextFixture, MigrationDeltaMatchesReference) {
+  // Serial schedule on P0, then migrate B to P1 the way BSA commits it.
+  Schedule s(g, topo);
+  s.place_task(A, 0, 0, 10);
+  s.place_task(B, 0, 10, 20);
+  s.place_task(C, 0, 20, 30);
+  s.place_task(D, 0, 30, 40);
+  RetimeContext ctx(s, cm);
+
+  ctx.begin_migration(B);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.unplace_task(B);
+  s.set_route(0, {Hop{l01, 10, 14}});  // A->B crosses to P1
+  s.place_task(B, 1, 14, 24);
+  s.set_route(2, {Hop{l01, 24, 28}});  // B->D back to P0
+
+  Schedule reference = s;
+  Time mk_ref = 0;
+  ASSERT_TRUE(sched::try_retime(reference, cm, &mk_ref));
+
+  Time mk = 0;
+  ASSERT_TRUE(ctx.retime_migration(B, &mk));
+  EXPECT_DOUBLE_EQ(mk, mk_ref);
+  EXPECT_TRUE(diff_schedules(s, reference).empty());
+  EXPECT_EQ(ctx.stats().migrations, 1);
+  EXPECT_GT(ctx.stats().nodes_recomputed, 0);
+}
+
+// --- refine on the context ----------------------------------------------------
+
+TEST(RefineRetimeDelta, ValidMonotoneAndDeterministic) {
+  const auto seed = derive_seed(11, 4);
+  workloads::RandomDagParams params;
+  params.num_tasks = 40;
+  params.granularity = 1.0;
+  params.seed = seed;
+  const auto g = workloads::random_layered_dag(params);
+  const auto topo = exp::make_topology("hypercube", 8, seed);
+  const auto cm =
+      exp::make_cost_model(g, topo, 1, 50, 1, 50, false, derive_seed(seed, 17));
+  BsaOptions bsa_opt;
+  bsa_opt.seed = seed;
+  const auto base = core::schedule_bsa(g, topo, cm, bsa_opt);
+
+  core::RefineOptions opt;
+  opt.move_eval = core::MoveEval::kRetimeDelta;
+  opt.max_rounds = 2;
+  const auto a = core::refine_schedule(base.schedule, cm, opt);
+  const auto b = core::refine_schedule(base.schedule, cm, opt);
+
+  EXPECT_TRUE(sched::validate(a.schedule, cm).ok());
+  EXPECT_LE(a.final_length, a.initial_length);
+  EXPECT_DOUBLE_EQ(a.schedule.makespan(), a.final_length);
+  EXPECT_GT(a.candidates_evaluated, 0);
+  // Deterministic: identical schedules across runs.
+  EXPECT_TRUE(diff_schedules(a.schedule, b.schedule).empty());
+  EXPECT_EQ(a.moves_applied, b.moves_applied);
+}
+
+TEST(RefineRetimeDelta, BothEvaluationModesImproveOrKeepAPoorSchedule) {
+  // EFT-oblivious schedules leave headroom; both engines must close some
+  // of it without ever making the schedule worse.
+  const auto seed = derive_seed(23, 9);
+  workloads::RandomDagParams params;
+  params.num_tasks = 30;
+  params.granularity = 1.0;
+  params.seed = seed;
+  const auto g = workloads::random_layered_dag(params);
+  const auto topo = exp::make_topology("ring", 8, seed);
+  const auto cm =
+      exp::make_cost_model(g, topo, 1, 50, 1, 50, false, derive_seed(seed, 17));
+  BsaOptions bsa_opt;
+  bsa_opt.seed = seed;
+  const auto base = core::schedule_bsa(g, topo, cm, bsa_opt);
+  for (const auto eval :
+       {core::MoveEval::kRelist, core::MoveEval::kRetimeDelta}) {
+    core::RefineOptions opt;
+    opt.move_eval = eval;
+    const auto r = core::refine_schedule(base.schedule, cm, opt);
+    EXPECT_TRUE(sched::validate(r.schedule, cm).ok());
+    EXPECT_LE(r.final_length, base.schedule.makespan());
+  }
+}
+
+}  // namespace
+}  // namespace bsa

@@ -174,5 +174,33 @@ TEST_F(RetimeTest, PartialScheduleRetimeAllowed) {
   EXPECT_DOUBLE_EQ(mk, 10);
 }
 
+TEST_F(RetimeTest, RoutedMessageWithUnplacedDestination) {
+  // A's message to B is already booked but B has not been placed yet
+  // (mid-migration state): retime must re-time the hop chain without
+  // touching the missing destination.
+  Schedule s(g, topo);
+  const LinkId l01 = topo.link_between(0, 1);
+  s.place_task(A, 0, 5, 15);             // slack: A bubbles up to 0
+  s.set_route(0, {Hop{l01, 20, 24}});    // A->B, late slot
+  Time mk = 0;
+  ASSERT_TRUE(try_retime(s, cm, &mk));
+  EXPECT_DOUBLE_EQ(s.start_of(A), 0);
+  EXPECT_DOUBLE_EQ(s.route_of(0)[0].start, 10);  // hop follows A's finish
+  EXPECT_DOUBLE_EQ(s.route_of(0)[0].finish, 14);
+  EXPECT_FALSE(s.is_placed(B));
+  EXPECT_DOUBLE_EQ(mk, 10);  // makespan counts placed tasks only
+}
+
+TEST_F(RetimeTest, UnplacedPredecessorImposesNoConstraint) {
+  // B and C unplaced with empty routes: D is constrained only by the
+  // processor order (nothing before it), so it bubbles to time zero.
+  Schedule s(g, topo);
+  s.place_task(D, 0, 30, 40);
+  Time mk = 0;
+  ASSERT_TRUE(try_retime(s, cm, &mk));
+  EXPECT_DOUBLE_EQ(s.start_of(D), 0);
+  EXPECT_DOUBLE_EQ(mk, 10);
+}
+
 }  // namespace
 }  // namespace bsa::sched

@@ -92,5 +92,28 @@ TEST(EcubeRoute, RejectsNonHypercube) {
   EXPECT_THROW((void)ecube_route(t, 0, 3), PreconditionError);
 }
 
+TEST(EcubeRoute, RejectsPowerOfTwoRingMidWalk) {
+  // Processor count alone does not make a hypercube: the first bit-flip
+  // hop (0-1) exists in an 8-ring, the second (1-5) does not — the error
+  // must surface mid-walk, not only on the first hop.
+  const Topology t = Topology::ring(8);
+  EXPECT_NO_THROW((void)ecube_route(t, 0, 1));
+  EXPECT_THROW((void)ecube_route(t, 0, 5), PreconditionError);
+}
+
+TEST(EcubeRoute, RejectsOutOfRangeEndpoints) {
+  const Topology t = Topology::hypercube(3);  // 8 processors
+  EXPECT_THROW((void)ecube_route(t, -1, 3), PreconditionError);
+  EXPECT_THROW((void)ecube_route(t, 0, 8), PreconditionError);
+}
+
+TEST(EcubeRoute, WorksOnAnyTopologyContainingTheBitFlipWalk) {
+  // A clique contains every bit-flip link, so the dimension-ordered walk
+  // is well-defined even though the topology is not a hypercube.
+  const Topology t = Topology::clique(4);
+  const auto route = ecube_route(t, 0, 3);
+  EXPECT_EQ(route.size(), 2u);  // flip bit 0 (0->1), then bit 1 (1->3)
+}
+
 }  // namespace
 }  // namespace bsa::net

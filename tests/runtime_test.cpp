@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
@@ -141,6 +142,93 @@ TEST(ScenarioSet, RejectsEmptyAxes) {
   ScenarioGrid grid = small_grid();
   grid.algos.clear();
   EXPECT_THROW((void)ScenarioSet::from_grid(grid), PreconditionError);
+}
+
+TEST(ScenarioSet, LegacySeedModeDerivesFromReplicateOnly) {
+  ScenarioGrid grid = small_grid();
+  grid.sizes = {20};
+  grid.granularities = {1.0};
+  grid.seed_mode = SeedMode::kLegacySequential;
+  const ScenarioSet set = ScenarioSet::from_grid(grid);
+  for (const ScenarioSpec& s : set) {
+    EXPECT_EQ(s.instance_seed,
+              derive_seed(grid.base_seed, static_cast<std::uint64_t>(s.rep)));
+  }
+  // Grid mode must differ (this is what silently shifted fig7 once).
+  ScenarioGrid coord = grid;
+  coord.seed_mode = SeedMode::kGridCoordinates;
+  const ScenarioSet grid_set = ScenarioSet::from_grid(coord);
+  EXPECT_NE(grid_set[0].instance_seed, set[0].instance_seed);
+  EXPECT_STREQ(seed_mode_name(SeedMode::kLegacySequential), "legacy");
+  EXPECT_STREQ(seed_mode_name(SeedMode::kGridCoordinates), "grid");
+}
+
+TEST(ScenarioSet, LegacySeedModeRejectsMultiCellAxes) {
+  // Legacy seeds would silently correlate cells that differ only in
+  // size, granularity or app; from_grid must refuse.
+  ScenarioGrid grid = small_grid();  // two sizes, two granularities
+  grid.seed_mode = SeedMode::kLegacySequential;
+  EXPECT_THROW((void)ScenarioSet::from_grid(grid), PreconditionError);
+  ScenarioGrid apps = small_grid();
+  apps.sizes = {20};
+  apps.granularities = {1.0};
+  apps.workload = WorkloadKind::kRegularApp;  // three paper apps
+  apps.seed_mode = SeedMode::kLegacySequential;
+  EXPECT_THROW((void)ScenarioSet::from_grid(apps), PreconditionError);
+}
+
+/// Figure 7 seed-compatibility regression: a legacy-mode grid sweep must
+/// reproduce, number for number, the pre-runtime serial fig7 driver
+/// (ten-graphs loop with derive_seed(base_seed, i) instance seeds).
+TEST(ScenarioSet, LegacySeedModeReproducesSerialFig7Driver) {
+  const std::uint64_t base_seed = 2026;
+  const int num_graphs = 2;
+  const int num_tasks = 25;
+  const std::vector<int> ranges{10, 50};
+
+  ScenarioGrid grid;
+  grid.workload = WorkloadKind::kRandomDag;
+  grid.sizes = {num_tasks};
+  grid.granularities = {1.0};
+  grid.topologies = {"hypercube"};
+  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
+  grid.procs = 16;
+  grid.het_highs = ranges;
+  grid.seeds_per_cell = num_graphs;
+  grid.base_seed = base_seed;
+  grid.seed_mode = SeedMode::kLegacySequential;
+  const ScenarioSet set = ScenarioSet::from_grid(grid);
+  const auto results = SweepRunner({.threads = 1}).run(set);
+
+  // The serial driver, replicated verbatim.
+  const auto topo = exp::make_topology("hypercube", 16, base_seed);
+  std::size_t cursor = 0;
+  for (const int hi : ranges) {
+    for (int i = 0; i < num_graphs; ++i) {
+      const std::uint64_t seed =
+          derive_seed(base_seed, static_cast<std::uint64_t>(i));
+      const auto g = exp::make_instance(false, 0, num_tasks, 1.0, seed);
+      const auto cm = exp::make_cost_model(g, topo, 1, hi, 1, hi, false,
+                                           derive_seed(seed, 17));
+      const Time dls =
+          exp::run_algorithm(exp::Algo::kDls, g, topo, cm, seed)
+              .schedule_length;
+      const Time bsa =
+          exp::run_algorithm(exp::Algo::kBsa, g, topo, cm, seed)
+              .schedule_length;
+      // Enumeration order within a cell is (rep, algo) with DLS first.
+      ASSERT_LT(cursor + 1, results.size());
+      EXPECT_EQ(results[cursor].spec.algo, exp::Algo::kDls);
+      EXPECT_EQ(results[cursor].spec.het_hi, hi);
+      EXPECT_EQ(results[cursor].schedule_length, dls)
+          << "hi=" << hi << " rep=" << i;
+      EXPECT_EQ(results[cursor + 1].spec.algo, exp::Algo::kBsa);
+      EXPECT_EQ(results[cursor + 1].schedule_length, bsa)
+          << "hi=" << hi << " rep=" << i;
+      cursor += 2;
+    }
+  }
+  EXPECT_EQ(cursor, results.size());
 }
 
 // --- sweep determinism ------------------------------------------------------
@@ -291,6 +379,31 @@ TEST(JsonlSink, EscapesStringsAndRejectsMalformedRows) {
                PreconditionError);
   EXPECT_THROW((void)parse_jsonl_row("{\"k\":\"\\u00e9\"}"),
                PreconditionError);  // non-ASCII unsupported
+}
+
+TEST(JsonlSink, ControlCharactersNeverCorruptALine) {
+  // Every control character must escape into a single-line, parseable
+  // representation and round-trip exactly.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string raw{'x', static_cast<char>(c), 'y'};
+    const std::string escaped = json_escape(raw);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << "char " << c;
+    EXPECT_EQ(escaped.find('\r'), std::string::npos) << "char " << c;
+    const auto row = parse_jsonl_row("{\"k\":\"" + escaped + "\"}");
+    EXPECT_EQ(std::get<std::string>(row.at("k")), raw) << "char " << c;
+  }
+  EXPECT_EQ(json_escape("\x01"), "\\u0001");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  EXPECT_EQ(json_escape("\n\t\r"), "\\n\\t\\r");
+}
+
+TEST(JsonlSink, HostileTopologyNameRoundTripsThroughARow) {
+  ScenarioResult r = sample_result();
+  r.spec.topology = "evil\"\\\n\t\x01\x1fname";
+  const std::string line = to_jsonl(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // still one JSONL line
+  const auto row = parse_jsonl_row(line);
+  EXPECT_EQ(std::get<std::string>(row.at("topology")), r.spec.topology);
 }
 
 TEST(JsonlSink, AppendModeAccretesAcrossSinks) {

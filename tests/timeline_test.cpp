@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "sched/timeline.hpp"
 
 namespace bsa::sched {
@@ -91,6 +92,81 @@ TEST(IsWellFormed, DetectsProblems) {
   EXPECT_FALSE(is_well_formed(std::vector<Interval>{{1, 2}, {0, 1}}));
   EXPECT_FALSE(is_well_formed(std::vector<Interval>{{0, 5}, {4, 6}}));
   EXPECT_FALSE(is_well_formed(std::vector<Interval>{{3, 2}}));
+}
+
+// --- SlotIndex ---------------------------------------------------------------
+
+TEST(SlotIndex, EmptyAndBasics) {
+  SlotIndex idx;
+  idx.build({});
+  EXPECT_TRUE(idx.built());
+  EXPECT_DOUBLE_EQ(idx.query(0, 10), 0);
+  EXPECT_DOUBLE_EQ(idx.query(7, 10), 7);
+  EXPECT_DOUBLE_EQ(idx.query(-5, 10), 0);  // clamped like earliest_fit
+
+  const std::vector<Interval> busy{{5, 10}, {12, 20}, {30, 35}};
+  idx.build(busy);
+  for (const Time ready : {0.0, 3.0, 5.0, 11.0, 20.0, 36.0}) {
+    for (const Time dur : {0.0, 1.0, 2.0, 5.0, 10.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(idx.query(ready, dur), earliest_fit(busy, ready, dur))
+          << "ready=" << ready << " dur=" << dur;
+    }
+  }
+  idx.reset();
+  EXPECT_FALSE(idx.built());
+}
+
+TEST(SlotIndex, TouchingIntervalsAndZeroDurations) {
+  const std::vector<Interval> busy{{0, 4}, {4, 8}, {8, 8}, {10, 12}};
+  SlotIndex idx;
+  idx.build(busy);
+  for (const Time ready : {0.0, 4.0, 8.0, 9.0, 12.5}) {
+    for (const Time dur : {0.0, 1.0, 2.0, 3.0}) {
+      EXPECT_DOUBLE_EQ(idx.query(ready, dur), earliest_fit(busy, ready, dur))
+          << "ready=" << ready << " dur=" << dur;
+    }
+  }
+}
+
+/// Property: SlotIndex answers exactly match the linear scan on random
+/// timelines (integral and fractional), across a sweep of queries.
+TEST(SlotIndex, MatchesLinearScanOnRandomTimelines) {
+  Rng rng(2026);
+  for (int round = 0; round < 200; ++round) {
+    const bool fractional = round % 3 == 0;
+    std::vector<Interval> busy;
+    Time cursor = 0;
+    const int intervals = static_cast<int>(rng.index(20));
+    for (int i = 0; i < intervals; ++i) {
+      // Gaps of zero are allowed (touching intervals).
+      const Time gap = fractional ? rng.uniform_real(0.0, 7.0)
+                                  : static_cast<Time>(rng.index(7));
+      const Time len = fractional ? rng.uniform_real(0.0, 9.0)
+                                  : static_cast<Time>(rng.index(9));
+      cursor += gap;
+      busy.push_back(Interval{cursor, cursor + len});
+      cursor += len;
+    }
+    SlotIndex idx;
+    idx.build(busy);
+    for (int q = 0; q < 50; ++q) {
+      const Time ready = fractional
+                             ? rng.uniform_real(-2.0, cursor + 5.0)
+                             : static_cast<Time>(rng.index(60)) - 2;
+      const Time dur = fractional ? rng.uniform_real(0.0, 12.0)
+                                  : static_cast<Time>(rng.index(12));
+      const Time expected = earliest_fit(busy, ready, dur);
+      const Time got = idx.query(ready, dur);
+      ASSERT_EQ(got, expected) << "round=" << round << " ready=" << ready
+                               << " dur=" << dur;
+    }
+  }
+}
+
+TEST(SlotIndex, RejectsNegativeDuration) {
+  SlotIndex idx;
+  idx.build({});
+  EXPECT_THROW((void)idx.query(0, -1), PreconditionError);
 }
 
 }  // namespace
