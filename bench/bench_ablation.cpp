@@ -1,106 +1,121 @@
 /// Ablation study of BSA's design choices (DESIGN.md §3).
 ///
-/// For each interpretation knob the bench reports mean schedule lengths
-/// over a random-graph suite (three granularities on ring and hypercube):
+/// Since the unified scheduler registry, every ablation variant is just a
+/// spec string ("bsa:policy=greedy", "bsa:route=static", ...), so this
+/// bench is a plain ScenarioGrid over BSA variant specs evaluated on the
+/// parallel sweep runtime — no bespoke option-tweaking loops. For each
+/// variant the mean schedule length over a random-graph suite (three
+/// granularities on ring and hypercube) is reported.
 ///
-///   * MigrationPolicy: makespan-guarded (default) vs literal task-greedy
-///   * GateRule: paper gate vs always-consider
-///   * VIP rule: on vs off
-///   * Slot policy: insertion vs append-only
-///   * Route-cycle pruning: off (paper) vs on
-///   * Sweeps: 1 (paper) vs 4
-///   * Serialization: CP/IB/OB (paper) vs plain b-level list
-///   * Routing: incremental (paper) vs static shortest-path re-routing
+///   * "bsa"                 makespan-guarded default
+///   * "bsa:policy=greedy"   literal task-greedy migration
+///   * "bsa:gate=always"     always-consider migration gate
+///   * "bsa:vip=off"         VIP rule off
+///   * "bsa:slots=append"    append-only slot search
+///   * "bsa:prune=on"        route-cycle pruning on
+///   * "bsa:sweeps=4"        four pivot sweeps
+///   * "bsa:serial=blevel"   plain b-level serialization
+///   * "bsa:route=static"    static shortest-path re-routing
 ///
-/// Flags: --tasks N, --seeds N, --per-pair, --seed S.
+/// Flags: --tasks N, --seeds N, --per-pair, --seed S, --algo spec[,...]
+///        (override the variant list), --threads/--jobs N, --out FILE.
 
-#include <functional>
+#include <exception>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cli.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/bsa.hpp"
 #include "exp/experiment.hpp"
-#include "workloads/random_dag.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "sched/scheduler.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace bsa;
   const CliParser cli(argc, argv);
   const int num_tasks = static_cast<int>(cli.get_int("tasks", 80));
   const int seeds = static_cast<int>(cli.get_int("seeds", 3));
-  const bool per_pair = cli.get_bool("per-pair", false);
-  const auto base_seed =
-      static_cast<std::uint64_t>(cli.get_int("seed", 2026));
 
-  struct Variant {
-    const char* name;
-    std::function<void(core::BsaOptions&)> tweak;
+  std::vector<std::string> variants{
+      "bsa",           "bsa:policy=greedy", "bsa:gate=always",
+      "bsa:vip=off",   "bsa:slots=append",  "bsa:prune=on",
+      "bsa:sweeps=4",  "bsa:serial=blevel", "bsa:route=static",
   };
-  const std::vector<Variant> variants{
-      {"default (guarded)", [](core::BsaOptions&) {}},
-      {"task-greedy (paper literal)",
-       [](core::BsaOptions& o) {
-         o.policy = core::MigrationPolicy::kTaskGreedy;
-       }},
-      {"gate: always consider",
-       [](core::BsaOptions& o) { o.gate = core::GateRule::kAlwaysConsider; }},
-      {"VIP rule off", [](core::BsaOptions& o) { o.vip_rule = false; }},
-      {"append-only slots",
-       [](core::BsaOptions& o) { o.insertion_slots = false; }},
-      {"route pruning on",
-       [](core::BsaOptions& o) { o.prune_route_cycles = true; }},
-      {"4 sweeps", [](core::BsaOptions& o) { o.max_sweeps = 4; }},
-      {"b-level serialization",
-       [](core::BsaOptions& o) {
-         o.serialization = core::SerializationRule::kBLevel;
-       }},
-      {"static shortest-path routes",
-       [](core::BsaOptions& o) {
-         o.routing = core::RouteDiscipline::kStaticShortestPath;
-       }},
-  };
+  if (cli.has("algo")) {
+    variants.clear();
+    for (const std::string& value : cli.get_strings("algo")) {
+      for (const std::string& spec :
+           sched::SchedulerRegistry::global().split_spec_list(value)) {
+        variants.push_back(spec);
+      }
+    }
+  }
 
-  std::cout << "=== BSA design-choice ablation ===\n"
+  runtime::ScenarioGrid grid;
+  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.sizes = {num_tasks};
+  grid.granularities = {0.1, 1.0, 10.0};
+  grid.topologies = {"ring", "hypercube"};
+  grid.algos = variants;
+  grid.procs = 16;
+  grid.het_highs = {50};
+  grid.per_pair = cli.get_bool("per-pair", false);
+  grid.seeds_per_cell = seeds;
+  grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+
+  const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
+  runtime::SweepRunner runner({.threads = cli.threads(1)});
+
+  std::cout << "=== BSA design-choice ablation (registry variant grid) ===\n"
             << num_tasks << "-task random graphs, " << seeds
-            << " seed(s), granularities {0.1, 1, 10}\n\n";
+            << " seed(s), granularities {0.1, 1, 10}, " << set.size()
+            << " scenarios on " << runner.threads() << " thread(s)\n\n";
 
-  for (const char* topo_kind : {"ring", "hypercube"}) {
-    const auto topo = exp::make_topology(topo_kind, 16, base_seed);
+  std::unique_ptr<runtime::JsonlSink> jsonl;
+  if (const auto out = cli.out_path()) {
+    jsonl = std::make_unique<runtime::JsonlSink>(*out);
+  }
+  const auto results = runner.run(set, jsonl.get());
+
+  // topology -> canonical spec -> granularity -> mean schedule length.
+  std::map<std::string, std::map<std::string, std::map<double, exp::CellMean>>>
+      cells;
+  for (const runtime::ScenarioResult& r : results) {
+    cells[r.spec.topology][r.spec.algo][r.spec.granularity].add(
+        r.schedule_length);
+  }
+
+  // Canonical spec per variant, preserving the requested row order (the
+  // aggregation map above is keyed by canonical spec already).
+  std::vector<std::string> rows;
+  for (const std::string& v : variants) {
+    rows.push_back(sched::SchedulerRegistry::global().canonical(v));
+  }
+
+  for (const std::string& topo_kind : grid.topologies) {
+    const auto topo = exp::make_topology(topo_kind, grid.procs,
+                                         grid.base_seed);
     TextTable table({"variant", "gran 0.1", "gran 1.0", "gran 10.0"});
-    for (const auto& variant : variants) {
-      table.new_row().cell(variant.name);
-      for (const double gran : {0.1, 1.0, 10.0}) {
-        exp::CellMean mean;
-        for (int rep = 0; rep < seeds; ++rep) {
-          workloads::RandomDagParams params;
-          params.num_tasks = num_tasks;
-          params.granularity = gran;
-          params.seed = derive_seed(base_seed,
-                                    static_cast<std::uint64_t>(rep), 3);
-          const auto g = workloads::random_layered_dag(params);
-          const auto cm_seed = derive_seed(params.seed, 17);
-          const auto cm =
-              per_pair
-                  ? net::HeterogeneousCostModel::uniform(g, topo, 1, 50, 1,
-                                                         50, cm_seed)
-                  : net::HeterogeneousCostModel::uniform_processor_speeds(
-                        g, topo, 1, 50, 1, 50, cm_seed);
-          core::BsaOptions opt;
-          opt.seed = params.seed;
-          variant.tweak(opt);
-          mean.add(core::schedule_bsa(g, topo, cm, opt).schedule_length());
-        }
-        table.cell(mean.mean(), 1);
+    for (const std::string& row : rows) {
+      table.new_row().cell(row);
+      for (const double gran : grid.granularities) {
+        table.cell(cells.at(topo_kind).at(row).at(gran).mean(), 1);
       }
     }
     std::cout << "-- " << topo.name() << " --\n";
     table.print(std::cout);
     std::cout << '\n';
   }
-  std::cout << "expected: task-greedy blows up at granularity 0.1 (the\n"
+  std::cout << "expected: policy=greedy blows up at granularity 0.1 (the\n"
                "makespan guard is what delivers contention awareness);\n"
                "extra sweeps help mainly at coarse granularity on the ring.\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }

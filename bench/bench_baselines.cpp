@@ -8,11 +8,14 @@
 /// Flags: --tasks N, --seeds N, --per-pair, --seed S, --csv.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
+#include "sched/scheduler.hpp"
 #include "workloads/random_dag.hpp"
 
 int main(int argc, char** argv) {
@@ -29,10 +32,16 @@ int main(int argc, char** argv) {
             << num_tasks << "-task random graphs, " << seeds
             << " seed(s) per cell\n\n";
 
+  const std::vector<std::string> specs{"bsa", "dls", "mh", "eft"};
+  std::vector<std::string> labels;
+  for (const std::string& s : specs) {
+    labels.push_back(sched::SchedulerRegistry::global().display_label(s));
+  }
+
   for (const std::string& kind : exp::paper_topologies()) {
     const auto topo = exp::make_topology(kind, 16, base_seed);
-    TextTable table({"granularity", "BSA", "DLS", "MH", "EFT (oblivious)",
-                     "best"});
+    TextTable table({"granularity", labels[0], labels[1], labels[2],
+                     labels[3], "best"});
     for (const double gran : {0.1, 1.0, 10.0}) {
       exp::CellMean means[4];
       for (int rep = 0; rep < seeds; ++rep) {
@@ -49,21 +58,19 @@ int main(int argc, char** argv) {
                                                        cm_seed)
                 : net::HeterogeneousCostModel::uniform_processor_speeds(
                       g, topo, 1, 50, 1, 50, cm_seed);
-        const exp::Algo algos[] = {exp::Algo::kBsa, exp::Algo::kDls,
-                                   exp::Algo::kMh, exp::Algo::kEft};
         for (int a = 0; a < 4; ++a) {
-          means[a].add(exp::run_algorithm(algos[a], g, topo, cm, params.seed)
+          means[a].add(exp::run_algorithm(specs[static_cast<std::size_t>(a)],
+                                          g, topo, cm, params.seed)
                            .schedule_length);
         }
       }
-      const char* names[] = {"BSA", "DLS", "MH", "EFT"};
       int best = 0;
       for (int a = 1; a < 4; ++a) {
         if (means[a].mean() < means[best].mean()) best = a;
       }
       table.new_row().cell(gran, 1);
       for (int a = 0; a < 4; ++a) table.cell(means[a].mean(), 1);
-      table.cell(names[best]);
+      table.cell(labels[static_cast<std::size_t>(best)]);
     }
     std::cout << "-- " << topo.name() << " --\n";
     if (csv) {

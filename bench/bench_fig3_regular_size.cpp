@@ -24,7 +24,5 @@ int main(int argc, char** argv) {
   cfg.x_axis_granularity = false;
   cfg.sizes = bsa::exp::paper_sizes();
   cfg.granularities = bsa::exp::paper_granularities();
-  bsa::bench::apply_cli(cli, &cfg);
-  bsa::bench::run_and_print(cfg, "Figure 3", std::cout);
-  return 0;
+  return bsa::bench::run_figure_bench(cli, cfg, "Figure 3");
 }

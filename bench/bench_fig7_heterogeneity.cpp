@@ -19,6 +19,7 @@
 ///        --threads/--jobs N (0 = all cores), --out FILE (stream
 ///        per-scenario JSONL rows).
 
+#include <exception>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -31,8 +32,9 @@
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
+#include "sched/scheduler.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace bsa;
   const CliParser cli(argc, argv);
   const bool full =
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
   grid.sizes = {num_tasks};
   grid.granularities = {1.0};
   grid.topologies = {"hypercube"};
-  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
+  grid.algos = {"dls", "bsa"};
   grid.procs = 16;
   grid.het_highs = {10, 50, 100, 200};
   grid.per_pair = cli.get_bool("per-pair", false);
@@ -79,16 +81,21 @@ int main(int argc, char** argv) {
   }
   const auto results = runner.run(set, jsonl.get());
 
-  std::map<int, exp::CellMean> dls_by_range, bsa_by_range;
+  // canonical spec -> heterogeneity range -> accumulator; display labels
+  // come from the registry (single source of truth, no local name table).
+  const auto& registry = sched::SchedulerRegistry::global();
+  std::map<std::string, std::map<int, exp::CellMean>> by_algo;
   for (const runtime::ScenarioResult& r : results) {
-    (r.spec.algo == exp::Algo::kDls ? dls_by_range : bsa_by_range)
-        [r.spec.het_hi].add(r.schedule_length);
+    by_algo[r.spec.algo][r.spec.het_hi].add(r.schedule_length);
   }
+  const std::string dls_label = registry.display_label(grid.algos[0]);
+  const std::string bsa_label = registry.display_label(grid.algos[1]);
 
-  TextTable table({"heterogeneity range", "DLS", "BSA", "BSA/DLS"});
-  for (const auto& [hi, dls_mean] : dls_by_range) {
+  TextTable table({"heterogeneity range", dls_label, bsa_label,
+                   bsa_label + "/" + dls_label});
+  for (const auto& [hi, dls_mean] : by_algo.at(grid.algos[0])) {
     const double dls = dls_mean.mean();
-    const double bsa = bsa_by_range.at(hi).mean();
+    const double bsa = by_algo.at(grid.algos[1]).at(hi).mean();
     table.new_row()
         .cell("[1, " + std::to_string(hi) + "]")
         .cell(dls, 1)
@@ -103,4 +110,7 @@ int main(int argc, char** argv) {
   std::cout << "\npaper expectation: both rows grow with the range; BSA "
                "grows more slowly (smaller BSA/DLS at larger ranges)\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }

@@ -20,17 +20,15 @@
 #include <string>
 #include <vector>
 
-#include "baselines/dls.hpp"
-#include "baselines/eft.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/bsa.hpp"
 #include "core/refine.hpp"
 #include "exp/experiment.hpp"
 #include "runtime/result_sink.hpp"
+#include "sched/scheduler.hpp"
 #include "workloads/random_dag.hpp"
 
 int main(int argc, char** argv) {
@@ -53,13 +51,9 @@ int main(int argc, char** argv) {
   TextTable table({"scheduler", "eval", "before", "after refine",
                    "improvement %", "moves", "mean ms"});
   std::vector<runtime::BenchEntry> entries;
-  struct Row {
-    const char* name;
-    exp::Algo algo;
-  };
-  for (const Row row : {Row{"BSA", exp::Algo::kBsa},
-                        Row{"DLS", exp::Algo::kDls},
-                        Row{"EFT (oblivious)", exp::Algo::kEft}}) {
+  for (const char* spec : {"bsa", "dls", "eft"}) {
+    const auto scheduler = sched::SchedulerRegistry::global().resolve(spec);
+    const std::string row_name = scheduler->display_label();
     struct EvalCell {
       exp::CellMean before, after;
       StatAccumulator wall;
@@ -79,18 +73,9 @@ int main(int argc, char** argv) {
                                                      cm_seed)
               : net::HeterogeneousCostModel::uniform_processor_speeds(
                     g, topo, 1, 50, 1, 50, cm_seed);
-      sched::Schedule s(g, topo);
-      switch (row.algo) {
-        case exp::Algo::kBsa:
-          s = core::schedule_bsa(g, topo, cm).schedule;
-          break;
-        case exp::Algo::kDls:
-          s = baselines::schedule_dls(g, topo, cm).schedule;
-          break;
-        default:
-          s = baselines::schedule_eft_oblivious(g, topo, cm).schedule;
-          break;
-      }
+      // Seed 0 matches the pre-registry dispatch (default BsaOptions), so
+      // the BENCH_refine.json trajectory stays comparable across runs.
+      const sched::Schedule s = scheduler->run(g, topo, cm, 0).schedule;
       for (EvalCell* cell : {&relist, &delta}) {
         core::RefineOptions opt;
         opt.max_rounds = rounds;
@@ -115,7 +100,7 @@ int main(int argc, char** argv) {
                     cell.before.mean()
               : 0.0;
       table.new_row()
-          .cell(row.name)
+          .cell(row_name)
           .cell(eval_name)
           .cell(cell.before.mean(), 1)
           .cell(cell.after.mean(), 1)
@@ -123,7 +108,7 @@ int main(int argc, char** argv) {
           .cell(static_cast<long long>(cell.total_moves))
           .cell(cell.wall.mean(), 2);
       runtime::BenchEntry e;
-      e.label = std::string(eval_name) + "/" + row.name + "/" +
+      e.label = std::string(eval_name) + "/" + row_name + "/" +
                 std::to_string(num_tasks);
       e.runs = static_cast<int>(cell.wall.count());
       e.mean_wall_ms = cell.wall.mean();

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
                     : std::vector<int>{50, 100, 200};
   grid.granularities = {1.0};
   grid.topologies = {"ring", "hypercube", "clique"};
-  grid.algos = {exp::Algo::kBsa, exp::Algo::kDls, exp::Algo::kEft};
+  grid.algos = {"bsa", "dls", "eft"};
   grid.procs = 16;
   grid.het_highs = {50};
   grid.seeds_per_cell = reps;
@@ -105,8 +105,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> order;
   std::map<std::string, Cell> cells;
   for (const runtime::ScenarioResult& r : results) {
-    const std::string label = std::string(exp::algo_name(r.spec.algo)) + "/" +
-                              r.spec.topology + "/" +
+    // Labels use the canonical registry spec ("bsa/ring/100"), the same
+    // spelling the JSONL rows carry.
+    const std::string label = r.spec.algo + "/" + r.spec.topology + "/" +
                               std::to_string(r.spec.size);
     if (cells.find(label) == cells.end()) order.push_back(label);
     Cell& c = cells[label];

@@ -1,5 +1,7 @@
 #include "fig_common.hpp"
 
+#include <exception>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -9,6 +11,7 @@
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
+#include "sched/scheduler.hpp"
 
 namespace bsa::bench {
 namespace {
@@ -20,8 +23,7 @@ runtime::ScenarioGrid make_grid(const SweepConfig& cfg) {
   grid.sizes = cfg.sizes;
   grid.granularities = cfg.granularities;
   grid.topologies = exp::paper_topologies();
-  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
-  if (cfg.include_eft) grid.algos.push_back(exp::Algo::kEft);
+  grid.algos = cfg.algos;
   grid.procs = cfg.procs;
   grid.het_lo = cfg.het_lo;
   grid.het_highs = {cfg.het_hi};
@@ -43,7 +45,25 @@ void apply_cli(const CliParser& cli, SweepConfig* config) {
   config->seeds_per_cell =
       static_cast<int>(cli.get_int("seeds", config->seeds_per_cell));
   config->per_pair = cli.get_bool("per-pair", config->per_pair);
-  config->include_eft = cli.get_bool("eft", config->include_eft);
+  const sched::SchedulerRegistry& registry = sched::SchedulerRegistry::global();
+  if (cli.has("algo")) {
+    config->algos.clear();
+    // Repeatable: every --algo occurrence contributes its comma list.
+    for (const std::string& value : cli.get_strings("algo")) {
+      for (const std::string& spec : registry.split_spec_list(value)) {
+        config->algos.push_back(spec);
+      }
+    }
+  }
+  // Legacy alias for the pre-registry boolean column toggle; skip when an
+  // EFT column is already requested so scenarios aren't evaluated twice.
+  if (cli.get_bool("eft", false)) {
+    bool present = false;
+    for (const std::string& spec : config->algos) {
+      present = present || registry.canonical(spec) == "eft";
+    }
+    if (!present) config->algos.push_back("eft");
+  }
   config->print_csv = cli.get_bool("csv", config->print_csv);
   config->base_seed =
       static_cast<std::uint64_t>(cli.get_int("seed",
@@ -57,6 +77,17 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
                    std::ostream& os) {
   BSA_REQUIRE(!cfg.sizes.empty() && !cfg.granularities.empty(),
               "empty sweep axes");
+  BSA_REQUIRE(!cfg.algos.empty(), "no scheduler specs configured");
+
+  // Canonical spec per column — the single source of truth shared with
+  // the scenario enumeration and the JSONL sink — plus a display label
+  // from the registry (the old hand-written name tables are gone).
+  const sched::SchedulerRegistry& registry = sched::SchedulerRegistry::global();
+  std::vector<std::string> columns, labels;
+  for (const std::string& spec : cfg.algos) {
+    columns.push_back(registry.canonical(spec));
+    labels.push_back(registry.display_label(spec));
+  }
 
   const runtime::ScenarioSet set =
       runtime::ScenarioSet::from_grid(make_grid(cfg));
@@ -86,19 +117,16 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
   const std::vector<runtime::ScenarioResult> results =
       runner.run(set, jsonl.get());
 
-  // topology -> x value -> per-algorithm accumulator. Results arrive in
-  // enumeration order, so aggregation is deterministic too.
+  // topology -> canonical spec -> x value -> accumulator. Results arrive
+  // in enumeration order, so aggregation is deterministic too.
   struct Cells {
-    std::map<double, exp::CellMean> by_algo[3];  // DLS, BSA, EFT
+    std::map<std::string, std::map<double, exp::CellMean>> by_algo;
     bool all_valid = true;
   };
   std::map<std::string, Cells> per_topology;
   for (const runtime::ScenarioResult& r : results) {
     Cells& cells = per_topology[r.spec.topology];
-    const int slot = r.spec.algo == exp::Algo::kDls   ? 0
-                     : r.spec.algo == exp::Algo::kBsa ? 1
-                                                      : 2;
-    cells.by_algo[slot][r.spec.x_value(cfg.x_axis_granularity)].add(
+    cells.by_algo[r.spec.algo][r.spec.x_value(cfg.x_axis_granularity)].add(
         r.schedule_length);
     cells.all_valid = cells.all_valid && r.valid;
   }
@@ -109,23 +137,33 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
     const Cells& cells = per_topology.at(kind);
 
     std::vector<std::string> headers{
-        cfg.x_axis_granularity ? "granularity" : "graph size", "DLS", "BSA",
-        "BSA/DLS"};
-    if (cfg.include_eft) headers.push_back("EFT (oblivious)");
+        cfg.x_axis_granularity ? "granularity" : "graph size"};
+    headers.push_back(labels[0]);
+    if (columns.size() >= 2) {
+      headers.push_back(labels[1]);
+      headers.push_back(labels[1] + "/" + labels[0]);
+      for (std::size_t a = 2; a < columns.size(); ++a) {
+        headers.push_back(labels[a]);
+      }
+    }
     TextTable table(headers);
-    for (const auto& [x, dls_cell] : cells.by_algo[0]) {
+    for (const auto& [x, first_cell] : cells.by_algo.at(columns[0])) {
       table.new_row();
       if (cfg.x_axis_granularity) {
         table.cell(x, 1);
       } else {
         table.cell(static_cast<long long>(x));
       }
-      const double dls_mean = dls_cell.mean();
-      const double bsa_mean = cells.by_algo[1].at(x).mean();
-      table.cell(dls_mean, 1);
-      table.cell(bsa_mean, 1);
-      table.cell(dls_mean > 0 ? bsa_mean / dls_mean : 0.0, 3);
-      if (cfg.include_eft) table.cell(cells.by_algo[2].at(x).mean(), 1);
+      const double first_mean = first_cell.mean();
+      table.cell(first_mean, 1);
+      if (columns.size() >= 2) {
+        const double second_mean = cells.by_algo.at(columns[1]).at(x).mean();
+        table.cell(second_mean, 1);
+        table.cell(first_mean > 0 ? second_mean / first_mean : 0.0, 3);
+        for (std::size_t a = 2; a < columns.size(); ++a) {
+          table.cell(cells.by_algo.at(columns[a]).at(x).mean(), 1);
+        }
+      }
     }
     os << "-- " << topo.name() << " (" << topo.num_links() << " links) --\n";
     if (cfg.print_csv) {
@@ -141,6 +179,18 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
     os << "wrote " << jsonl->rows_written() << " JSONL rows to "
        << cfg.out_path << "\n";
   }
+}
+
+int run_figure_bench(const CliParser& cli, SweepConfig config,
+                     const std::string& figure_name) {
+  try {
+    apply_cli(cli, &config);
+    run_and_print(config, figure_name, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace bsa::bench

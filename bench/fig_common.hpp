@@ -37,7 +37,10 @@ struct SweepConfig {
   bool per_pair = false;
   int seeds_per_cell = 1;
   std::uint64_t base_seed = 2026;
-  bool include_eft = false;
+  /// Scheduler registry specs, one table column each, in column order.
+  /// When two or more are given a ratio column algos[1]/algos[0] is
+  /// printed after them (the paper's BSA/DLS with the default layout).
+  std::vector<std::string> algos = {"dls", "bsa"};
   bool print_csv = false;
   /// Worker threads for the sweep (0 = all hardware threads).
   int threads = 1;
@@ -47,13 +50,20 @@ struct SweepConfig {
 };
 
 /// Apply the standard command-line flags (--full, --seeds, --procs,
-/// --per-pair, --eft, --csv, --seed, --threads/--jobs, --out) to a
-/// config.
+/// --per-pair, --algo spec[,spec...], --eft (alias for appending "eft"),
+/// --csv, --seed, --threads/--jobs, --out) to a config.
 void apply_cli(const CliParser& cli, SweepConfig* config);
 
 /// Run the sweep on the parallel runtime and print one table per
 /// topology to `os`. `figure_name` labels the output (e.g. "Figure 3").
 void run_and_print(const SweepConfig& config, const std::string& figure_name,
                    std::ostream& os);
+
+/// apply_cli + run_and_print with clean error reporting: bad flag values
+/// (e.g. a typoed --algo spec) print `error: ...` to stderr and return
+/// exit code 1 instead of terminating on the uncaught exception. The
+/// figure drivers' main() is one call to this.
+[[nodiscard]] int run_figure_bench(const CliParser& cli, SweepConfig config,
+                                   const std::string& figure_name);
 
 }  // namespace bsa::bench

@@ -1,9 +1,10 @@
 /// Command-line scheduling tool: read a task graph from a file (or
 /// stdin) in the native text format, pick a topology and cost model on
-/// the command line, schedule with BSA/DLS/EFT, and print the result.
+/// the command line, schedule with any registered algorithm spec, and
+/// print the result.
 ///
 ///   $ ./bsa_tool graph.tg --topology ring --procs 8 --algo bsa --gantt
-///   $ ./bsa_tool graph.tg --topology hypercube --procs 16 --het 50
+///   $ ./bsa_tool graph.tg --algo bsa:gate=always,route=static --algo dls
 ///   $ cat graph.tg | ./bsa_tool --algo all --threads 3 --out runs.jsonl
 ///
 /// Graph format (see graph::read_text):
@@ -13,7 +14,12 @@
 /// Flags:
 ///   --topology ring|hypercube|clique|random|linear|star  (default ring)
 ///   --procs N          processor count (default 8)
-///   --algo bsa|dls|eft|all                                (default bsa)
+///   --algo SPEC[,SPEC...]  scheduler registry specs (default bsa;
+///                      repeatable; "all" = every registered algorithm;
+///                      variants like bsa:gate=always,route=static; a bad
+///                      spec lists the registered names). --bsa/--dls/
+///                      --eft/--mh boolean aliases also select algorithms.
+///   --list-algos       print the registered algorithm names and exit
 ///   --het N / --link-het N   heterogeneity ranges U[1,N]  (default 1)
 ///   --per-pair         per-(task,processor) factors instead of speeds
 ///   --seed S           RNG seed
@@ -35,16 +41,15 @@
 #include <optional>
 #include <vector>
 
-#include "baselines/dls.hpp"
-#include "baselines/eft.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
-#include "core/bsa.hpp"
 #include "exp/experiment.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/graph_stats.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/gantt.hpp"
+#include "sched/scheduler.hpp"
 #include "sched/schedule_io.hpp"
 #include "sched/metrics.hpp"
 #include "sched/validate.hpp"
@@ -79,6 +84,15 @@ int main(int argc, char** argv) {
   using namespace bsa;
   const CliParser cli(argc, argv);
   try {
+    const sched::SchedulerRegistry& registry =
+        sched::SchedulerRegistry::global();
+    if (cli.get_bool("list-algos", false)) {
+      for (const std::string& name : registry.names()) {
+        std::cout << name << '\n';
+      }
+      return 0;
+    }
+
     graph::TaskGraph g = [&] {
       if (!cli.positional().empty()) {
         std::ifstream file(cli.positional()[0]);
@@ -121,47 +135,59 @@ int main(int argc, char** argv) {
       std::cout << '\n';
     }
 
-    const std::string algo = cli.get_string("algo", "bsa");
     const bool gantt = cli.get_bool("gantt", false);
     const bool run_validate = cli.get_bool("validate", false);
 
+    // Collect the requested registry specs: every --algo occurrence
+    // (comma lists allowed, "all" = every registered algorithm), plus the
+    // legacy boolean aliases --bsa/--dls/--eft/--mh.
+    std::vector<std::string> specs;
+    for (const std::string& value : cli.get_strings("algo")) {
+      for (const std::string& item : registry.split_spec_list(value)) {
+        if (sched::ascii_lower(item) == "all") {
+          for (const std::string& name : registry.names()) {
+            specs.push_back(name);
+          }
+        } else {
+          specs.push_back(item);
+        }
+      }
+    }
+    for (const char* alias : {"bsa", "dls", "eft", "mh"}) {
+      if (cli.get_bool(alias, false)) specs.push_back(alias);
+    }
+    if (specs.empty()) specs.push_back("bsa");
+
     struct Run {
-      std::string name;
-      exp::Algo algo;
+      std::string spec;   ///< canonical registry spec
+      std::string name;   ///< display label for the report
+      std::unique_ptr<sched::Scheduler> scheduler;
       std::optional<sched::Schedule> schedule;
       double wall_ms = 0;
     };
     std::vector<Run> runs;
-    if (algo == "bsa" || algo == "all") {
-      runs.push_back({"BSA", exp::Algo::kBsa, std::nullopt, 0});
+    for (const std::string& spec : specs) {
+      // resolve() rejects unknown names/options with a message listing
+      // the registered choices — surfaced via the catch block below.
+      Run r;
+      r.scheduler = registry.resolve(spec);
+      r.spec = r.scheduler->spec();
+      r.name = r.scheduler->display_label();
+      // Overlapping requests ("--algo all --bsa") collapse to one run per
+      // canonical spec so reports and JSONL rows aren't duplicated.
+      bool duplicate = false;
+      for (const Run& seen : runs) duplicate = duplicate || seen.spec == r.spec;
+      if (!duplicate) runs.push_back(std::move(r));
     }
-    if (algo == "dls" || algo == "all") {
-      runs.push_back({"DLS", exp::Algo::kDls, std::nullopt, 0});
-    }
-    if (algo == "eft" || algo == "all") {
-      runs.push_back(
-          {"EFT (contention oblivious)", exp::Algo::kEft, std::nullopt, 0});
-    }
-    BSA_REQUIRE(!runs.empty(), "unknown --algo '" << algo << "'");
 
-    // The graph, topology and cost model are immutable, so the requested
-    // algorithms can run concurrently; reports stay in request order.
+    // The graph, topology and cost model are immutable and scheduler
+    // instances are stateless, so the requested algorithms can run
+    // concurrently; reports stay in request order.
     runtime::ThreadPool pool(cli.threads(1));
     pool.parallel_for(runs.size(), 1, [&](std::size_t i) {
       Run& r = runs[i];
-      core::BsaOptions opt;
-      opt.seed = seed;
       const auto t0 = std::chrono::steady_clock::now();
-      switch (r.algo) {
-        case exp::Algo::kBsa:
-          r.schedule = core::schedule_bsa(g, topo, cm, opt).schedule;
-          break;
-        case exp::Algo::kDls:
-          r.schedule = baselines::schedule_dls(g, topo, cm).schedule;
-          break;
-        default:
-          r.schedule = baselines::schedule_eft_oblivious(g, topo, cm).schedule;
-      }
+      r.schedule = r.scheduler->run(g, topo, cm, seed).schedule;
       r.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -194,7 +220,7 @@ int main(int argc, char** argv) {
         row.spec.link_het_lo = 1;
         row.spec.link_het_hi = link_het;
         row.spec.per_pair = cli.get_bool("per-pair", false);
-        row.spec.algo = r.algo;
+        row.spec.algo = r.spec;
         row.spec.instance_seed = seed;
         row.schedule_length = r.schedule->makespan();
         row.wall_ms = r.wall_ms;

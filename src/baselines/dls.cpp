@@ -4,6 +4,7 @@
 
 #include "baselines/list_common.hpp"
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "network/routing.hpp"
 
 namespace bsa::baselines {
@@ -32,7 +33,6 @@ std::vector<Cost> compute_static_levels(
 DlsResult schedule_dls(const graph::TaskGraph& g, const net::Topology& topo,
                        const net::HeterogeneousCostModel& costs,
                        const DlsOptions& options) {
-  (void)options;
   BSA_REQUIRE(g.num_tasks() >= 1, "empty task graph");
   BSA_REQUIRE(costs.num_tasks() == g.num_tasks() &&
                   costs.num_processors() == topo.num_processors(),
@@ -52,6 +52,25 @@ DlsResult schedule_dls(const graph::TaskGraph& g, const net::Topology& topo,
   // Processor-finish times (append semantics of the TF term).
   std::vector<Time> tf(static_cast<std::size_t>(topo.num_processors()), 0);
 
+  // Tie order among equal dynamic levels: smallest ids when seed == 0,
+  // otherwise a deterministic hash shuffle of the (task, processor)
+  // pairs. The hash ranks first so a non-zero seed actually permutes
+  // ties; ids disambiguate hash collisions.
+  const auto tie_wins = [&options](TaskId t, ProcId p, TaskId best_t,
+                                   ProcId best_p) {
+    if (options.seed == 0) {
+      return t < best_t || (t == best_t && p < best_p);
+    }
+    const std::uint64_t h =
+        derive_seed(options.seed, static_cast<std::uint64_t>(t),
+                    static_cast<std::uint64_t>(p));
+    const std::uint64_t best_h =
+        derive_seed(options.seed, static_cast<std::uint64_t>(best_t),
+                    static_cast<std::uint64_t>(best_p));
+    return h < best_h || (h == best_h && (t < best_t ||
+                                          (t == best_t && p < best_p)));
+  };
+
   while (!ready.empty()) {
     // Evaluate every (ready task, processor) pair.
     TaskId best_task = kInvalidTask;
@@ -69,8 +88,7 @@ DlsResult schedule_dls(const graph::TaskGraph& g, const net::Topology& topo,
         const double dl = sl_star - start + delta;
         const bool better =
             best_task == kInvalidTask || dl > best_dl + kTimeEpsilon ||
-            (time_eq(dl, best_dl) &&
-             (t < best_task || (t == best_task && p < best_proc)));
+            (time_eq(dl, best_dl) && tie_wins(t, p, best_task, best_proc));
         if (better) {
           best_task = t;
           best_proc = p;

@@ -30,9 +30,11 @@
 namespace bsa::baselines {
 
 struct DlsOptions {
-  /// Reserved for future randomised tie-breaking; the implementation is
-  /// fully deterministic (ties towards smaller task id, then processor
-  /// id).
+  /// Tie-breaking seed. 0 (default): fully deterministic ties towards
+  /// smaller task id, then processor id. Non-zero: equal dynamic levels
+  /// are broken by a stateless hash of (seed, task, processor) — a
+  /// deterministic shuffle of the tie order, exposed through the
+  /// scheduler registry as "dls:seed=N".
   std::uint64_t seed = 0;
 };
 

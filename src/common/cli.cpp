@@ -16,6 +16,43 @@ bool is_flag(const std::string& arg) {
 
 }  // namespace
 
+std::optional<bool> parse_bool_literal(const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> parse_int_literal(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  // strtoll silently clamps to LLONG_MIN/MAX on overflow (ERANGE);
+  // reject instead of handing the caller a clamped value.
+  if (end == nullptr || *end != '\0' || end == text.c_str() ||
+      errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> parse_uint64_literal(const std::string& text) {
+  // strtoull accepts and negates "-1"; an unsigned literal must not.
+  if (text.empty() || text.front() == '-') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == text.c_str() ||
+      errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
 CliParser::CliParser(int argc, const char* const* argv) {
   BSA_REQUIRE(argc >= 1, "argc must include the program name");
   program_ = argv[0];
@@ -30,15 +67,15 @@ CliParser::CliParser(int argc, const char* const* argv) {
     if (eq != std::string::npos) {
       const std::string name = arg.substr(0, eq);
       BSA_REQUIRE(!name.empty(), "malformed flag --=...");
-      flags_[name] = arg.substr(eq + 1);
+      flags_[name].push_back(arg.substr(eq + 1));
       continue;
     }
     // `--name value` when the next token is not itself a flag, else boolean.
     if (i + 1 < argc && !is_flag(argv[i + 1])) {
-      flags_[arg] = argv[i + 1];
+      flags_[arg].push_back(argv[i + 1]);
       ++i;
     } else {
-      flags_[arg] = "true";
+      flags_[arg].push_back("true");
     }
   }
 }
@@ -47,44 +84,48 @@ bool CliParser::has(const std::string& name) const {
   return flags_.count(name) > 0;
 }
 
+const std::string* CliParser::last_value(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? nullptr : &it->second.back();
+}
+
 std::string CliParser::get_string(const std::string& name,
                                   const std::string& fallback) const {
+  const std::string* v = last_value(name);
+  return v == nullptr ? fallback : *v;
+}
+
+std::vector<std::string> CliParser::get_strings(
+    const std::string& name) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : it->second;
+  return it == flags_.end() ? std::vector<std::string>{} : it->second;
 }
 
 std::int64_t CliParser::get_int(const std::string& name,
                                 std::int64_t fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  BSA_REQUIRE(end != nullptr && *end == '\0' && end != it->second.c_str() &&
-                  !it->second.empty(),
-              "flag --" << name << " expects an integer, got '" << it->second
-                        << "'");
-  // strtoll silently clamps to LLONG_MIN/MAX on overflow; reject instead
-  // of handing the caller a clamped value.
-  BSA_REQUIRE(errno != ERANGE,
-              "flag --" << name << " is out of range: '" << it->second << "'");
-  return v;
+  const std::string* text = last_value(name);
+  if (text == nullptr) return fallback;
+  const std::optional<std::int64_t> v = parse_int_literal(*text);
+  BSA_REQUIRE(v.has_value(),
+              "flag --" << name << " expects an in-range integer, got '"
+                        << *text << "'");
+  return *v;
 }
 
 double CliParser::get_double(const std::string& name, double fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
+  const std::string* text = last_value(name);
+  if (text == nullptr) return fallback;
   char* end = nullptr;
   errno = 0;
-  const double v = std::strtod(it->second.c_str(), &end);
-  BSA_REQUIRE(end != nullptr && *end == '\0' && end != it->second.c_str() &&
-                  !it->second.empty(),
-              "flag --" << name << " expects a number, got '" << it->second
+  const double v = std::strtod(text->c_str(), &end);
+  BSA_REQUIRE(end != nullptr && *end == '\0' && end != text->c_str() &&
+                  !text->empty(),
+              "flag --" << name << " expects a number, got '" << *text
                         << "'");
   // Overflow clamps to +-HUGE_VAL with ERANGE; underflow-to-zero is
   // accepted (the nearest representable value is a fine answer there).
   BSA_REQUIRE(errno != ERANGE || std::abs(v) != HUGE_VAL,
-              "flag --" << name << " is out of range: '" << it->second << "'");
+              "flag --" << name << " is out of range: '" << *text << "'");
   return v;
 }
 
@@ -109,14 +150,12 @@ std::optional<std::string> CliParser::out_path() const {
 }
 
 bool CliParser::get_bool(const std::string& name, bool fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
-  const std::string& v = it->second;
-  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
-  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  BSA_REQUIRE(false, "flag --" << name << " expects a boolean, got '" << v
-                               << "'");
-  return fallback;  // unreachable
+  const std::string* text = last_value(name);
+  if (text == nullptr) return fallback;
+  const std::optional<bool> v = parse_bool_literal(*text);
+  BSA_REQUIRE(v.has_value(), "flag --" << name << " expects a boolean, got '"
+                                       << *text << "'");
+  return *v;
 }
 
 }  // namespace bsa

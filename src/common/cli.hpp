@@ -12,6 +12,16 @@
 
 namespace bsa {
 
+/// Strict literal parsers shared by the CLI flags and the scheduler
+/// registry's option values: the whole string must match, std::nullopt
+/// on anything else (trailing garbage, overflow, wrong base). Callers
+/// attach their own error message.
+[[nodiscard]] std::optional<bool> parse_bool_literal(const std::string& text);
+[[nodiscard]] std::optional<std::int64_t> parse_int_literal(
+    const std::string& text);
+[[nodiscard]] std::optional<std::uint64_t> parse_uint64_literal(
+    const std::string& text);
+
 class CliParser {
  public:
   /// Parse argv; unrecognised positional arguments are collected in order.
@@ -21,9 +31,15 @@ class CliParser {
   [[nodiscard]] bool has(const std::string& name) const;
 
   /// Value lookups with defaults; throw PreconditionError when the stored
-  /// text cannot be parsed as the requested type.
+  /// text cannot be parsed as the requested type. When a flag is repeated
+  /// the scalar getters use the last occurrence.
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
+
+  /// Every occurrence of `--name value` in command-line order (empty when
+  /// absent) — for repeatable flags such as bsa_tool's `--algo`.
+  [[nodiscard]] std::vector<std::string> get_strings(
+      const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
@@ -47,8 +63,10 @@ class CliParser {
   }
 
  private:
+  [[nodiscard]] const std::string* last_value(const std::string& name) const;
+
   std::string program_;
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   std::vector<std::string> positional_;
 };
 

@@ -1,63 +1,28 @@
 #include "exp/experiment.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
+#include <memory>
 
-#include "baselines/dls.hpp"
-#include "baselines/eft.hpp"
-#include "baselines/mh.hpp"
 #include "common/check.hpp"
-#include "core/bsa.hpp"
+#include "sched/scheduler.hpp"
 #include "sched/validate.hpp"
 #include "workloads/random_dag.hpp"
 #include "workloads/regular.hpp"
 
 namespace bsa::exp {
 
-const char* algo_name(Algo a) {
-  switch (a) {
-    case Algo::kBsa:
-      return "BSA";
-    case Algo::kDls:
-      return "DLS";
-    case Algo::kEft:
-      return "EFT";
-    case Algo::kMh:
-      return "MH";
-  }
-  return "?";
-}
-
-RunOutcome run_algorithm(Algo a, const graph::TaskGraph& g,
+RunOutcome run_algorithm(const std::string& spec, const graph::TaskGraph& g,
                          const net::Topology& topo,
                          const net::HeterogeneousCostModel& costs,
                          std::uint64_t seed) {
+  const std::unique_ptr<sched::Scheduler> scheduler =
+      sched::SchedulerRegistry::global().resolve(spec);
+  const sched::SchedulerResult result = scheduler->run(g, topo, costs, seed);
   RunOutcome out;
-  const auto t0 = std::chrono::steady_clock::now();
-  sched::Schedule result(g, topo);
-  switch (a) {
-    case Algo::kBsa: {
-      core::BsaOptions opt;
-      opt.seed = seed;
-      result = core::schedule_bsa(g, topo, costs, opt).schedule;
-      break;
-    }
-    case Algo::kDls:
-      result = baselines::schedule_dls(g, topo, costs).schedule;
-      break;
-    case Algo::kEft:
-      result = baselines::schedule_eft_oblivious(g, topo, costs).schedule;
-      break;
-    case Algo::kMh:
-      result = baselines::schedule_mh(g, topo, costs).schedule;
-      break;
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  out.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.wall_ms = result.total_ms();
   out.schedule_length = result.makespan();
-  out.valid = sched::validate(result, costs).ok();
+  out.valid = sched::validate(result.schedule, costs).ok();
   return out;
 }
 

@@ -10,14 +10,12 @@
 #include "network/topology.hpp"
 
 /// \file experiment.hpp
-/// Shared harness for the paper-reproduction benchmarks: algorithm
-/// dispatch, the paper's four 16-processor topologies, the regular
-/// application suite and experiment-cell aggregation.
+/// Shared harness for the paper-reproduction benchmarks: the paper's four
+/// 16-processor topologies, the regular application suite and
+/// experiment-cell aggregation. Algorithm dispatch goes through the
+/// sched::SchedulerRegistry spec strings ("bsa", "dls:seed=7", ...).
 
 namespace bsa::exp {
-
-enum class Algo : unsigned char { kBsa, kDls, kEft, kMh };
-[[nodiscard]] const char* algo_name(Algo a);
 
 struct RunOutcome {
   Time schedule_length = 0;
@@ -25,8 +23,11 @@ struct RunOutcome {
   bool valid = false;   ///< full invariant validation result
 };
 
-/// Run one algorithm on one instance and validate the schedule.
-[[nodiscard]] RunOutcome run_algorithm(Algo a, const graph::TaskGraph& g,
+/// Resolve a scheduler spec against the global registry, run it on one
+/// instance and validate the schedule. `seed` is the tie-breaking seed
+/// handed to Scheduler::run (spec-pinned seeds take precedence).
+[[nodiscard]] RunOutcome run_algorithm(const std::string& spec,
+                                       const graph::TaskGraph& g,
                                        const net::Topology& topo,
                                        const net::HeterogeneousCostModel& costs,
                                        std::uint64_t seed);

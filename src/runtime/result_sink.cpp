@@ -75,7 +75,7 @@ std::string to_jsonl(const ScenarioResult& row) {
      << ",\"link_het_lo\":" << s.link_het_lo                            //
      << ",\"link_het_hi\":" << s.link_het_hi                            //
      << ",\"per_pair\":" << (s.per_pair ? "true" : "false")             //
-     << ",\"algo\":\"" << exp::algo_name(s.algo) << '"'                 //
+     << ",\"algo\":\"" << json_escape(s.algo) << '"'                    //
      << ",\"rep\":" << s.rep                                            //
      << ",\"seed\":" << s.instance_seed                                 //
      << ",\"schedule_length\":" << json_number(row.schedule_length)     //

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sched/scheduler.hpp"
 
 namespace bsa::runtime {
 
@@ -48,6 +49,15 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
               "ScenarioGrid: kLegacySequential requires a single size, "
               "granularity and app (seeds derive from the replicate only)");
 
+  // Canonicalise every algorithm spec once up front: bad specs fail here
+  // with an error listing the registered names, and downstream consumers
+  // (JSONL sinks, aggregation keys) see one spelling per variant.
+  std::vector<std::string> algos;
+  algos.reserve(grid.algos.size());
+  for (const std::string& spec : grid.algos) {
+    algos.push_back(sched::SchedulerRegistry::global().canonical(spec));
+  }
+
   ScenarioSet set;
   set.scenarios_.reserve(grid.topologies.size() * grid.het_highs.size() *
                          grid.sizes.size() * grid.granularities.size() *
@@ -76,7 +86,7 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
                                 static_cast<std::uint64_t>(gran * 10),
                             static_cast<std::uint64_t>(app),
                             static_cast<std::uint64_t>(rep));
-              for (const exp::Algo algo : grid.algos) {
+              for (const std::string& algo : algos) {
                 ScenarioSpec s;
                 s.index = set.scenarios_.size();
                 s.workload = grid.workload;

@@ -47,7 +47,9 @@ struct ScenarioSpec {
   int link_het_lo = 1;
   int link_het_hi = 50;
   bool per_pair = false;  ///< per-(task,processor) factors vs per-processor
-  exp::Algo algo = exp::Algo::kBsa;
+  /// Scheduler registry spec (canonical form when enumerated by
+  /// from_grid), e.g. "bsa" or "bsa:gate=always,route=static".
+  std::string algo = "bsa";
   int rep = 0;  ///< replicate number within the cell
   /// Seeds the graph instance; shared by every algorithm/topology/range
   /// evaluating the same cell so ratio columns compare like with like.
@@ -97,7 +99,10 @@ struct ScenarioGrid {
   std::vector<int> sizes;
   std::vector<double> granularities = {1.0};
   std::vector<std::string> topologies;
-  std::vector<exp::Algo> algos;
+  /// Scheduler registry specs — any mix of algorithms and variants, e.g.
+  /// {"dls", "bsa", "bsa:gate=always"}. Canonicalised (and validated,
+  /// with errors listing the registered names) by from_grid.
+  std::vector<std::string> algos;
   int procs = 16;
   int het_lo = 1;
   /// Upper heterogeneity bounds; more than one realises the Figure 7

@@ -1,0 +1,274 @@
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/dls.hpp"
+#include "baselines/eft.hpp"
+#include "baselines/mh.hpp"
+#include "core/bsa.hpp"
+#include "sched/scheduler.hpp"
+
+/// \file builtin_schedulers.cpp
+/// Adapters that put the library's four algorithms — BSA and the DLS, MH
+/// and EFT baselines — behind the unified sched::Scheduler interface, and
+/// their registration with the global SchedulerRegistry. The existing
+/// free functions (core::schedule_bsa, baselines::schedule_*) remain the
+/// implementation and keep their white-box result structs; the adapters
+/// only translate options and package results.
+
+namespace bsa::sched {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string canonical_spec(const std::string& name,
+                           std::vector<std::string> non_default_options) {
+  // Canonical form sorts options by key; "key=value" strings sort the
+  // same way, so enforce it here rather than trusting caller order.
+  std::sort(non_default_options.begin(), non_default_options.end());
+  std::string out = name;
+  for (std::size_t i = 0; i < non_default_options.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += non_default_options[i];
+  }
+  return out;
+}
+
+// --- BSA --------------------------------------------------------------------
+
+class BsaScheduler final : public Scheduler {
+ public:
+  explicit BsaScheduler(const SpecOptions& opts) {
+    const std::string gate = opts.get_choice("gate", {"paper", "always"},
+                                             "paper");
+    options_.gate = gate == "always" ? core::GateRule::kAlwaysConsider
+                                     : core::GateRule::kPaper;
+    const std::string policy =
+        opts.get_choice("policy", {"guarded", "greedy"}, "guarded");
+    options_.policy = policy == "greedy" ? core::MigrationPolicy::kTaskGreedy
+                                         : core::MigrationPolicy::kMakespanGuarded;
+    const std::string route = opts.get_choice(
+        "route", {"incremental", "static", "ecube"}, "incremental");
+    options_.routing = route == "static"
+                           ? core::RouteDiscipline::kStaticShortestPath
+                       : route == "ecube" ? core::RouteDiscipline::kEcube
+                                          : core::RouteDiscipline::kIncremental;
+    const std::string serial =
+        opts.get_choice("serial", {"cpibob", "blevel"}, "cpibob");
+    options_.serialization = serial == "blevel"
+                                 ? core::SerializationRule::kBLevel
+                                 : core::SerializationRule::kCpIbOb;
+    options_.max_sweeps = opts.get_int("sweeps", 1, 1);
+    options_.vip_rule = opts.get_flag("vip", true);
+    options_.prune_route_cycles = opts.get_flag("prune", false);
+    const std::string slots =
+        opts.get_choice("slots", {"insert", "append"}, "insert");
+    options_.insertion_slots = slots == "insert";
+    const std::string retime =
+        opts.get_choice("retime", {"incremental", "rebuild"}, "incremental");
+    options_.incremental_retime = retime == "incremental";
+    if (opts.has("seed")) pinned_seed_ = opts.get_uint64("seed", 0);
+
+    std::vector<std::string> parts;  // alphabetical by key
+    if (gate != "paper") parts.push_back("gate=" + gate);
+    if (policy != "guarded") parts.push_back("policy=" + policy);
+    if (options_.prune_route_cycles) parts.push_back("prune=on");
+    if (retime != "incremental") parts.push_back("retime=" + retime);
+    if (route != "incremental") parts.push_back("route=" + route);
+    if (pinned_seed_.has_value()) {
+      parts.push_back("seed=" + std::to_string(*pinned_seed_));
+    }
+    if (serial != "cpibob") parts.push_back("serial=" + serial);
+    if (slots != "insert") parts.push_back("slots=" + slots);
+    if (options_.max_sweeps != 1) {
+      parts.push_back("sweeps=" + std::to_string(options_.max_sweeps));
+    }
+    if (!options_.vip_rule) parts.push_back("vip=off");
+    spec_ = canonical_spec("bsa", std::move(parts));
+  }
+
+  [[nodiscard]] std::string spec() const override { return spec_; }
+  [[nodiscard]] std::string display_name() const override { return "BSA"; }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t seed) const override {
+    core::BsaOptions opt = options_;
+    opt.seed = pinned_seed_.value_or(seed);
+    const auto t0 = Clock::now();
+    core::BsaResult r = core::schedule_bsa(g, topo, costs, opt);
+    const double ms = ms_since(t0);
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"schedule", ms}};
+    out.diagnostics = {
+        {"migrations", static_cast<double>(r.trace.migrations.size())},
+        {"pivots", static_cast<double>(r.trace.pivot_sequence.size())},
+        {"initial_serial_length",
+         static_cast<double>(r.trace.initial_serial_length)},
+        {"retime_nodes_recomputed",
+         static_cast<double>(r.trace.retime.nodes_recomputed)},
+    };
+    return out;
+  }
+
+ private:
+  core::BsaOptions options_;
+  std::optional<std::uint64_t> pinned_seed_;
+  std::string spec_;
+};
+
+// --- DLS --------------------------------------------------------------------
+
+class DlsScheduler final : public Scheduler {
+ public:
+  explicit DlsScheduler(const SpecOptions& opts)
+      : seed_(opts.get_uint64("seed", 0)) {
+    std::vector<std::string> parts;
+    if (seed_ != 0) parts.push_back("seed=" + std::to_string(seed_));
+    spec_ = canonical_spec("dls", std::move(parts));
+  }
+
+  [[nodiscard]] std::string spec() const override { return spec_; }
+  [[nodiscard]] std::string display_name() const override { return "DLS"; }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t /*seed*/) const override {
+    // The caller seed is deliberately ignored: the default DLS is fully
+    // deterministic (ties towards smaller ids, as in the legacy enum
+    // dispatch); randomised tie-breaking is opted into by pinning seed=.
+    baselines::DlsOptions opt;
+    opt.seed = seed_;
+    const auto t0 = Clock::now();
+    baselines::DlsResult r = baselines::schedule_dls(g, topo, costs, opt);
+    const double ms = ms_since(t0);
+    Cost max_sl = 0;
+    for (const Cost sl : r.static_levels) max_sl = std::max(max_sl, sl);
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"schedule", ms}};
+    out.diagnostics = {{"max_static_level", static_cast<double>(max_sl)}};
+    return out;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::string spec_;
+};
+
+// --- EFT / MH ---------------------------------------------------------------
+
+class EftScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string spec() const override { return "eft"; }
+  [[nodiscard]] std::string display_name() const override {
+    return "EFT (oblivious)";
+  }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t /*seed*/) const override {
+    const auto t0 = Clock::now();
+    baselines::EftResult r = baselines::schedule_eft_oblivious(g, topo, costs);
+    const double ms = ms_since(t0);
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"schedule", ms}};
+    return out;
+  }
+};
+
+class MhScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string spec() const override { return "mh"; }
+  [[nodiscard]] std::string display_name() const override { return "MH"; }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t /*seed*/) const override {
+    const auto t0 = Clock::now();
+    baselines::MhResult r = baselines::schedule_mh(g, topo, costs);
+    const double ms = ms_since(t0);
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"schedule", ms}};
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_builtin_schedulers(SchedulerRegistry& registry) {
+  using OptionDoc = SchedulerRegistry::OptionDoc;
+  registry.add({
+      "bsa",
+      "BSA",
+      "Bubble Scheduling and Allocation (the paper's algorithm)",
+      {
+          OptionDoc{"gate", "paper|always", "paper",
+                    "which pivot tasks are examined for migration"},
+          OptionDoc{"policy", "guarded|greedy", "guarded",
+                    "makespan-guarded vs literal task-greedy migration"},
+          OptionDoc{"prune", "on|off", "off",
+                    "cut cycles out of hop-extended message routes"},
+          OptionDoc{"retime", "incremental|rebuild", "incremental",
+                    "incremental RetimeContext vs full rebuild per migration"},
+          OptionDoc{"route", "incremental|static|ecube", "incremental",
+                    "message route discipline"},
+          OptionDoc{"seed", "unsigned integer", "(caller seed)",
+                    "pin the critical-path tie-breaking seed"},
+          OptionDoc{"serial", "cpibob|blevel", "cpibob",
+                    "serial-injection order"},
+          OptionDoc{"slots", "insert|append", "insert",
+                    "insertion-based vs append-only slot search"},
+          OptionDoc{"sweeps", "integer >= 1", "1",
+                    "breadth-first pivot sweeps"},
+          OptionDoc{"vip", "on|off", "on",
+                    "equal-finish-time VIP migration rule"},
+      },
+      [](const SpecOptions& opts) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<BsaScheduler>(opts);
+      },
+  });
+  registry.add({
+      "dls",
+      "DLS",
+      "Dynamic Level Scheduling (Sih & Lee), the paper's comparison",
+      {
+          OptionDoc{"seed", "unsigned integer", "0",
+                    "non-zero randomises dynamic-level tie-breaking"},
+      },
+      [](const SpecOptions& opts) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<DlsScheduler>(opts);
+      },
+  });
+  registry.add({
+      "eft",
+      "EFT (oblivious)",
+      "contention-oblivious earliest-finish-time list scheduler",
+      {},
+      [](const SpecOptions&) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<EftScheduler>();
+      },
+  });
+  registry.add({
+      "mh",
+      "MH",
+      "Mapping-Heuristic-style contention-aware list scheduler",
+      {},
+      [](const SpecOptions&) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<MhScheduler>();
+      },
+  });
+}
+
+}  // namespace bsa::sched

@@ -1,0 +1,256 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace bsa::sched {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ascii_lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Scheduler::display_label() const {
+  const std::string canonical = spec();
+  return canonical.find(':') == std::string::npos ? display_name()
+                                                  : canonical;
+}
+
+ParsedSpec parse_spec(const std::string& spec) {
+  const std::string text = trim(spec);
+  BSA_REQUIRE(!text.empty(), "scheduler spec is empty");
+  ParsedSpec out;
+  const std::size_t colon = text.find(':');
+  out.name = ascii_lower(trim(text.substr(0, colon)));
+  BSA_REQUIRE(!out.name.empty(),
+              "scheduler spec '" << spec << "' has an empty name");
+  if (colon == std::string::npos) return out;
+
+  const std::string opts = text.substr(colon + 1);
+  BSA_REQUIRE(!trim(opts).empty(),
+              "scheduler spec '" << spec
+                                 << "' has a ':' but no options after it");
+  std::size_t pos = 0;
+  while (pos <= opts.size()) {
+    const std::size_t comma = opts.find(',', pos);
+    const std::string item =
+        opts.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const std::size_t eq = item.find('=');
+    BSA_REQUIRE(eq != std::string::npos,
+                "scheduler spec '" << spec << "': option '" << trim(item)
+                                   << "' is not of the form key=value");
+    const std::string key = ascii_lower(trim(item.substr(0, eq)));
+    const std::string value = ascii_lower(trim(item.substr(eq + 1)));
+    BSA_REQUIRE(!key.empty(),
+                "scheduler spec '" << spec << "': option with empty key");
+    BSA_REQUIRE(!value.empty(), "scheduler spec '"
+                                    << spec << "': option '" << key
+                                    << "' has an empty value");
+    for (const auto& [seen, _] : out.options) {
+      BSA_REQUIRE(seen != key, "scheduler spec '" << spec
+                                                  << "': duplicate option '"
+                                                  << key << "'");
+    }
+    out.options.emplace_back(key, value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+    BSA_REQUIRE(!trim(opts.substr(pos)).empty(),
+                "scheduler spec '" << spec << "' ends with ','");
+  }
+  return out;
+}
+
+// --- SpecOptions ------------------------------------------------------------
+
+const std::string* SpecOptions::raw(const std::string& key) const {
+  for (const auto& [k, v] : options_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool SpecOptions::has(const std::string& key) const {
+  return raw(key) != nullptr;
+}
+
+std::string SpecOptions::get_choice(const std::string& key,
+                                    const std::vector<std::string>& choices,
+                                    const std::string& fallback) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  for (const std::string& c : choices) {
+    if (*v == c) return c;
+  }
+  BSA_REQUIRE(false, "scheduler '" << name_ << "': option '" << key
+                                   << "' expects one of {" << join(choices, ", ")
+                                   << "}, got '" << *v << "'");
+  return fallback;  // unreachable
+}
+
+bool SpecOptions::get_flag(const std::string& key, bool fallback) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<bool> parsed = parse_bool_literal(*v);
+  BSA_REQUIRE(parsed.has_value(),
+              "scheduler '" << name_ << "': option '" << key
+                            << "' expects on|off, got '" << *v << "'");
+  return *parsed;
+}
+
+int SpecOptions::get_int(const std::string& key, int fallback,
+                         int min_value) const {
+  // Sanity ceiling for counted options (sweep counts and the like): far
+  // above any sensible value, and keeps the value in int range.
+  constexpr std::int64_t kMaxIntOption = 1000000000;
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<std::int64_t> parsed = parse_int_literal(*v);
+  BSA_REQUIRE(parsed.has_value() && *parsed >= min_value &&
+                  *parsed <= kMaxIntOption,
+              "scheduler '" << name_ << "': option '" << key
+                            << "' expects an integer in [" << min_value
+                            << ", " << kMaxIntOption << "], got '" << *v
+                            << "'");
+  return static_cast<int>(*parsed);
+}
+
+std::uint64_t SpecOptions::get_uint64(const std::string& key,
+                                      std::uint64_t fallback) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<std::uint64_t> parsed = parse_uint64_literal(*v);
+  BSA_REQUIRE(parsed.has_value(),
+              "scheduler '" << name_ << "': option '" << key
+                            << "' expects an unsigned integer, got '" << *v
+                            << "'");
+  return *parsed;
+}
+
+// --- SchedulerRegistry ------------------------------------------------------
+
+void SchedulerRegistry::add(Entry entry) {
+  BSA_REQUIRE(!entry.name.empty(), "scheduler registration with empty name");
+  BSA_REQUIRE(entry.name == ascii_lower(entry.name) &&
+                  entry.name.find(':') == std::string::npos &&
+                  entry.name.find(',') == std::string::npos &&
+                  entry.name.find('=') == std::string::npos,
+              "scheduler name '" << entry.name
+                                 << "' is not a canonical identifier");
+  BSA_REQUIRE(find(entry.name) == nullptr,
+              "scheduler '" << entry.name << "' is already registered");
+  BSA_REQUIRE(entry.factory != nullptr,
+              "scheduler '" << entry.name << "' registered without a factory");
+  entries_.push_back(std::move(entry));
+}
+
+const SchedulerRegistry::Entry* SchedulerRegistry::find(
+    const std::string& name) const {
+  const std::string key = ascii_lower(name);
+  for (const Entry& e : entries_) {
+    if (e.name == key) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::resolve(
+    const std::string& spec) const {
+  const ParsedSpec parsed = parse_spec(spec);
+  const Entry* entry = find(parsed.name);
+  BSA_REQUIRE(entry != nullptr, "unknown scheduler '"
+                                    << parsed.name << "'; registered: "
+                                    << join(names(), ", "));
+  for (const auto& [key, _] : parsed.options) {
+    bool known = false;
+    for (const OptionDoc& doc : entry->options) known = known || doc.name == key;
+    if (!known) {
+      std::vector<std::string> valid;
+      valid.reserve(entry->options.size());
+      for (const OptionDoc& doc : entry->options) valid.push_back(doc.name);
+      BSA_REQUIRE(false, "scheduler '"
+                             << entry->name << "': unknown option '" << key
+                             << "'; valid options: "
+                             << (valid.empty() ? std::string("(none)")
+                                               : join(valid, ", ")));
+    }
+  }
+  return entry->factory(SpecOptions(entry->name, parsed.options));
+}
+
+std::vector<std::string> SchedulerRegistry::split_spec_list(
+    const std::string& text) const {
+  std::vector<std::string> specs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token = trim(
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos));
+    const std::size_t eq = token.find('=');
+    const std::size_t colon = token.find(':');
+    const bool continuation =
+        !specs.empty() && eq != std::string::npos &&
+        (colon == std::string::npos || colon > eq) &&
+        find(ascii_lower(trim(token.substr(0, eq)))) == nullptr;
+    if (continuation) {
+      specs.back() += "," + token;
+    } else {
+      specs.push_back(token);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return specs;
+}
+
+std::string SchedulerRegistry::canonical(const std::string& spec) const {
+  return resolve(spec)->spec();
+}
+
+std::string SchedulerRegistry::display_label(const std::string& spec) const {
+  return resolve(spec)->display_label();
+}
+
+const SchedulerRegistry& SchedulerRegistry::global() {
+  static const SchedulerRegistry* instance = [] {
+    auto* r = new SchedulerRegistry();
+    register_builtin_schedulers(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace bsa::sched

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/task_graph.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+
+/// \file scheduler.hpp
+/// The unified scheduling surface: a polymorphic Scheduler interface and
+/// a process-wide registry that resolves *spec strings* into configured
+/// scheduler instances.
+///
+/// Spec grammar (names, keys and values are case-insensitive):
+///
+///   spec    := name [ ":" option ("," option)* ]
+///   option  := key "=" value
+///
+///   "bsa"                                  default BSA
+///   "bsa:gate=always,route=static"         BSA ablation variant
+///   "dls:seed=7"                           DLS with randomised tie-breaks
+///
+/// The canonical form of a spec is the lowercase name followed by the
+/// non-default options sorted by key with canonical value spellings —
+/// `SchedulerRegistry::canonical` round-trips any accepted spec to it.
+/// Everything that dispatches on an algorithm (experiment sweeps, figure
+/// benches, bsa_tool, JSONL sinks) goes through this surface; adding an
+/// algorithm means registering one factory, not widening an enum in four
+/// drivers (see docs/DESIGN_API.md).
+
+namespace bsa::sched {
+
+/// Outcome of one Scheduler::run: the schedule plus uniform metadata.
+struct SchedulerResult {
+  explicit SchedulerResult(Schedule s) : schedule(std::move(s)) {}
+
+  Schedule schedule;
+  /// Wall-clock time per algorithm phase, in execution order. Every
+  /// scheduler reports at least {"schedule", <total ms>}.
+  std::vector<std::pair<std::string, double>> phase_ms;
+  /// Algorithm-specific diagnostics (e.g. BSA migration counts) as
+  /// key/value pairs — uniform to log, no per-algorithm result types.
+  std::vector<std::pair<std::string, double>> diagnostics;
+
+  [[nodiscard]] Time makespan() const { return schedule.makespan(); }
+  [[nodiscard]] double total_ms() const {
+    double sum = 0;
+    for (const auto& [_, ms] : phase_ms) sum += ms;
+    return sum;
+  }
+};
+
+/// A configured scheduling algorithm. Instances are immutable and
+/// thread-safe: one instance may serve concurrent run() calls (the
+/// parallel sweep runtime relies on this).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Canonical spec string ("bsa", "bsa:gate=always", ...). Feeding this
+  /// back through SchedulerRegistry::resolve reproduces the instance.
+  [[nodiscard]] virtual std::string spec() const = 0;
+
+  /// Human display name of the algorithm family ("BSA", "DLS", ...).
+  [[nodiscard]] virtual std::string display_name() const = 0;
+
+  /// Label for tables and reports: the display name for a default
+  /// configuration, the canonical spec for a variant.
+  [[nodiscard]] std::string display_label() const;
+
+  /// Schedule `g` onto `topo` under `costs`. `seed` is the caller's
+  /// tie-breaking seed (experiment sweeps derive it per instance); a
+  /// spec-pinned `seed=` option takes precedence where supported.
+  [[nodiscard]] virtual SchedulerResult run(
+      const graph::TaskGraph& g, const net::Topology& topo,
+      const net::HeterogeneousCostModel& costs,
+      std::uint64_t seed = 0) const = 0;
+};
+
+/// A spec string split into its (lowercased) name and option list.
+struct ParsedSpec {
+  std::string name;
+  /// Options in spec order; keys and values lowercased and trimmed.
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+/// Parse a spec string. Throws PreconditionError on grammar errors
+/// (empty name, missing '=', duplicate keys, stray separators).
+[[nodiscard]] ParsedSpec parse_spec(const std::string& spec);
+
+/// ASCII lowercase (spec strings are ASCII identifiers).
+[[nodiscard]] std::string ascii_lower(const std::string& s);
+
+/// Typed option accessors handed to scheduler factories. Every getter
+/// throws PreconditionError with the valid choices on a bad value.
+class SpecOptions {
+ public:
+  SpecOptions(std::string scheduler_name,
+              std::vector<std::pair<std::string, std::string>> options)
+      : name_(std::move(scheduler_name)), options_(std::move(options)) {}
+
+  [[nodiscard]] const std::string& scheduler_name() const { return name_; }
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of `key` restricted to `choices`; returns the canonical
+  /// (lowercase) choice, or `fallback` when the key is absent.
+  [[nodiscard]] std::string get_choice(
+      const std::string& key, const std::vector<std::string>& choices,
+      const std::string& fallback) const;
+
+  /// Boolean option: accepts on/off, true/false, yes/no, 1/0.
+  [[nodiscard]] bool get_flag(const std::string& key, bool fallback) const;
+
+  /// Integer option with an inclusive lower bound.
+  [[nodiscard]] int get_int(const std::string& key, int fallback,
+                            int min_value) const;
+
+  /// Unsigned 64-bit option (seeds).
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& key,
+                                         std::uint64_t fallback) const;
+
+ private:
+  [[nodiscard]] const std::string* raw(const std::string& key) const;
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> options_;
+};
+
+/// Registry of named scheduler factories. `global()` holds the built-in
+/// algorithms (bsa, dls, eft, mh); local instances can be built in tests.
+class SchedulerRegistry {
+ public:
+  /// Documentation of one accepted option, used for error messages,
+  /// `--help`-style listings and DESIGN_API.md examples.
+  struct OptionDoc {
+    std::string name;
+    std::string values;         ///< e.g. "paper|always" or "integer >= 1"
+    std::string default_value;  ///< canonical default spelling
+    std::string summary;
+  };
+
+  using Factory = std::function<std::unique_ptr<Scheduler>(const SpecOptions&)>;
+
+  struct Entry {
+    std::string name;          ///< canonical lowercase registry name
+    std::string display_name;  ///< e.g. "EFT (oblivious)"
+    std::string summary;       ///< one-line description
+    std::vector<OptionDoc> options;
+    Factory factory;
+  };
+
+  /// Register an algorithm. Throws on duplicate or non-canonical names.
+  void add(Entry entry);
+
+  /// Resolve a spec string into a configured scheduler. Unknown names
+  /// and unknown option keys throw PreconditionError messages listing
+  /// the registered names / the algorithm's valid options.
+  [[nodiscard]] std::unique_ptr<Scheduler> resolve(
+      const std::string& spec) const;
+
+  /// Canonical form of `spec` (resolve + Scheduler::spec).
+  [[nodiscard]] std::string canonical(const std::string& spec) const;
+
+  /// Table/report label for `spec` (resolve + Scheduler::display_label).
+  [[nodiscard]] std::string display_label(const std::string& spec) const;
+
+  /// Registered names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Split a comma-separated list of specs, e.g. a CLI `--algo` value.
+  /// Variant options themselves use commas ("bsa:gate=always,route=static"),
+  /// so a comma token of the form key=value whose key is not a registered
+  /// scheduler name continues the preceding spec instead of starting a
+  /// new one. The returned specs are not yet validated — feed them to
+  /// resolve/canonical.
+  [[nodiscard]] std::vector<std::string> split_spec_list(
+      const std::string& text) const;
+
+  /// Entry for `name` (case-insensitive), or nullptr.
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+
+  /// The process-wide registry, populated with the built-in algorithms.
+  [[nodiscard]] static const SchedulerRegistry& global();
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Register the built-in algorithms (bsa, dls, eft, mh) — defined in
+/// builtin_schedulers.cpp, invoked once by SchedulerRegistry::global().
+void register_builtin_schedulers(SchedulerRegistry& registry);
+
+}  // namespace bsa::sched

@@ -221,6 +221,30 @@ TEST(Cli, DefaultsAndErrors) {
   EXPECT_THROW((void)cli.get_int("n", 0), PreconditionError);
 }
 
+TEST(Cli, RepeatedFlagsCollectInOrderAndScalarsUseTheLast) {
+  const char* argv[] = {"prog", "--algo=a", "--algo", "b", "--algo=c"};
+  CliParser cli(5, argv);
+  EXPECT_EQ(cli.get_strings("algo"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(cli.get_string("algo", ""), "c");
+  EXPECT_TRUE(cli.get_strings("missing").empty());
+}
+
+TEST(Cli, SharedLiteralParsers) {
+  // The free parsers back both CliParser and the scheduler registry's
+  // SpecOptions; whole-string matches only.
+  EXPECT_EQ(parse_bool_literal("on"), true);
+  EXPECT_EQ(parse_bool_literal("no"), false);
+  EXPECT_EQ(parse_bool_literal("maybe"), std::nullopt);
+  EXPECT_EQ(parse_int_literal("-42"), -42);
+  EXPECT_EQ(parse_int_literal("12x"), std::nullopt);
+  EXPECT_EQ(parse_int_literal("9223372036854775808"), std::nullopt);
+  EXPECT_EQ(parse_uint64_literal("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(parse_uint64_literal("-1"), std::nullopt);
+  EXPECT_EQ(parse_uint64_literal(""), std::nullopt);
+}
+
 TEST(Cli, BooleanParsing) {
   const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
   CliParser cli(5, argv);

@@ -52,6 +52,29 @@ TEST_F(DlsPaperTest, Deterministic) {
   }
 }
 
+TEST_F(DlsPaperTest, SeededTieBreaksAreValidAndDeterministic) {
+  // A non-zero seed switches the equal-dynamic-level tie order to a hash
+  // shuffle; the schedule must stay valid and repeat for the same seed.
+  DlsOptions opt;
+  opt.seed = 7;
+  const auto a = schedule_dls(g, topo, cm, opt);
+  const auto b = schedule_dls(g, topo, cm, opt);
+  EXPECT_TRUE(sched::validate(a.schedule, cm).ok());
+  EXPECT_DOUBLE_EQ(a.schedule_length(), b.schedule_length());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(a.schedule.proc_of(t), b.schedule.proc_of(t));
+  }
+  // seed == 0 is exactly the default deterministic order.
+  DlsOptions zero;
+  zero.seed = 0;
+  const auto c = schedule_dls(g, topo, cm, zero);
+  const auto d = schedule_dls(g, topo, cm);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(c.schedule.proc_of(t), d.schedule.proc_of(t));
+    EXPECT_DOUBLE_EQ(c.schedule.start_of(t), d.schedule.start_of(t));
+  }
+}
+
 TEST_F(DlsPaperTest, TimesAgreeWithEventSimulationModuloSlack) {
   // DLS uses append placement, so starts equal max(DA, TF) — execution
   // under recorded orders can only start tasks at or before those times.

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "exp/experiment.hpp"
+#include "sched/scheduler.hpp"
 #include "workloads/random_dag.hpp"
 
 namespace bsa::exp {
@@ -37,19 +38,25 @@ TEST(Experiment, RunAlgorithmProducesValidOutcomes) {
   const auto topo = make_topology("hypercube", 8, 0);
   const auto cm =
       net::HeterogeneousCostModel::uniform(g, topo, 1, 50, 1, 50, 9);
-  for (const Algo a : {Algo::kBsa, Algo::kDls, Algo::kEft, Algo::kMh}) {
-    const auto outcome = run_algorithm(a, g, topo, cm, 1);
-    EXPECT_TRUE(outcome.valid) << algo_name(a);
-    EXPECT_GT(outcome.schedule_length, 0) << algo_name(a);
-    EXPECT_GE(outcome.wall_ms, 0) << algo_name(a);
+  for (const std::string& spec :
+       sched::SchedulerRegistry::global().names()) {
+    const auto outcome = run_algorithm(spec, g, topo, cm, 1);
+    EXPECT_TRUE(outcome.valid) << spec;
+    EXPECT_GT(outcome.schedule_length, 0) << spec;
+    EXPECT_GE(outcome.wall_ms, 0) << spec;
   }
 }
 
-TEST(Experiment, AlgoNames) {
-  EXPECT_STREQ(algo_name(Algo::kBsa), "BSA");
-  EXPECT_STREQ(algo_name(Algo::kDls), "DLS");
-  EXPECT_STREQ(algo_name(Algo::kEft), "EFT");
-  EXPECT_STREQ(algo_name(Algo::kMh), "MH");
+TEST(Experiment, RunAlgorithmRejectsUnknownSpecs) {
+  workloads::RandomDagParams p;
+  p.num_tasks = 5;
+  p.seed = 2;
+  const auto g = workloads::random_layered_dag(p);
+  const auto topo = make_topology("ring", 4, 0);
+  const auto cm =
+      net::HeterogeneousCostModel::uniform(g, topo, 1, 2, 1, 2, 9);
+  EXPECT_THROW((void)run_algorithm("heft", g, topo, cm, 1),
+               PreconditionError);
 }
 
 TEST(Experiment, CellMean) {

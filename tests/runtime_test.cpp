@@ -94,7 +94,7 @@ ScenarioGrid small_grid() {
   grid.sizes = {20, 30};
   grid.granularities = {0.1, 1.0};
   grid.topologies = {"ring", "clique"};
-  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
+  grid.algos = {"dls", "bsa"};
   grid.procs = 4;
   grid.seeds_per_cell = 2;
   grid.base_seed = 7;
@@ -132,7 +132,7 @@ TEST(ScenarioSet, RegularSuiteEnumeratesThreeApps) {
   grid.sizes = {30};
   grid.granularities = {1.0};
   grid.topologies = {"ring"};
-  grid.algos = {exp::Algo::kBsa};
+  grid.algos = {"bsa"};
   grid.seeds_per_cell = 1;
   const ScenarioSet set = ScenarioSet::from_grid(grid);
   EXPECT_EQ(set.size(), exp::paper_regular_apps().size());
@@ -191,7 +191,7 @@ TEST(ScenarioSet, LegacySeedModeReproducesSerialFig7Driver) {
   grid.sizes = {num_tasks};
   grid.granularities = {1.0};
   grid.topologies = {"hypercube"};
-  grid.algos = {exp::Algo::kDls, exp::Algo::kBsa};
+  grid.algos = {"dls", "bsa"};
   grid.procs = 16;
   grid.het_highs = ranges;
   grid.seeds_per_cell = num_graphs;
@@ -211,18 +211,16 @@ TEST(ScenarioSet, LegacySeedModeReproducesSerialFig7Driver) {
       const auto cm = exp::make_cost_model(g, topo, 1, hi, 1, hi, false,
                                            derive_seed(seed, 17));
       const Time dls =
-          exp::run_algorithm(exp::Algo::kDls, g, topo, cm, seed)
-              .schedule_length;
+          exp::run_algorithm("dls", g, topo, cm, seed).schedule_length;
       const Time bsa =
-          exp::run_algorithm(exp::Algo::kBsa, g, topo, cm, seed)
-              .schedule_length;
+          exp::run_algorithm("bsa", g, topo, cm, seed).schedule_length;
       // Enumeration order within a cell is (rep, algo) with DLS first.
       ASSERT_LT(cursor + 1, results.size());
-      EXPECT_EQ(results[cursor].spec.algo, exp::Algo::kDls);
+      EXPECT_EQ(results[cursor].spec.algo, "dls");
       EXPECT_EQ(results[cursor].spec.het_hi, hi);
       EXPECT_EQ(results[cursor].schedule_length, dls)
           << "hi=" << hi << " rep=" << i;
-      EXPECT_EQ(results[cursor + 1].spec.algo, exp::Algo::kBsa);
+      EXPECT_EQ(results[cursor + 1].spec.algo, "bsa");
       EXPECT_EQ(results[cursor + 1].schedule_length, bsa)
           << "hi=" << hi << " rep=" << i;
       cursor += 2;
@@ -312,7 +310,7 @@ ScenarioResult sample_result() {
   r.spec.link_het_lo = 1;
   r.spec.link_het_hi = 25;
   r.spec.per_pair = true;
-  r.spec.algo = exp::Algo::kBsa;
+  r.spec.algo = "bsa";
   r.spec.rep = 2;
   r.spec.instance_seed = 123456789;
   r.schedule_length = 6510.25;
@@ -333,7 +331,7 @@ TEST(JsonlSink, RoundTripsEveryField) {
   EXPECT_EQ(std::get<double>(row.at("het_hi")), 50);
   EXPECT_EQ(std::get<double>(row.at("link_het_hi")), 25);
   EXPECT_EQ(std::get<bool>(row.at("per_pair")), true);
-  EXPECT_EQ(std::get<std::string>(row.at("algo")), "BSA");
+  EXPECT_EQ(std::get<std::string>(row.at("algo")), "bsa");
   EXPECT_EQ(std::get<double>(row.at("rep")), 2);
   EXPECT_EQ(std::get<double>(row.at("seed")), 123456789);
   EXPECT_EQ(std::get<double>(row.at("schedule_length")), 6510.25);
