@@ -16,6 +16,15 @@
 /// speedup is tracked run over run. The two engines produce bit-identical
 /// schedules (enforced here and by retime_context_test).
 ///
+/// A third section times the guarded-migration engines on dense
+/// high-rejection scenarios (gate=always, multi-sweep): transactional
+/// rollback (Schedule::Transaction journal, the default) against the
+/// whole-schedule snapshot reference, crossed with the pooled
+/// (scratch-arena) vs fresh (per-call-allocating) neighbour evaluators.
+/// All four mode combinations are required to produce identical
+/// schedules; rows land in BENCH_runtime.json as
+/// bsa-guarded-<rollback>-<eval>/... entries.
+///
 /// Timing note: per-scenario wall_ms is measured inside the scenario
 /// worker, so --threads > 1 speeds the sweep up without perturbing the
 /// per-algorithm means much; use --threads 1 for the most stable numbers.
@@ -23,7 +32,10 @@
 /// Flags: --reps N (default 3), --full (adds 400-task graphs),
 ///        --threads/--jobs N (0 = all cores), --seed S,
 ///        --out FILE (JSONL rows; default BENCH_runtime.json holds the
-///        aggregate report either way).
+///        aggregate report either way),
+///        --quick (CI smoke: only the rollback/eval-mode equality check
+///        on a small scenario; writes no report file, fails loudly if
+///        any mode combination diverges).
 
 #include <chrono>
 #include <fstream>
@@ -63,6 +75,38 @@ std::pair<double, bsa::Time> timed_bsa(const bsa::graph::TaskGraph& g,
           result.schedule.makespan()};
 }
 
+/// One guarded-BSA timing under explicit rollback/eval engines; returns
+/// (wall ms, schedule length, committed migrations, rejected migrations).
+struct GuardedRun {
+  double wall_ms = 0;
+  bsa::Time length = 0;
+  std::size_t migrations = 0;
+  std::int64_t rejections = 0;
+};
+GuardedRun timed_guarded_bsa(const bsa::graph::TaskGraph& g,
+                             const bsa::net::Topology& topo,
+                             const bsa::net::HeterogeneousCostModel& cm,
+                             std::uint64_t seed, bool insertion_slots,
+                             bool snapshot_rollback, bool pooled_eval) {
+  bsa::core::BsaOptions opt;
+  opt.seed = seed;
+  // High-rejection configuration: static re-routing of every incoming
+  // message (the evaluator's worst case), every pivot task examined,
+  // several sweeps — the makespan guard fires on most attempts.
+  opt.routing = bsa::core::RouteDiscipline::kStaticShortestPath;
+  opt.gate = bsa::core::GateRule::kAlwaysConsider;
+  opt.max_sweeps = 3;
+  opt.insertion_slots = insertion_slots;
+  opt.snapshot_rollback = snapshot_rollback;
+  opt.pooled_eval = pooled_eval;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = bsa::core::schedule_bsa(g, topo, cm, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double, std::milli>(t1 - t0).count(),
+          result.schedule.makespan(), result.trace.migrations.size(),
+          result.trace.rejected_migrations};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,7 +114,107 @@ int main(int argc, char** argv) {
   const CliParser cli(argc, argv);
   const bool full =
       cli.get_bool("full", false) || exp::full_benchmarks_requested();
-  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const bool quick = cli.get_bool("quick", false);
+  const int reps = quick ? 1 : static_cast<int>(cli.get_int("reps", 3));
+
+  // --- guarded rollback & evaluation engines --------------------------------
+  // Dense graphs + always-consider gating: the guard rejects a large
+  // share of migrations, which is exactly where the rollback engine
+  // dominates. Every (rollback, eval) combination must produce an
+  // identical schedule — CI runs this with --quick as a divergence smoke.
+  const auto run_rollback_section =
+      [&](std::vector<runtime::BenchEntry>& out) {
+        const std::vector<int> sizes =
+            quick ? std::vector<int>{60}
+                  : (full ? std::vector<int>{200, 400}
+                          : std::vector<int>{200});
+        const std::uint64_t base_seed =
+            static_cast<std::uint64_t>(cli.get_int("seed", 42));
+        struct Mode {
+          const char* label;
+          bool snapshot;
+          bool pooled;
+        };
+        const Mode modes[] = {
+            {"bsa-guarded-snapshot-fresh", true, false},  // legacy reference
+            {"bsa-guarded-snapshot-pooled", true, true},
+            {"bsa-guarded-txn-fresh", false, false},
+            {"bsa-guarded-txn-pooled", false, true},  // default engines
+        };
+        std::cout << "\n=== guarded rollback & eval engines (static routing, "
+                     "gate=always, sweeps=3, dense graphs, 16 procs) ===\n\n";
+        TextTable table({"scenario/size", "snap+fresh ms", "txn+pooled ms",
+                         "speedup", "rejected/committed", "schedule length"});
+        // Insertion-based slots are the paper default; append-only slots
+        // never create re-timing order cycles, so the expensive
+        // replay-fallback noise vanishes and the rollback/eval engines
+        // themselves dominate the end-to-end time.
+        for (const bool insertion : {true, false}) {
+          const std::string scenario =
+              std::string("clique-") + (insertion ? "insert" : "append");
+          const auto topo = exp::make_topology("clique", 16, base_seed);
+          for (const int size : sizes) {
+            StatAccumulator ms[4];
+            StatAccumulator lengths;
+            std::int64_t rejected = 0;
+            std::size_t committed = 0;
+            for (int rep = 0; rep < reps; ++rep) {
+              workloads::RandomDagParams params;
+              params.num_tasks = size;
+              params.granularity = 1.0;
+              params.max_preds = 10;
+              params.seed = derive_seed(base_seed,
+                                        static_cast<std::uint64_t>(rep), 7);
+              const auto g = workloads::random_layered_dag(params);
+              const auto cm = exp::make_cost_model(
+                  g, topo, 1, 50, 1, 50, false, derive_seed(params.seed, 17));
+              GuardedRun runs[4];
+              for (int m = 0; m < 4; ++m) {
+                runs[m] = timed_guarded_bsa(g, topo, cm, params.seed,
+                                            insertion, modes[m].snapshot,
+                                            modes[m].pooled);
+                ms[m].add(runs[m].wall_ms);
+                BSA_REQUIRE(
+                    runs[m].length == runs[0].length &&
+                        runs[m].migrations == runs[0].migrations &&
+                        runs[m].rejections == runs[0].rejections,
+                    "rollback/eval mode " << modes[m].label
+                                          << " diverged on " << scenario
+                                          << "/" << size << " rep " << rep);
+              }
+              lengths.add(runs[0].length);
+              rejected += runs[0].rejections;
+              committed += runs[0].migrations;
+            }
+            table.new_row()
+                .cell(scenario + "/" + std::to_string(size))
+                .cell(ms[0].mean(), 2)
+                .cell(ms[3].mean(), 2)
+                .cell(ms[3].mean() > 0 ? ms[0].mean() / ms[3].mean() : 0.0, 2)
+                .cell(std::to_string(rejected) + "/" +
+                      std::to_string(committed))
+                .cell(lengths.mean(), 1);
+            for (int m = 0; m < 4; ++m) {
+              runtime::BenchEntry e;
+              e.label = std::string(modes[m].label) + "/" + scenario + "/" +
+                        std::to_string(size);
+              e.runs = static_cast<int>(ms[m].count());
+              e.mean_wall_ms = ms[m].mean();
+              e.mean_schedule_length = lengths.mean();
+              out.push_back(std::move(e));
+            }
+          }
+        }
+        table.print(std::cout);
+      };
+
+  if (quick) {
+    std::vector<runtime::BenchEntry> entries;
+    run_rollback_section(entries);
+    std::cout << "\nquick mode: rollback/eval engines agree on all "
+              << entries.size() / 4 << " scenario(s)\n";
+    return 0;
+  }
 
   runtime::ScenarioGrid grid;
   grid.workload = runtime::WorkloadKind::kRandomDag;
@@ -190,6 +334,8 @@ int main(int argc, char** argv) {
     entries.push_back(std::move(after));
   }
   retime_table.print(std::cout);
+
+  run_rollback_section(entries);
 
   const std::string report_path = "BENCH_runtime.json";
   std::ofstream report(report_path, std::ios::trunc);

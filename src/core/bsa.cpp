@@ -37,6 +37,33 @@ struct IncomingPlan {
   Time ready = 0;
 };
 
+/// Reused buffers for the candidate-evaluation hot path. Everything is
+/// sized once per runner and epoch-stamped or length-reset per call, so
+/// steady-state evaluation performs no heap allocation (see
+/// docs/DESIGN_PERF.md for the lifetime rules).
+struct EvalScratch {
+  // Membership of the migrating task's in-edges plus their plan payload
+  // (kind / keep_hops), epoch-stamped by EdgeId.
+  std::vector<int> edge_epoch_of;           // by EdgeId
+  std::vector<IncomingPlan::Kind> edge_kind;  // by EdgeId
+  std::vector<int> edge_keep;               // by EdgeId
+  int edge_epoch = 0;
+
+  // Per-link busy overlays for static evaluation: the filtered base busy
+  // list of each link touched this call, with tentative hops merged in as
+  // they are placed. Pool slots are reused across calls.
+  std::vector<int> link_epoch_of;  // by LinkId
+  std::vector<int> link_slot;     // by LinkId -> index into busy_pool
+  int link_epoch = 0;
+  std::vector<std::vector<Interval>> busy_pool;
+  std::size_t busy_used = 0;
+
+  std::vector<IncomingPlan> plans;   // plan_incoming output
+  std::vector<EdgeId> order;         // static incoming order
+  std::vector<Interval> busy;        // single-link overlay (incremental)
+  std::vector<LinkId> route_links;   // static_route output
+};
+
 class BsaRunner {
  public:
   BsaRunner(const graph::TaskGraph& g, const net::Topology& topo,
@@ -45,6 +72,13 @@ class BsaRunner {
     if (opt_.routing == RouteDiscipline::kStaticShortestPath) {
       routing_table_.emplace(topo_);
     }
+    const auto ne = static_cast<std::size_t>(g_.num_edges());
+    scratch_.edge_epoch_of.resize(ne, 0);
+    scratch_.edge_kind.resize(ne, IncomingPlan::Kind::kExtend);
+    scratch_.edge_keep.resize(ne, 0);
+    const auto nl = static_cast<std::size_t>(topo_.num_links());
+    scratch_.link_epoch_of.resize(nl, 0);
+    scratch_.link_slot.resize(nl, 0);
   }
 
   BsaResult run() {
@@ -167,9 +201,9 @@ class BsaRunner {
   }
 
   // --- incoming-message planning (shared by eval and commit) --------------
-  [[nodiscard]] std::vector<IncomingPlan> plan_incoming(TaskId t,
-                                                        ProcId py) const {
-    std::vector<IncomingPlan> plans;
+  void plan_incoming_into(TaskId t, ProcId py,
+                          std::vector<IncomingPlan>& plans) const {
+    plans.clear();
     plans.reserve(g_.in_edges(t).size());
     for (const EdgeId e : g_.in_edges(t)) {
       const TaskId src = g_.edge_src(e);
@@ -212,6 +246,12 @@ class BsaRunner {
                 if (!time_eq(a.ready, b.ready)) return a.ready < b.ready;
                 return a.edge < b.edge;
               });
+  }
+
+  [[nodiscard]] std::vector<IncomingPlan> plan_incoming(TaskId t,
+                                                        ProcId py) const {
+    std::vector<IncomingPlan> plans;
+    plan_incoming_into(t, py, plans);
     return plans;
   }
 
@@ -225,12 +265,23 @@ class BsaRunner {
     return routing_table_->route(from, to);
   }
 
+  /// static_route into a reused buffer (allocation-free hot path).
+  void static_route_into(ProcId from, ProcId to,
+                         std::vector<LinkId>& out) const {
+    if (opt_.routing == RouteDiscipline::kEcube) {
+      net::ecube_route_into(topo_, from, to, out);
+      return;
+    }
+    BSA_ASSERT(routing_table_.has_value(), "routing table not built");
+    routing_table_->route_into(from, to, out);
+  }
+
   /// Crossing in-edges of `t` in the deterministic order used by both the
   /// static evaluation and the static commit: by source finish time, then
   /// edge id.
-  [[nodiscard]] std::vector<EdgeId> static_incoming_order(TaskId t,
-                                                          ProcId py) const {
-    std::vector<EdgeId> order;
+  void static_incoming_order_into(TaskId t, ProcId py,
+                                  std::vector<EdgeId>& order) const {
+    order.clear();
     for (const EdgeId e : g_.in_edges(t)) {
       if (sched_.proc_of(g_.edge_src(e)) != py) order.push_back(e);
     }
@@ -240,13 +291,13 @@ class BsaRunner {
       if (!time_eq(fa, fb)) return fa < fb;
       return a < b;
     });
-    return order;
   }
 
   /// Static-routing variant of evaluate_neighbor: every incoming message
   /// is re-routed from scratch along the static route, with the bookings
-  /// of the (to-be-cleared) old routes excluded.
-  [[nodiscard]] Time evaluate_neighbor_static(TaskId t, ProcId py) const {
+  /// of the (to-be-cleared) old routes excluded. Reference implementation
+  /// (per-call containers); kept bit-identical to the pooled variant.
+  [[nodiscard]] Time evaluate_neighbor_static_fresh(TaskId t, ProcId py) const {
     const auto in_edges = g_.in_edges(t);
     auto is_in_edge = [&](EdgeId e) {
       return std::find(in_edges.begin(), in_edges.end(), e) != in_edges.end();
@@ -270,7 +321,9 @@ class BsaRunner {
         drt = std::max(drt, sched_.finish_of(g_.edge_src(e)));
       }
     }
-    for (const EdgeId e : static_incoming_order(t, py)) {
+    std::vector<EdgeId> order;
+    static_incoming_order_into(t, py, order);
+    for (const EdgeId e : order) {
       const TaskId src = g_.edge_src(e);
       Time ready = sched_.finish_of(src);
       for (const LinkId l : static_route(sched_.proc_of(src), py)) {
@@ -292,13 +345,74 @@ class BsaRunner {
     return task_start + dur;
   }
 
-  /// Tentative finish time of `t` if migrated from `pivot` to neighbour
-  /// `py`. Does not modify the schedule.
-  [[nodiscard]] Time evaluate_neighbor(TaskId t, ProcId pivot,
-                                       ProcId py) const {
-    if (opt_.routing != RouteDiscipline::kIncremental) {
-      return evaluate_neighbor_static(t, py);
+  /// Pooled static evaluation: the filtered busy list of each touched
+  /// link is built once per call (edge membership answered by an
+  /// epoch-stamped mark array instead of a linear in_edges scan) and
+  /// cached in the scratch arena across the edge loop; tentative hops are
+  /// merged into the cached list directly, which also replaces the
+  /// per-call `added` map. Bit-identical to the fresh variant: the busy
+  /// list contents agree, and earliest_fit/append_fit see the same input.
+  [[nodiscard]] Time evaluate_neighbor_static_pooled(TaskId t, ProcId py) {
+    EvalScratch& sc = scratch_;
+    ++sc.edge_epoch;
+    for (const EdgeId e : g_.in_edges(t)) {
+      sc.edge_epoch_of[static_cast<std::size_t>(e)] = sc.edge_epoch;
     }
+    ++sc.link_epoch;
+    sc.busy_used = 0;
+    auto busy_of = [&](LinkId l) -> std::vector<Interval>& {
+      const auto li = static_cast<std::size_t>(l);
+      if (sc.link_epoch_of[li] != sc.link_epoch) {
+        sc.link_epoch_of[li] = sc.link_epoch;
+        if (sc.busy_used == sc.busy_pool.size()) sc.busy_pool.emplace_back();
+        sc.link_slot[li] = static_cast<int>(sc.busy_used);
+        auto& busy = sc.busy_pool[sc.busy_used++];
+        busy.clear();
+        for (const LinkBooking& b : sched_.bookings_on(l)) {
+          if (sc.edge_epoch_of[static_cast<std::size_t>(b.edge)] !=
+              sc.edge_epoch) {
+            busy.push_back(Interval{b.start, b.finish});
+          }
+        }
+        return busy;
+      }
+      return sc.busy_pool[static_cast<std::size_t>(sc.link_slot[li])];
+    };
+
+    Time drt = 0;
+    for (const EdgeId e : g_.in_edges(t)) {
+      if (sched_.proc_of(g_.edge_src(e)) == py) {
+        drt = std::max(drt, sched_.finish_of(g_.edge_src(e)));
+      }
+    }
+    static_incoming_order_into(t, py, sc.order);
+    for (const EdgeId e : sc.order) {
+      const TaskId src = g_.edge_src(e);
+      Time ready = sched_.finish_of(src);
+      static_route_into(sched_.proc_of(src), py, sc.route_links);
+      for (const LinkId l : sc.route_links) {
+        const Time dur = costs_.comm_cost(e, l);
+        auto& busy = busy_of(l);
+        const Time st = opt_.insertion_slots
+                            ? sched::earliest_fit(busy, ready, dur)
+                            : append_fit(busy, ready);
+        sched::insert_interval(busy, Interval{st, st + dur});
+        ready = st + dur;
+      }
+      drt = std::max(drt, ready);
+    }
+
+    const Time dur = costs_.exec_cost(t, py);
+    const Time task_start = opt_.insertion_slots
+                                ? sched_.earliest_task_slot(py, drt, dur)
+                                : std::max(drt, proc_tail(py));
+    return task_start + dur;
+  }
+
+  /// Incremental-routing evaluation, reference implementation (per-call
+  /// containers, linear plan scan per booking).
+  [[nodiscard]] Time evaluate_neighbor_incremental_fresh(TaskId t, ProcId pivot,
+                                                         ProcId py) const {
     const LinkId link = topo_.link_between(pivot, py);
     BSA_ASSERT(link != kInvalidLink, "neighbour without link");
     const std::vector<IncomingPlan> plans = plan_incoming(t, py);
@@ -319,7 +433,44 @@ class BsaRunner {
       }
       if (!excluded) busy.push_back(Interval{b.start, b.finish});
     }
+    return finish_incremental_eval(t, py, link, plans, busy);
+  }
 
+  /// Pooled incremental evaluation: plans land in the scratch arena and
+  /// booking exclusion is answered by the epoch-stamped edge mark array
+  /// (O(1) per booking instead of O(|in_edges|)).
+  [[nodiscard]] Time evaluate_neighbor_incremental_pooled(TaskId t,
+                                                          ProcId pivot,
+                                                          ProcId py) {
+    const LinkId link = topo_.link_between(pivot, py);
+    BSA_ASSERT(link != kInvalidLink, "neighbour without link");
+    EvalScratch& sc = scratch_;
+    plan_incoming_into(t, py, sc.plans);
+    ++sc.edge_epoch;
+    for (const IncomingPlan& plan : sc.plans) {
+      const auto ei = static_cast<std::size_t>(plan.edge);
+      sc.edge_epoch_of[ei] = sc.edge_epoch;
+      sc.edge_kind[ei] = plan.kind;
+      sc.edge_keep[ei] = plan.keep_hops;
+    }
+    sc.busy.clear();
+    for (const LinkBooking& b : sched_.bookings_on(link)) {
+      const auto ei = static_cast<std::size_t>(b.edge);
+      const bool excluded =
+          sc.edge_epoch_of[ei] == sc.edge_epoch &&
+          (sc.edge_kind[ei] == IncomingPlan::Kind::kBecomesLocal ||
+           (sc.edge_kind[ei] == IncomingPlan::Kind::kTruncate &&
+            b.hop_index >= sc.edge_keep[ei]));
+      if (!excluded) sc.busy.push_back(Interval{b.start, b.finish});
+    }
+    return finish_incremental_eval(t, py, link, sc.plans, sc.busy);
+  }
+
+  /// Shared tail of the incremental evaluation: place the plan's hop
+  /// extensions on the overlay and the task at its earliest slot.
+  [[nodiscard]] Time finish_incremental_eval(
+      TaskId t, ProcId py, LinkId link, const std::vector<IncomingPlan>& plans,
+      std::vector<Interval>& busy) const {
     Time drt = 0;
     for (const IncomingPlan& plan : plans) {
       if (plan.kind == IncomingPlan::Kind::kExtend) {
@@ -342,6 +493,18 @@ class BsaRunner {
     return task_start + dur;
   }
 
+  /// Tentative finish time of `t` if migrated from `pivot` to neighbour
+  /// `py`. Does not modify the schedule.
+  [[nodiscard]] Time evaluate_neighbor(TaskId t, ProcId pivot, ProcId py) {
+    if (opt_.routing != RouteDiscipline::kIncremental) {
+      return opt_.pooled_eval ? evaluate_neighbor_static_pooled(t, py)
+                              : evaluate_neighbor_static_fresh(t, py);
+    }
+    return opt_.pooled_eval
+               ? evaluate_neighbor_incremental_pooled(t, pivot, py)
+               : evaluate_neighbor_incremental_fresh(t, pivot, py);
+  }
+
   [[nodiscard]] static Time append_fit(std::span<const Interval> busy,
                                        Time ready) {
     return busy.empty() ? std::max(ready, Time{0})
@@ -359,32 +522,12 @@ class BsaRunner {
   }
 
   // --- migration commit ----------------------------------------------------
-  void commit_migration(TaskId t, ProcId pivot, ProcId py, int phase,
-                        Time old_ft, Time predicted_ft, bool via_vip) {
-    // Snapshot for the makespan guard: a migration whose re-routed
-    // messages stretch the schedule is rolled back (the task's own finish
-    // improving is not allowed to push its successors past the old SL).
-    const bool guarded = opt_.policy == MigrationPolicy::kMakespanGuarded;
-    const Time makespan_before = guarded ? sched_.makespan() : Time{0};
-    if (guarded) {
-      // Copy-assign into a long-lived snapshot: inner vectors keep their
-      // capacity across migrations, so the guard costs no allocations on
-      // the hot path.
-      if (!snapshot_.has_value()) {
-        snapshot_.emplace(sched_);
-      } else {
-        *snapshot_ = sched_;
-      }
-    }
 
-    // The incremental engine captures the pre-migration structure around
-    // `t` (lazily constructed here: the schedule is a re-timing fixpoint
-    // between migrations, which construction requires).
-    if (opt_.incremental_retime) {
-      if (!retime_ctx_.has_value()) retime_ctx_.emplace(sched_, costs_);
-      retime_ctx_->begin_migration(t);
-    }
-
+  /// The schedule mutations of one migration of `t` from `pivot` to `py`:
+  /// re-route incoming messages, place the task, re-route outgoing
+  /// messages. Deterministic in the pre-migration schedule state, so the
+  /// rare transactional replay fallback can roll back and re-apply it.
+  void apply_migration_mutations(TaskId t, ProcId pivot, ProcId py) {
     if (opt_.routing == RouteDiscipline::kIncremental) {
       commit_incoming_incremental(t, pivot, py);
     } else {
@@ -407,6 +550,41 @@ class BsaRunner {
     } else {
       commit_outgoing_static(t, py, task_start + dur);
     }
+  }
+
+  /// Copy the current schedule into the long-lived rollback snapshot:
+  /// inner vectors keep their capacity across migrations, so the guard
+  /// costs no allocations on the hot path.
+  void refresh_snapshot() {
+    if (!snapshot_.has_value()) {
+      snapshot_.emplace(sched_);
+    } else {
+      *snapshot_ = sched_;
+    }
+  }
+
+  void commit_migration(TaskId t, ProcId pivot, ProcId py, int phase,
+                        Time old_ft, Time predicted_ft, bool via_vip) {
+    // A migration whose re-routed messages stretch the schedule is rolled
+    // back (the task's own finish improving is not allowed to push its
+    // successors past the old SL). Rollback engine: journaled transaction
+    // (default) or whole-schedule snapshot (the reference,
+    // opt_.snapshot_rollback).
+    const bool guarded = opt_.policy == MigrationPolicy::kMakespanGuarded;
+    const bool use_txn = guarded && !opt_.snapshot_rollback;
+    const Time makespan_before = guarded ? sched_.makespan() : Time{0};
+    if (guarded && !use_txn) refresh_snapshot();
+
+    // The incremental engine captures the pre-migration structure around
+    // `t` (lazily constructed here: the schedule is a re-timing fixpoint
+    // between migrations, which construction requires).
+    if (opt_.incremental_retime) {
+      if (!retime_ctx_.has_value()) retime_ctx_.emplace(sched_, costs_);
+      retime_ctx_->begin_migration(t);
+    }
+
+    if (use_txn) sched_.begin_transaction(txn_);
+    apply_migration_mutations(t, pivot, py);
 
     // Bubble up: earliest times under the new orders; replay on the rare
     // order cycle introduced by re-issued outgoing routes.
@@ -414,16 +592,33 @@ class BsaRunner {
         retime_ctx_.has_value()
             ? retime_ctx_->retime_migration(t, nullptr)
             : sched::try_retime(sched_, costs_, nullptr);
+    bool replayed = false;
     if (!retimed) {
+      if (use_txn) {
+        // replay_retime rebuilds the schedule wholesale, which cannot be
+        // journaled: undo the mutations, fall back to a snapshot of the
+        // pre-migration state, and re-apply them (deterministic).
+        sched_.rollback_transaction();
+        refresh_snapshot();
+        apply_migration_mutations(t, pivot, py);
+      }
       (void)sched::replay_retime(sched_, costs_, opt_.insertion_slots);
       if (retime_ctx_.has_value()) retime_ctx_->invalidate();
+      replayed = true;
     }
 
     if (guarded && time_lt(makespan_before, sched_.makespan())) {
-      sched_ = *snapshot_;  // reject: schedule got longer
-      if (retime_ctx_.has_value()) retime_ctx_->resync_migration(t);
+      ++trace_.rejected_migrations;
+      if (use_txn && !replayed) {
+        sched_.rollback_transaction();
+        if (retime_ctx_.has_value()) retime_ctx_->undo_migration(t);
+      } else {
+        sched_ = *snapshot_;  // reject: schedule got longer
+        if (retime_ctx_.has_value()) retime_ctx_->resync_migration(t);
+      }
       return;
     }
+    if (use_txn && !replayed) sched_.commit_transaction();
 
     trace_.migrations.push_back(Migration{
         t, pivot, py, old_ft, predicted_ft, sched_.finish_of(t),
@@ -440,9 +635,9 @@ class BsaRunner {
   /// plan order (mirrors the incremental evaluation).
   void commit_incoming_incremental(TaskId t, ProcId pivot, ProcId py) {
     const LinkId link = topo_.link_between(pivot, py);
-    const std::vector<IncomingPlan> plans = plan_incoming(t, py);
+    plan_incoming_into(t, py, scratch_.plans);
     sched_.unplace_task(t);
-    for (const IncomingPlan& plan : plans) {
+    for (const IncomingPlan& plan : scratch_.plans) {
       switch (plan.kind) {
         case IncomingPlan::Kind::kBecomesLocal:
           sched_.clear_route(plan.edge);
@@ -470,15 +665,16 @@ class BsaRunner {
 
   /// Static incoming commit: clear every incoming route, then re-route
   /// crossing messages along the static routes in the same deterministic
-  /// order used by evaluate_neighbor_static.
+  /// order used by the static evaluation.
   void commit_incoming_static(TaskId t, ProcId py) {
-    const std::vector<EdgeId> order = static_incoming_order(t, py);
+    static_incoming_order_into(t, py, scratch_.order);
     sched_.unplace_task(t);
     for (const EdgeId e : g_.in_edges(t)) sched_.clear_route(e);
-    for (const EdgeId e : order) {
+    for (const EdgeId e : scratch_.order) {
       const TaskId src = g_.edge_src(e);
       Time ready = sched_.finish_of(src);
-      for (const LinkId l : static_route(sched_.proc_of(src), py)) {
+      static_route_into(sched_.proc_of(src), py, scratch_.route_links);
+      for (const LinkId l : scratch_.route_links) {
         const Time dur = costs_.comm_cost(e, l);
         const Time hop_start =
             opt_.insertion_slots
@@ -501,10 +697,12 @@ class BsaRunner {
         sched_.clear_route(e);
         continue;
       }
-      std::vector<LinkId> links{link};
+      auto& links = scratch_.route_links;
+      links.clear();
+      links.push_back(link);
       for (const Hop& h : sched_.route_of(e)) links.push_back(h.link);
       sched_.clear_route(e);
-      if (opt_.prune_route_cycles) prune_walk(links, py);
+      if (opt_.prune_route_cycles) prune_link_walk(topo_, links, py);
       reissue_route(e, links, ft_estimate);
     }
   }
@@ -517,71 +715,25 @@ class BsaRunner {
       const ProcId pd = sched_.proc_of(dst);
       sched_.clear_route(e);
       if (pd == py) continue;
-      reissue_route(e, static_route(py, pd), ft_estimate);
+      static_route_into(py, pd, scratch_.route_links);
+      reissue_route(e, scratch_.route_links, ft_estimate);
     }
   }
 
   /// Book a fresh route for `e` along `links`, hop by hop from `ready`.
+  /// Each hop is booked immediately, so a later hop on the same link sees
+  /// the earlier one through the schedule itself — bit-identical to the
+  /// former assemble-then-set_route scheme (earliest_link_slot answers
+  /// exactly like earliest_fit over the link's busy list).
   void reissue_route(EdgeId e, const std::vector<LinkId>& links, Time ready) {
-    std::vector<Hop> hops;
-    hops.reserve(links.size());
     for (const LinkId l : links) {
       const Time hop_dur = costs_.comm_cost(e, l);
       const Time hop_start =
           opt_.insertion_slots
-              ? sched::earliest_fit(merged_busy(l, hops), ready, hop_dur)
-              : std::max(ready, link_tail_with(l, hops));
-      hops.push_back(Hop{l, hop_start, hop_start + hop_dur});
+              ? sched_.earliest_link_slot(l, ready, hop_dur)
+              : std::max(ready, link_tail(l));
+      sched_.append_hop(e, Hop{l, hop_start, hop_start + hop_dur});
       ready = hop_start + hop_dur;
-    }
-    sched_.set_route(e, std::move(hops));
-  }
-
-  /// Busy intervals of link `l` plus any not-yet-committed hops of the
-  /// route currently being assembled (which may revisit the same link).
-  [[nodiscard]] std::vector<Interval> merged_busy(
-      LinkId l, const std::vector<Hop>& pending) const {
-    std::vector<Interval> busy = sched_.busy_of_link(l);
-    for (const Hop& h : pending) {
-      if (h.link == l) sched::insert_interval(busy, Interval{h.start, h.finish});
-    }
-    return busy;
-  }
-
-  [[nodiscard]] Time link_tail_with(LinkId l,
-                                    const std::vector<Hop>& pending) const {
-    Time tail = link_tail(l);
-    for (const Hop& h : pending) {
-      if (h.link == l) tail = std::max(tail, h.finish);
-    }
-    return tail;
-  }
-
-  /// Remove cycles from a link walk starting at `origin`: whenever the
-  /// walk revisits a processor, the loop between the two visits is cut.
-  void prune_walk(std::vector<LinkId>& links, ProcId origin) const {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      std::vector<ProcId> walk{origin};
-      for (const LinkId l : links) {
-        walk.push_back(topo_.opposite(l, walk.back()));
-      }
-      std::vector<int> first_pos(
-          static_cast<std::size_t>(topo_.num_processors()), -1);
-      for (std::size_t i = 0; i < walk.size(); ++i) {
-        const auto pi = static_cast<std::size_t>(walk[i]);
-        if (first_pos[pi] < 0) {
-          first_pos[pi] = static_cast<int>(i);
-          continue;
-        }
-        // Cut links [first_pos, i) — the loop revisiting walk[i].
-        const auto from = static_cast<std::ptrdiff_t>(first_pos[pi]);
-        links.erase(links.begin() + from,
-                    links.begin() + static_cast<std::ptrdiff_t>(i));
-        changed = true;
-        break;
-      }
     }
   }
 
@@ -596,8 +748,13 @@ class BsaRunner {
   /// Incremental re-timing engine, bound to sched_; constructed lazily at
   /// the first migration when opt_.incremental_retime is set.
   std::optional<sched::RetimeContext> retime_ctx_;
-  /// Reused rollback snapshot for the makespan guard.
+  /// Reused rollback snapshot for the makespan guard (snapshot_rollback
+  /// mode, plus the rare replay fallback in transaction mode).
   std::optional<Schedule> snapshot_;
+  /// Reused journal for transactional guarded migrations.
+  Schedule::Transaction txn_;
+  /// Reused evaluation buffers (see EvalScratch).
+  EvalScratch scratch_;
 };
 
 }  // namespace
@@ -613,6 +770,37 @@ BsaResult schedule_bsa(const graph::TaskGraph& g, const net::Topology& topo,
               "cost model does not match graph/topology");
   BsaRunner runner(g, topo, costs, options);
   return runner.run();
+}
+
+void prune_link_walk(const net::Topology& topo, std::vector<LinkId>& links,
+                     ProcId origin) {
+  BSA_REQUIRE(origin >= 0 && origin < topo.num_processors(),
+              "bad walk origin " << origin);
+  std::vector<int> first_pos(static_cast<std::size_t>(topo.num_processors()),
+                             -1);
+  std::vector<ProcId> walk{origin};  // walk[i]: processor after i kept links
+  std::vector<LinkId> kept;
+  kept.reserve(links.size());
+  first_pos[static_cast<std::size_t>(origin)] = 0;
+  for (const LinkId l : links) {
+    const ProcId q = topo.opposite(l, walk.back());
+    const int fp = first_pos[static_cast<std::size_t>(q)];
+    if (fp >= 0) {
+      // Revisit: cut the loop back to q's first visit. Each link enters
+      // and leaves `kept` at most once, so the pass stays linear.
+      while (static_cast<int>(walk.size()) - 1 > fp) {
+        first_pos[static_cast<std::size_t>(walk.back())] = -1;
+        walk.pop_back();
+        kept.pop_back();
+      }
+    } else {
+      first_pos[static_cast<std::size_t>(q)] =
+          static_cast<int>(walk.size());
+      walk.push_back(q);
+      kept.push_back(l);
+    }
+  }
+  links = std::move(kept);
 }
 
 }  // namespace bsa::core

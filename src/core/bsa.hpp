@@ -111,6 +111,18 @@ struct BsaOptions {
   /// false = rebuild the whole constraint graph per migration with
   /// sched::try_retime (the reference implementation).
   bool incremental_retime = true;
+  /// Guarded-migration rollback engine. false (default): journal each
+  /// migration into a Schedule::Transaction and undo a rejected one in
+  /// O(touched). true: copy-assign a whole-schedule snapshot before every
+  /// migration and restore it on reject — the reference implementation,
+  /// proven bit-identical (tests/schedule_txn_test.cpp).
+  bool snapshot_rollback = false;
+  /// Neighbour-evaluation engine. true (default): reuse per-runner
+  /// scratch buffers (flat per-link busy overlays, edge-membership mark
+  /// arrays) so evaluation allocates nothing in steady state. false:
+  /// allocate fresh containers per call — the reference implementation,
+  /// proven bit-identical.
+  bool pooled_eval = true;
 };
 
 /// One committed migration, for tracing/debugging.
@@ -133,6 +145,8 @@ struct BsaTrace {
   Time initial_serial_length = 0;       ///< SL right after serialization
   std::vector<ProcId> pivot_sequence;   ///< BFS processor list
   std::vector<Migration> migrations;
+  /// Migrations undone by the makespan guard (kMakespanGuarded only).
+  std::int64_t rejected_migrations = 0;
   /// Re-timing engine counters (zero when incremental_retime is off).
   sched::RetimeContext::Stats retime;
 };
@@ -150,5 +164,12 @@ struct BsaResult {
                                      const net::Topology& topo,
                                      const net::HeterogeneousCostModel& costs,
                                      const BsaOptions& options = {});
+
+/// Remove cycles from a link walk starting at `origin`: whenever the walk
+/// revisits a processor, the loop between the two visits is cut. Single
+/// forward pass with a first-visit position map — O(|links|) amortized.
+/// Used by BSA when `prune_route_cycles` is on; exposed for testing.
+void prune_link_walk(const net::Topology& topo, std::vector<LinkId>& links,
+                     ProcId origin);
 
 }  // namespace bsa::core

@@ -32,16 +32,18 @@ std::vector<ProcId> move_candidates(TaskId t, const net::Topology& topo,
   return procs;
 }
 
-/// Move `t` to `p` on the live schedule: clear its incident routes,
-/// re-route crossing messages along static shortest paths (deterministic
-/// source-finish order), place `t` at its earliest slot and re-time
-/// incrementally through `ctx`. Deliberately independent of BSA's
+/// Schedule mutations of moving `t` to `p` on the live schedule (no
+/// re-timing): clear its incident routes, re-route crossing messages
+/// along static shortest paths (deterministic source-finish order) and
+/// place `t` at its earliest slot. Deliberately independent of BSA's
 /// static commit (core/bsa.cpp): outgoing messages here re-route from
 /// the task's actual new finish rather than BSA's pre-retime estimate,
 /// so this defines refine's own move semantics, not a mirror of BSA's.
-void apply_move(sched::Schedule& s, const net::HeterogeneousCostModel& costs,
-                const net::RoutingTable& table, sched::RetimeContext& ctx,
-                TaskId t, ProcId p) {
+/// Deterministic in the pre-move schedule state.
+void apply_move_mutations(sched::Schedule& s,
+                          const net::HeterogeneousCostModel& costs,
+                          const net::RoutingTable& table,
+                          sched::RetimeContext& ctx, TaskId t, ProcId p) {
   const auto& g = s.task_graph();
   ctx.begin_migration(t);
   s.unplace_task(t);
@@ -92,7 +94,13 @@ void apply_move(sched::Schedule& s, const net::HeterogeneousCostModel& costs,
       ready = hs + hd;
     }
   }
+}
 
+/// apply_move_mutations plus re-timing; the committed-move path.
+void apply_move(sched::Schedule& s, const net::HeterogeneousCostModel& costs,
+                const net::RoutingTable& table, sched::RetimeContext& ctx,
+                TaskId t, ProcId p) {
+  apply_move_mutations(s, costs, table, ctx, t, p);
   if (!ctx.retime_migration(t, nullptr)) {
     (void)sched::replay_retime(s, costs, true);
     ctx.invalidate();
@@ -100,8 +108,10 @@ void apply_move(sched::Schedule& s, const net::HeterogeneousCostModel& costs,
 }
 
 /// Incremental local search: one live schedule, one RetimeContext; each
-/// candidate move is applied, measured, and either kept or rolled back
-/// from a snapshot.
+/// candidate move is journaled into a Schedule::Transaction, measured,
+/// and rolled back in O(touched) (the best one is then re-applied for
+/// real). The rare re-timing-cycle fallback measures through a snapshot
+/// copy instead, because replay_retime rebuilds the schedule wholesale.
 RefineResult refine_retime_delta(const sched::Schedule& input,
                                  const net::HeterogeneousCostModel& costs,
                                  const RefineOptions& options) {
@@ -120,6 +130,28 @@ RefineResult refine_retime_delta(const sched::Schedule& input,
   }
   Time best_len = s.makespan();
 
+  sched::Schedule::Transaction txn;
+  const auto evaluate_move = [&](TaskId t, ProcId p) -> Time {
+    s.begin_transaction(txn);
+    apply_move_mutations(s, costs, table, ctx, t, p);
+    if (ctx.retime_migration(t, nullptr)) {
+      const Time len = s.makespan();
+      s.rollback_transaction();
+      ctx.undo_migration(t);
+      return len;
+    }
+    // Re-timing cycle: replay the whole schedule to measure, restore
+    // from a copy (the context is stale either way).
+    s.rollback_transaction();
+    sched::Schedule snapshot = s;
+    apply_move_mutations(s, costs, table, ctx, t, p);
+    (void)sched::replay_retime(s, costs, true);
+    ctx.invalidate();
+    const Time len = s.makespan();
+    s = std::move(snapshot);
+    return len;
+  };
+
   for (int round = 0; round < options.max_rounds; ++round) {
     bool improved_this_round = false;
     int stale = 0;
@@ -129,14 +161,11 @@ RefineResult refine_retime_delta(const sched::Schedule& input,
       for (const ProcId p : move_candidates(t, topo, costs, options)) {
         if (p == original) continue;
         ++result.candidates_evaluated;
-        sched::Schedule snapshot = s;
-        apply_move(s, costs, table, ctx, t, p);
-        if (time_lt(s.makespan(), best_len)) {
-          best_len = s.makespan();
+        const Time len = evaluate_move(t, p);
+        if (time_lt(len, best_len)) {
+          best_len = len;
           best_proc = p;
         }
-        s = std::move(snapshot);
-        ctx.resync_migration(t);
       }
       if (best_proc != original) {
         apply_move(s, costs, table, ctx, t, best_proc);

@@ -27,7 +27,8 @@ enum class MoveEval : unsigned char {
   /// Apply the move to the live schedule (unplace, static shortest-path
   /// re-route of the task's messages, earliest-slot placement) and
   /// re-time incrementally with a persistent sched::RetimeContext;
-  /// rejected moves restore a snapshot and resync the context. Much
+  /// candidate moves are journaled into a Schedule::Transaction and
+  /// rolled back in O(touched) after measuring. Much
   /// faster on large graphs. The neighbourhood it explores differs
   /// slightly from kRelist (moves are applied to the evolved schedule
   /// instead of re-listing every task), so schedules are not expected to

@@ -39,9 +39,16 @@ void RoutingTable::check(ProcId p) const {
 }
 
 std::vector<LinkId> RoutingTable::route(ProcId src, ProcId dst) const {
+  std::vector<LinkId> links;
+  route_into(src, dst, links);
+  return links;
+}
+
+void RoutingTable::route_into(ProcId src, ProcId dst,
+                              std::vector<LinkId>& out) const {
   check(src);
   check(dst);
-  std::vector<LinkId> links;
+  out.clear();
   ProcId cur = src;
   while (cur != dst) {
     const ProcId next = next_hop_[static_cast<std::size_t>(cur) *
@@ -51,10 +58,9 @@ std::vector<LinkId> RoutingTable::route(ProcId src, ProcId dst) const {
                                                            << dst);
     const LinkId l = topo_->link_between(cur, next);
     BSA_ASSERT(l != kInvalidLink, "next hop not adjacent");
-    links.push_back(l);
+    out.push_back(l);
     cur = next;
   }
-  return links;
 }
 
 std::vector<ProcId> RoutingTable::route_processors(ProcId src,
@@ -76,9 +82,16 @@ int RoutingTable::distance(ProcId src, ProcId dst) const {
 }
 
 std::vector<LinkId> ecube_route(const Topology& topo, ProcId src, ProcId dst) {
+  std::vector<LinkId> links;
+  ecube_route_into(topo, src, dst, links);
+  return links;
+}
+
+void ecube_route_into(const Topology& topo, ProcId src, ProcId dst,
+                      std::vector<LinkId>& out) {
   BSA_REQUIRE(src >= 0 && src < topo.num_processors(), "bad src " << src);
   BSA_REQUIRE(dst >= 0 && dst < topo.num_processors(), "bad dst " << dst);
-  std::vector<LinkId> links;
+  out.clear();
   ProcId cur = src;
   while (cur != dst) {
     const unsigned diff =
@@ -90,10 +103,9 @@ std::vector<LinkId> ecube_route(const Topology& topo, ProcId src, ProcId dst) {
     BSA_REQUIRE(l != kInvalidLink,
                 "topology is not a hypercube: missing link " << cur << "-"
                                                              << next);
-    links.push_back(l);
+    out.push_back(l);
     cur = next;
   }
-  return links;
 }
 
 }  // namespace bsa::net

@@ -27,6 +27,10 @@ class RoutingTable {
   /// src == dst.
   [[nodiscard]] std::vector<LinkId> route(ProcId src, ProcId dst) const;
 
+  /// Same route written into `out` (cleared first) — lets hot paths reuse
+  /// one buffer instead of allocating per query.
+  void route_into(ProcId src, ProcId dst, std::vector<LinkId>& out) const;
+
   /// Processors visited by route(src,dst), including both endpoints.
   [[nodiscard]] std::vector<ProcId> route_processors(ProcId src,
                                                      ProcId dst) const;
@@ -51,5 +55,9 @@ class RoutingTable {
 /// whose processor ids are the vertex addresses.
 [[nodiscard]] std::vector<LinkId> ecube_route(const Topology& topo, ProcId src,
                                               ProcId dst);
+
+/// Same E-cube route written into `out` (cleared first).
+void ecube_route_into(const Topology& topo, ProcId src, ProcId dst,
+                      std::vector<LinkId>& out);
 
 }  // namespace bsa::net

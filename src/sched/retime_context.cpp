@@ -1,6 +1,8 @@
 #include "sched/retime_context.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -279,18 +281,23 @@ bool RetimeContext::sweep_region() {
 void RetimeContext::write_back_region() {
   // Large parts of a region often re-derive their previous times (the
   // max over their inputs did not move); skip those — set_hop_times in
-  // particular pays a booking lookup per call.
+  // particular pays a booking lookup per call. The previous times of the
+  // nodes actually written are journaled so undo_migration can restore
+  // the context after a transactional rollback without a sweep.
+  time_undo_.clear();
   for (const int v : region_) {
     const auto vi = static_cast<std::size_t>(v);
     if (is_task_node(v)) {
       const auto t = static_cast<TaskId>(v);
       if (s_->start_of(t) != start_[vi] || s_->finish_of(t) != finish_[vi]) {
+        time_undo_.push_back(TimeUndo{v, s_->start_of(t), s_->finish_of(t)});
         s_->set_task_times(t, start_[vi], finish_[vi]);
       }
     } else {
       const Hop& h = s_->route_of(node_edge_[vi])
                          [static_cast<std::size_t>(node_k_[vi])];
       if (h.start != start_[vi] || h.finish != finish_[vi]) {
+        time_undo_.push_back(TimeUndo{v, h.start, h.finish});
         s_->set_hop_times(node_edge_[vi], node_k_[vi], start_[vi],
                           finish_[vi]);
       }
@@ -315,6 +322,7 @@ bool RetimeContext::retime_full(Time* makespan) {
   pending_task_ = kInvalidTask;
   // A full rebuild has no re-appliable delta: a later rollback resync
   // must fall back to another full rebuild.
+  last_task_ = kInvalidTask;
   last_pre_proc_ = kInvalidProc;
   last_post_proc_ = kInvalidProc;
   last_links_.clear();
@@ -416,7 +424,8 @@ bool RetimeContext::apply_delta(TaskId t, Time* makespan,
       s_->num_placed() +
       static_cast<std::int64_t>(start_.size()) - num_tasks_ -
       static_cast<std::int64_t>(free_.size());
-  // Remember the delta so a guarded rollback can resync cheaply.
+  // Remember the delta so a guarded rollback can resync or undo cheaply.
+  last_task_ = t;
   last_pre_proc_ = proc_a;
   last_post_proc_ = proc_b;
   last_links_ = std::move(links);
@@ -453,4 +462,143 @@ void RetimeContext::resync_migration(TaskId t) {
   }
 }
 
+void RetimeContext::undo_migration(TaskId t) {
+  if (stale_) return;  // next retime rebuilds anyway
+  if (last_post_proc_ == kInvalidProc && last_pre_proc_ == kInvalidProc) {
+    // The last retime was a full rebuild (no recorded delta to undo).
+    stale_ = true;
+    return;
+  }
+  BSA_REQUIRE(last_task_ == t, "undo_migration(" << t
+                                                 << ") does not match the "
+                                                    "last delta (task "
+                                                 << last_task_ << ")");
+  // The schedule was restored bit-exactly by the caller's transactional
+  // rollback; mirror that restoration here. Times first: entries naming
+  // hop nodes of t's rewritten routes are stale, but those nodes are
+  // re-adopted from the restored schedule by the rebuild below, so the
+  // blind writes are harmless.
+  for (const TimeUndo& u : time_undo_) {
+    start_[static_cast<std::size_t>(u.node)] = u.start;
+    finish_[static_cast<std::size_t>(u.node)] = u.finish;
+  }
+  time_undo_.clear();
+  // The journal baseline is the post-mutation schedule, so it cannot
+  // cover what the mutations themselves changed: t's placement times and
+  // its routes. Re-adopt both from the restored schedule (t is placed
+  // again after the rollback).
+  start_[static_cast<std::size_t>(t)] = s_->start_of(t);
+  finish_[static_cast<std::size_t>(t)] = s_->finish_of(t);
+  seeds_.clear();
+  for (const EdgeId e : g_->in_edges(t)) rebuild_edge_hops(e);
+  for (const EdgeId e : g_->out_edges(t)) rebuild_edge_hops(e);
+  const ProcId proc_a =
+      last_pre_proc_ == kInvalidProc ? last_post_proc_ : last_pre_proc_;
+  relink_proc_chain(proc_a);
+  if (last_post_proc_ != proc_a && last_post_proc_ != kInvalidProc) {
+    relink_proc_chain(last_post_proc_);
+  }
+  for (const LinkId l : last_links_) relink_link_chain(l);
+  // Relinking seeds changed-predecessor nodes, but the restored times are
+  // a fixpoint by construction — nothing needs recomputing.
+  seeds_.clear();
+  ++stats_.undos;
+  stats_.node_count =
+      s_->num_placed() +
+      static_cast<std::int64_t>(start_.size()) - num_tasks_ -
+      static_cast<std::int64_t>(free_.size());
+  // The delta is undone; a later rollback has nothing left to re-apply.
+  last_task_ = kInvalidTask;
+  last_pre_proc_ = kInvalidProc;
+  last_post_proc_ = kInvalidProc;
+  last_links_.clear();
+}
+
+}  // namespace bsa::sched
+
+namespace bsa::sched {
+
+// --- testing aid -------------------------------------------------------------
+
+std::string RetimeContext::check_consistency() const {
+  std::ostringstream os;
+  // task times + activity
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (static_cast<bool>(task_active_[ti]) != s_->is_placed(t)) {
+      os << "task " << t << " active mismatch"; return os.str();
+    }
+    if (!s_->is_placed(t)) continue;
+    if (start_[ti] != s_->start_of(t) || finish_[ti] != s_->finish_of(t)) {
+      os << "task " << t << " times (" << start_[ti] << "," << finish_[ti]
+         << ") vs sched (" << s_->start_of(t) << "," << s_->finish_of(t) << ")";
+      return os.str();
+    }
+  }
+  // proc chains
+  for (ProcId p = 0; p < s_->topology().num_processors(); ++p) {
+    const auto& order = s_->tasks_on(p);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const auto ui = static_cast<std::size_t>(order[i]);
+      const int expect_prev = i == 0 ? kNone : order[i - 1];
+      const int expect_next = i + 1 < order.size() ? order[i + 1] : kNone;
+      if (proc_prev_[ui] != expect_prev) {
+        os << "proc " << p << " task " << order[i] << " prev " << proc_prev_[ui]
+           << " != " << expect_prev; return os.str();
+      }
+      if (proc_next_[ui] != expect_next) {
+        os << "proc " << p << " task " << order[i] << " next " << proc_next_[ui]
+           << " != " << expect_next; return os.str();
+      }
+    }
+  }
+  // hop nodes + times
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    const auto& route = s_->route_of(e);
+    const auto& nodes = hop_nodes_[static_cast<std::size_t>(e)];
+    if (nodes.size() != route.size()) {
+      os << "edge " << e << " hop count " << nodes.size() << " vs "
+         << route.size(); return os.str();
+    }
+    for (std::size_t k = 0; k < route.size(); ++k) {
+      const auto vi = static_cast<std::size_t>(nodes[k]);
+      if (node_edge_[vi] != e || node_k_[vi] != static_cast<int>(k) ||
+          node_link_[vi] != route[k].link) {
+        os << "edge " << e << " hop " << k << " payload mismatch"; return os.str();
+      }
+      if (start_[vi] != route[k].start || finish_[vi] != route[k].finish) {
+        os << "edge " << e << " hop " << k << " times (" << start_[vi] << ","
+           << finish_[vi] << ") vs (" << route[k].start << "," << route[k].finish
+           << ")"; return os.str();
+      }
+    }
+  }
+  // link chains
+  for (LinkId l = 0; l < s_->topology().num_links(); ++l) {
+    const auto& bookings = s_->bookings_on(l);
+    int prev = kNone;
+    for (std::size_t i = 0; i < bookings.size(); ++i) {
+      const int v = hop_nodes_[static_cast<std::size_t>(bookings[i].edge)]
+                              [static_cast<std::size_t>(bookings[i].hop_index)];
+      const auto vi = static_cast<std::size_t>(v);
+      const int expect_next =
+          i + 1 < bookings.size()
+              ? hop_nodes_[static_cast<std::size_t>(bookings[i + 1].edge)]
+                          [static_cast<std::size_t>(bookings[i + 1].hop_index)]
+              : kNone;
+      if (link_prev_[vi] != prev) {
+        os << "link " << l << " booking " << i << " (edge " << bookings[i].edge
+           << " hop " << bookings[i].hop_index << ") prev " << link_prev_[vi]
+           << " != " << prev; return os.str();
+      }
+      if (link_next_[vi] != expect_next) {
+        os << "link " << l << " booking " << i << " (edge " << bookings[i].edge
+           << " hop " << bookings[i].hop_index << ") next " << link_next_[vi]
+           << " != " << expect_next; return os.str();
+      }
+      prev = v;
+    }
+  }
+  return {};
+}
 }  // namespace bsa::sched

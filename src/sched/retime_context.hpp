@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -82,6 +83,16 @@ class RetimeContext {
   /// rebuild.
   void resync_migration(TaskId t);
 
+  /// Cheaper alternative to resync_migration for transactional rollbacks
+  /// (Schedule::rollback_transaction): the schedule is already bit-exact
+  /// pre-migration state, so the context only (a) restores the node times
+  /// the last retime journaled, (b) rebuilds the hop chains of `t`'s
+  /// incident messages from the restored routes, and (c) re-links the
+  /// touched processor/link chains. No region sweep, no schedule writes —
+  /// O(touched). Falls back to marking the context stale when the last
+  /// retime was a full rebuild (no recorded delta).
+  void undo_migration(TaskId t);
+
   /// Mark the context stale; the next retime call rebuilds from scratch.
   /// Use when the schedule was replaced wholesale (replay fallback).
   void invalidate() noexcept { stale_ = true; }
@@ -90,11 +101,18 @@ class RetimeContext {
   struct Stats {
     std::int64_t migrations = 0;       ///< delta re-timings applied
     std::int64_t resyncs = 0;          ///< rollback resyncs applied
+    std::int64_t undos = 0;            ///< journal-based rollback undos
     std::int64_t full_rebuilds = 0;    ///< full rebuilds (construction, stale)
     std::int64_t nodes_recomputed = 0; ///< region sizes summed (migrations only)
     std::int64_t node_count = 0;       ///< active constraint-graph nodes
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Testing aid: verify the full node/chain/time structure against the
+  /// bound schedule. Returns a description of the first inconsistency,
+  /// empty when the context mirrors the schedule exactly. O(schedule) —
+  /// used by tests after rollback undo paths, not on the hot path.
+  [[nodiscard]] std::string check_consistency() const;
 
  private:
   static constexpr int kNone = -1;
@@ -163,11 +181,22 @@ class RetimeContext {
   std::vector<int> indeg_;
   std::vector<int> seeds_, region_, queue_;
 
+  // Previous times of the nodes the last write_back_region changed, for
+  // undo_migration. Stale entries (hop nodes of the migrated task's
+  // edges, re-allocated during the undo) are overwritten harmlessly.
+  struct TimeUndo {
+    int node = 0;
+    Time start = 0, finish = 0;
+  };
+  std::vector<TimeUndo> time_undo_;
+
   // begin_migration capture.
   TaskId pending_task_ = kInvalidTask;
   ProcId pre_proc_ = kInvalidProc;
   std::vector<LinkId> pre_links_;
-  // Last applied delta (for resync_migration after a rollback).
+  // Last applied delta (for resync_migration / undo_migration after a
+  // rollback).
+  TaskId last_task_ = kInvalidTask;
   ProcId last_pre_proc_ = kInvalidProc;
   ProcId last_post_proc_ = kInvalidProc;
   std::vector<LinkId> last_links_;

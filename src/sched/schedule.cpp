@@ -29,6 +29,8 @@ Schedule::Schedule(const Schedule& other)
 
 Schedule& Schedule::operator=(const Schedule& other) {
   if (this == &other) return *this;
+  BSA_REQUIRE(txn_ == nullptr,
+              "copy-assignment into a schedule with an open transaction");
   graph_ = other.graph_;
   topo_ = other.topo_;
   placements_ = other.placements_;
@@ -39,6 +41,108 @@ Schedule& Schedule::operator=(const Schedule& other) {
   proc_slots_.assign(other.proc_slots_.size(), SlotIndex{});
   link_slots_.assign(other.link_slots_.size(), SlotIndex{});
   return *this;
+}
+
+// --- transactions -----------------------------------------------------------
+
+void Schedule::begin_transaction(Transaction& txn) {
+  BSA_REQUIRE(txn_ == nullptr, "a transaction is already active");
+  txn.reset();
+  txn_ = &txn;
+}
+
+void Schedule::commit_transaction() {
+  BSA_REQUIRE(txn_ != nullptr, "commit without an active transaction");
+  txn_->reset();
+  txn_ = nullptr;
+}
+
+void Schedule::rollback_transaction() {
+  BSA_REQUIRE(txn_ != nullptr, "rollback without an active transaction");
+  Transaction& txn = *txn_;
+  txn_ = nullptr;  // the undo writes below must not journal themselves
+  // Replay the inverses newest-first: each undo sees exactly the state
+  // that existed right after its forward op, so the recorded positions
+  // (order slots, booking slots) are valid verbatim.
+  for (auto it = txn.records_.rbegin(); it != txn.records_.rend(); ++it) {
+    const Transaction::Record& r = *it;
+    switch (r.op) {
+      case Transaction::Op::kPlaceTask: {
+        auto& pl = placements_[static_cast<std::size_t>(r.a)];
+        auto& order = proc_tasks_[static_cast<std::size_t>(pl.proc)];
+        BSA_ASSERT(order[static_cast<std::size_t>(r.idx0)] == r.a,
+                   "transaction undo: order slot mismatch");
+        order.erase(order.begin() + r.idx0);
+        proc_slots_[static_cast<std::size_t>(pl.proc)].reset();
+        pl = Placement{};
+        --num_placed_;
+        break;
+      }
+      case Transaction::Op::kUnplaceTask: {
+        placements_[static_cast<std::size_t>(r.a)] =
+            Placement{r.b, r.t0, r.t1};
+        auto& order = proc_tasks_[static_cast<std::size_t>(r.b)];
+        order.insert(order.begin() + r.idx0, r.a);
+        proc_slots_[static_cast<std::size_t>(r.b)].reset();
+        ++num_placed_;
+        break;
+      }
+      case Transaction::Op::kSetTaskTimes: {
+        auto& pl = placements_[static_cast<std::size_t>(r.a)];
+        pl.start = r.t0;
+        pl.finish = r.t1;
+        proc_slots_[static_cast<std::size_t>(pl.proc)].reset();
+        break;
+      }
+      case Transaction::Op::kAppendHop: {
+        auto& route = routes_[static_cast<std::size_t>(r.a)];
+        const Hop hop = route.back();
+        route.pop_back();
+        auto& bookings = link_bookings_[static_cast<std::size_t>(hop.link)];
+        BSA_ASSERT(bookings[static_cast<std::size_t>(r.idx1)].edge == r.a,
+                   "transaction undo: booking slot mismatch");
+        bookings.erase(bookings.begin() + r.idx1);
+        link_slots_[static_cast<std::size_t>(hop.link)].reset();
+        break;
+      }
+      case Transaction::Op::kEraseHop: {
+        auto& route = routes_[static_cast<std::size_t>(r.a)];
+        BSA_ASSERT(static_cast<std::int32_t>(route.size()) == r.idx0,
+                   "transaction undo: hop index mismatch");
+        route.push_back(Hop{r.b, r.t0, r.t1});
+        auto& bookings = link_bookings_[static_cast<std::size_t>(r.b)];
+        bookings.insert(bookings.begin() + r.idx1,
+                        LinkBooking{r.a, r.idx0, r.t0, r.t1});
+        link_slots_[static_cast<std::size_t>(r.b)].reset();
+        break;
+      }
+      case Transaction::Op::kSetHopTimes: {
+        auto& hop = routes_[static_cast<std::size_t>(r.a)]
+                           [static_cast<std::size_t>(r.idx0)];
+        hop.start = r.t0;
+        hop.finish = r.t1;
+        auto& bk = link_bookings_[static_cast<std::size_t>(hop.link)]
+                                 [static_cast<std::size_t>(r.idx1)];
+        bk.start = r.t0;
+        bk.finish = r.t1;
+        link_slots_[static_cast<std::size_t>(hop.link)].reset();
+        break;
+      }
+      case Transaction::Op::kOrderSnapshot: {
+        proc_tasks_[static_cast<std::size_t>(r.a)] =
+            txn.order_snaps_[static_cast<std::size_t>(r.idx1)];
+        proc_slots_[static_cast<std::size_t>(r.a)].reset();
+        break;
+      }
+      case Transaction::Op::kBookingSnapshot: {
+        link_bookings_[static_cast<std::size_t>(r.a)] =
+            txn.booking_snaps_[static_cast<std::size_t>(r.idx1)];
+        link_slots_[static_cast<std::size_t>(r.a)].reset();
+        break;
+      }
+    }
+  }
+  txn.reset();
 }
 
 void Schedule::check_task(TaskId t) const {
@@ -138,17 +242,45 @@ std::vector<Interval> Schedule::busy_of_link(LinkId l) const {
   return busy;
 }
 
+namespace {
+/// Queries answered by a plain scan before an invalidated resource's
+/// index is rebuilt. Mutation-heavy phases (replay, migration commits)
+/// touch a resource between almost every query, so an eager rebuild per
+/// query is pure overhead; genuinely hot resources repay the build within
+/// a few queries. Answers are bit-identical either way.
+constexpr int kLinearSlotQueries = 2;
+}  // namespace
+
 Time Schedule::earliest_task_slot(ProcId p, Time ready, Time duration) const {
   check_proc(p);
   SlotIndex& idx = proc_slots_[static_cast<std::size_t>(p)];
-  if (!idx.built()) idx.build(busy_of_proc(p));
+  if (!idx.built()) {
+    slot_scratch_.clear();
+    for (const TaskId t : proc_tasks_[static_cast<std::size_t>(p)]) {
+      const auto& pl = placements_[static_cast<std::size_t>(t)];
+      slot_scratch_.push_back(Interval{pl.start, pl.finish});
+    }
+    if (idx.note_unbuilt_query() <= kLinearSlotQueries) {
+      return earliest_fit(slot_scratch_, ready, duration);
+    }
+    idx.build(slot_scratch_);
+  }
   return idx.query(ready, duration);
 }
 
 Time Schedule::earliest_link_slot(LinkId l, Time ready, Time duration) const {
   check_link(l);
   SlotIndex& idx = link_slots_[static_cast<std::size_t>(l)];
-  if (!idx.built()) idx.build(busy_of_link(l));
+  if (!idx.built()) {
+    slot_scratch_.clear();
+    for (const LinkBooking& b : link_bookings_[static_cast<std::size_t>(l)]) {
+      slot_scratch_.push_back(Interval{b.start, b.finish});
+    }
+    if (idx.note_unbuilt_query() <= kLinearSlotQueries) {
+      return earliest_fit(slot_scratch_, ready, duration);
+    }
+    idx.build(slot_scratch_);
+  }
   return idx.query(ready, duration);
 }
 
@@ -166,6 +298,11 @@ void Schedule::place_task(TaskId t, ProcId p, Time start, Time finish) {
     const auto& o = placements_[static_cast<std::size_t>(u)];
     return o.start > start || (o.start == start && o.finish > finish);
   });
+  if (txn_ != nullptr) {
+    txn_->records_.push_back(
+        {Transaction::Op::kPlaceTask, t, p,
+         static_cast<std::int32_t>(pos - order.begin()), 0, 0, 0});
+  }
   order.insert(pos, t);
   ++num_placed_;
 }
@@ -178,6 +315,14 @@ void Schedule::unplace_task(TaskId t) {
   auto& order = proc_tasks_[static_cast<std::size_t>(pl.proc)];
   const auto pos = std::find(order.begin(), order.end(), t);
   BSA_ASSERT(pos != order.end(), "task missing from processor order");
+  if (txn_ != nullptr) {
+    // The exact order position is recorded: re-inserting by start-time
+    // comparison could land elsewhere among equal-time ties.
+    txn_->records_.push_back(
+        {Transaction::Op::kUnplaceTask, t, pl.proc,
+         static_cast<std::int32_t>(pos - order.begin()), 0, pl.start,
+         pl.finish});
+  }
   order.erase(pos);
   pl = Placement{};
   --num_placed_;
@@ -190,6 +335,10 @@ void Schedule::set_task_times(TaskId t, Time start, Time finish) {
   BSA_REQUIRE(time_le(start, finish), "task " << t << " start " << start
                                               << " after finish " << finish);
   proc_slots_[static_cast<std::size_t>(pl.proc)].reset();
+  if (txn_ != nullptr) {
+    txn_->records_.push_back({Transaction::Op::kSetTaskTimes, t, pl.proc, 0, 0,
+                              pl.start, pl.finish});
+  }
   pl.start = start;
   pl.finish = finish;
 }
@@ -198,6 +347,8 @@ void Schedule::set_route(EdgeId e, std::vector<Hop> hops) {
   check_edge(e);
   BSA_REQUIRE(routes_[static_cast<std::size_t>(e)].empty(),
               "message " << e << " already routed");
+  const std::size_t journal_mark =
+      txn_ != nullptr ? txn_->records_.size() : 0;
   std::size_t added = 0;
   try {
     for (const Hop& h : hops) {
@@ -220,6 +371,9 @@ void Schedule::set_route(EdgeId e, std::vector<Hop> hops) {
       bookings.erase(pos);
       route.pop_back();
     }
+    // The unwound hops' journal entries must go too: the mutations they
+    // invert no longer exist.
+    if (txn_ != nullptr) txn_->records_.resize(journal_mark);
     throw;
   }
 }
@@ -252,6 +406,11 @@ void Schedule::append_hop(EdgeId e, const Hop& hop) {
     BSA_ASSERT(time_le((pos - 1)->finish, nb.start),
                "hop overlap on link " << hop.link << " (predecessor)");
   }
+  if (txn_ != nullptr) {
+    txn_->records_.push_back(
+        {Transaction::Op::kAppendHop, e, hop.link, 0,
+         static_cast<std::int32_t>(pos - bookings.begin()), 0, 0});
+  }
   link_slots_[static_cast<std::size_t>(hop.link)].reset();
   route.push_back(hop);
   bookings.insert(pos, nb);
@@ -260,17 +419,27 @@ void Schedule::append_hop(EdgeId e, const Hop& hop) {
 void Schedule::clear_route(EdgeId e) {
   check_edge(e);
   auto& route = routes_[static_cast<std::size_t>(e)];
-  for (std::size_t i = 0; i < route.size(); ++i) {
-    auto& bookings = link_bookings_[static_cast<std::size_t>(route[i].link)];
+  // Hops are released back-to-front so the journal's reverse replay
+  // re-installs them front-to-back with valid hop indices.
+  for (std::size_t i = route.size(); i-- > 0;) {
+    const Hop hop = route[i];
+    auto& bookings = link_bookings_[static_cast<std::size_t>(hop.link)];
     const auto pos = std::find_if(
         bookings.begin(), bookings.end(), [&](const LinkBooking& b) {
           return b.edge == e && b.hop_index == static_cast<int>(i);
         });
     BSA_ASSERT(pos != bookings.end(), "hop booking missing for message " << e);
-    link_slots_[static_cast<std::size_t>(route[i].link)].reset();
+    if (txn_ != nullptr) {
+      txn_->records_.push_back(
+          {Transaction::Op::kEraseHop, e, hop.link,
+           static_cast<std::int32_t>(i),
+           static_cast<std::int32_t>(pos - bookings.begin()), hop.start,
+           hop.finish});
+    }
+    link_slots_[static_cast<std::size_t>(hop.link)].reset();
     bookings.erase(pos);
+    route.pop_back();
   }
-  route.clear();
 }
 
 void Schedule::set_hop_times(EdgeId e, int hop_index, Time start, Time finish) {
@@ -281,31 +450,64 @@ void Schedule::set_hop_times(EdgeId e, int hop_index, Time start, Time finish) {
               "hop index " << hop_index << " out of range for message " << e);
   BSA_REQUIRE(time_le(start, finish), "hop with negative duration");
   auto& hop = route[static_cast<std::size_t>(hop_index)];
-  hop.start = start;
-  hop.finish = finish;
   auto& bookings = link_bookings_[static_cast<std::size_t>(hop.link)];
   const auto pos =
       std::find_if(bookings.begin(), bookings.end(), [&](const LinkBooking& b) {
         return b.edge == e && b.hop_index == hop_index;
       });
   BSA_ASSERT(pos != bookings.end(), "hop booking missing for message " << e);
+  if (txn_ != nullptr) {
+    txn_->records_.push_back(
+        {Transaction::Op::kSetHopTimes, e, hop.link, hop_index,
+         static_cast<std::int32_t>(pos - bookings.begin()), hop.start,
+         hop.finish});
+  }
+  hop.start = start;
+  hop.finish = finish;
   link_slots_[static_cast<std::size_t>(hop.link)].reset();
   pos->start = start;
   pos->finish = finish;
 }
 
 void Schedule::normalize_orders() {
-  for (auto& order : proc_tasks_) {
-    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
-      return placements_[static_cast<std::size_t>(a)].start <
-             placements_[static_cast<std::size_t>(b)].start;
-    });
+  const auto task_lt = [&](TaskId a, TaskId b) {
+    return placements_[static_cast<std::size_t>(a)].start <
+           placements_[static_cast<std::size_t>(b)].start;
+  };
+  for (std::size_t p = 0; p < proc_tasks_.size(); ++p) {
+    auto& order = proc_tasks_[p];
+    // A stable sort of an already-sorted order is the identity; skipping
+    // it keeps the common case cheap and the journal empty.
+    if (std::is_sorted(order.begin(), order.end(), task_lt)) continue;
+    if (txn_ != nullptr) {
+      const std::size_t slot = txn_->orders_used_++;
+      if (slot == txn_->order_snaps_.size()) txn_->order_snaps_.emplace_back();
+      txn_->order_snaps_[slot] = order;
+      txn_->records_.push_back({Transaction::Op::kOrderSnapshot,
+                                static_cast<std::int32_t>(p), 0, 0,
+                                static_cast<std::int32_t>(slot), 0, 0});
+    }
+    proc_slots_[p].reset();
+    std::stable_sort(order.begin(), order.end(), task_lt);
   }
-  for (auto& bookings : link_bookings_) {
-    std::stable_sort(bookings.begin(), bookings.end(),
-                     [](const LinkBooking& a, const LinkBooking& b) {
-                       return a.start < b.start;
-                     });
+  const auto booking_lt = [](const LinkBooking& a, const LinkBooking& b) {
+    return a.start < b.start;
+  };
+  for (std::size_t l = 0; l < link_bookings_.size(); ++l) {
+    auto& bookings = link_bookings_[l];
+    if (std::is_sorted(bookings.begin(), bookings.end(), booking_lt)) continue;
+    if (txn_ != nullptr) {
+      const std::size_t slot = txn_->bookings_used_++;
+      if (slot == txn_->booking_snaps_.size()) {
+        txn_->booking_snaps_.emplace_back();
+      }
+      txn_->booking_snaps_[slot] = bookings;
+      txn_->records_.push_back({Transaction::Op::kBookingSnapshot,
+                                static_cast<std::int32_t>(l), 0, 0,
+                                static_cast<std::int32_t>(slot), 0, 0});
+    }
+    link_slots_[l].reset();
+    std::stable_sort(bookings.begin(), bookings.end(), booking_lt);
   }
 }
 

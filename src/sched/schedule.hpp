@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,6 +23,15 @@
 /// are kept consistent with those orders by the algorithms (see
 /// retime.hpp). This mirrors the paper's model where both processors and
 /// links are first-class scheduled resources.
+///
+/// Speculative mutation is supported through a journaled transaction
+/// (Schedule::Transaction): while one is active every mutator records its
+/// inverse, and rollback_transaction() replays the inverses in reverse —
+/// restoring the schedule bit-exactly (including order positions among
+/// equal-time ties) in time proportional to the mutations performed, not
+/// the schedule size. BSA's makespan-guarded migrations and refine's move
+/// evaluation use this instead of whole-schedule snapshot copies (see
+/// docs/DESIGN_PERF.md).
 
 namespace bsa::sched {
 
@@ -42,15 +53,88 @@ struct LinkBooking {
 
 class Schedule {
  public:
+  /// Journal of inverse operations for one speculative mutation episode.
+  ///
+  /// Owned by the caller and reusable: all storage keeps its capacity
+  /// across begin/commit/rollback cycles, so a long-lived Transaction
+  /// makes guarded mutation allocation-free in steady state. A
+  /// Transaction is pure data — it is driven through
+  /// Schedule::begin_transaction / commit_transaction /
+  /// rollback_transaction and must not outlive mutations it journals
+  /// (i.e. roll back or commit before destroying either side).
+  class Transaction {
+   public:
+    Transaction() = default;
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+
+    /// Number of journaled mutations (0 right after begin/commit).
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+   private:
+    friend class Schedule;
+
+    enum class Op : unsigned char {
+      kPlaceTask,     ///< undo: erase task from its processor order
+      kUnplaceTask,   ///< undo: re-insert placement at recorded position
+      kSetTaskTimes,  ///< undo: restore previous task times
+      kAppendHop,     ///< undo: pop last hop, erase its booking
+      kEraseHop,      ///< undo: push hop back, re-insert its booking
+      kSetHopTimes,   ///< undo: restore previous hop/booking times
+      kOrderSnapshot,  ///< undo: restore a processor order wholesale
+      kBookingSnapshot,  ///< undo: restore a link-booking order wholesale
+    };
+    struct Record {
+      Op op;
+      std::int32_t a = 0;     // primary id: task / edge / proc / link
+      std::int32_t b = 0;     // secondary id: proc / link
+      std::int32_t idx0 = 0;  // order position / hop index
+      std::int32_t idx1 = 0;  // booking position / snapshot slot
+      Time t0 = 0, t1 = 0;    // previous start / finish
+    };
+
+    void reset() noexcept {
+      records_.clear();
+      orders_used_ = 0;
+      bookings_used_ = 0;
+    }
+
+    std::vector<Record> records_;
+    // Whole-vector snapshots for normalize_orders (the only mutator whose
+    // inverse is not O(1) to record). Slots are reused so inner vectors
+    // keep their capacity.
+    std::vector<std::vector<TaskId>> order_snaps_;
+    std::vector<std::vector<LinkBooking>> booking_snaps_;
+    std::size_t orders_used_ = 0;
+    std::size_t bookings_used_ = 0;
+  };
+
   /// An empty schedule over `g` and `topo`; both must outlive the
   /// schedule. Copyable (used for tentative evaluation in tests); copies
-  /// drop the lazily-built slot caches so snapshots stay cheap.
+  /// drop the lazily-built slot caches so snapshots stay cheap. Neither
+  /// side of a copy may have an open transaction; moved-from/moved-into
+  /// schedules must not have one either (unchecked for moves).
   Schedule(const graph::TaskGraph& g, const net::Topology& topo);
   Schedule(const Schedule& other);
   Schedule& operator=(const Schedule& other);
   Schedule(Schedule&&) noexcept = default;
   Schedule& operator=(Schedule&&) noexcept = default;
   ~Schedule() = default;
+
+  // --- transactions -------------------------------------------------------
+  /// Start journaling mutations into `txn` (cleared first). At most one
+  /// transaction may be active per schedule; `txn` must stay alive until
+  /// the matching commit or rollback.
+  void begin_transaction(Transaction& txn);
+  /// Stop journaling and discard the journal (mutations are kept).
+  void commit_transaction();
+  /// Undo every journaled mutation in reverse order, restoring the
+  /// schedule bit-exactly to its begin_transaction state, then deactivate
+  /// the transaction. Cost is O(mutations journaled), not O(schedule).
+  void rollback_transaction();
+  [[nodiscard]] bool in_transaction() const noexcept {
+    return txn_ != nullptr;
+  }
 
   [[nodiscard]] const graph::TaskGraph& task_graph() const noexcept {
     return *graph_;
@@ -149,10 +233,18 @@ class Schedule {
   std::vector<std::vector<Hop>> routes_;      // by EdgeId
   std::vector<std::vector<LinkBooking>> link_bookings_;  // by LinkId
   int num_placed_ = 0;
-  /// Lazily-built free-slot indexes (reset by mutations, rebuilt on the
-  /// next slot query); never copied with the schedule.
+  /// Lazily-built free-slot indexes (reset by mutations, rebuilt once a
+  /// resource shows repeated queries without mutation — the first few
+  /// post-invalidation queries are answered by a linear earliest_fit
+  /// scan instead, identical answers, no build churn); never copied with
+  /// the schedule.
   mutable std::vector<SlotIndex> proc_slots_;  // by ProcId
   mutable std::vector<SlotIndex> link_slots_;  // by LinkId
+  /// Reused buffer for slot queries on unbuilt indexes (no allocation on
+  /// the query hot path).
+  mutable std::vector<Interval> slot_scratch_;
+  /// Active transaction journal; mutators record inverses while set.
+  Transaction* txn_ = nullptr;
 };
 
 }  // namespace bsa::sched

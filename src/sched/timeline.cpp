@@ -66,6 +66,7 @@ bool is_well_formed(std::span<const Interval> busy) noexcept {
 void SlotIndex::reset() noexcept {
   built_ = false;
   n_ = 0;
+  unbuilt_queries_ = 0;
 }
 
 void SlotIndex::build(std::span<const Interval> busy) {

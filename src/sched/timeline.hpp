@@ -65,6 +65,14 @@ class SlotIndex {
   void reset() noexcept;
   [[nodiscard]] bool built() const noexcept { return built_; }
 
+  /// Churn heuristic: counts queries that arrived while the index was
+  /// unbuilt, cleared on reset(). A resource that is invalidated between
+  /// almost every query (the replay engine's pattern) never repays an
+  /// O(k) build — its owner answers the first few post-invalidation
+  /// queries with a linear earliest_fit scan (bit-identical by
+  /// definition) and only builds once the resource proves hot.
+  [[nodiscard]] int note_unbuilt_query() noexcept { return ++unbuilt_queries_; }
+
   /// Earliest start >= ready of an idle gap of `duration`; identical to
   /// sched::earliest_fit over the indexed intervals.
   [[nodiscard]] Time query(Time ready, Time duration) const;
@@ -79,6 +87,7 @@ class SlotIndex {
   int n_ = 0;                   // number of busy intervals (== gap count)
   Time tail_open_ = 0;          // max finish over all intervals
   bool built_ = false;
+  int unbuilt_queries_ = 0;     // queries since reset while unbuilt
 };
 
 }  // namespace bsa::sched

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "core/bsa.hpp"
 #include "paper_fixture.hpp"
 #include "sched/event_sim.hpp"
@@ -199,6 +200,112 @@ TEST(BsaSmall, RejectsMismatchedCostModel) {
   const auto topo3 = net::Topology::ring(3);
   const auto cm = net::HeterogeneousCostModel::homogeneous(g, topo2);
   EXPECT_THROW((void)schedule_bsa(g, topo3, cm), PreconditionError);
+}
+
+// Reference reimplementation of the original O(n^2) prune loop: rebuild
+// the whole processor walk after every single cut. prune_link_walk's
+// single forward pass must pin its output exactly.
+void prune_walk_reference(const net::Topology& topo,
+                          std::vector<LinkId>& links, ProcId origin) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<ProcId> walk{origin};
+    for (const LinkId l : links) {
+      walk.push_back(topo.opposite(l, walk.back()));
+    }
+    std::vector<int> first_pos(
+        static_cast<std::size_t>(topo.num_processors()), -1);
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      const auto pi = static_cast<std::size_t>(walk[i]);
+      if (first_pos[pi] < 0) {
+        first_pos[pi] = static_cast<int>(i);
+        continue;
+      }
+      const auto from = static_cast<std::ptrdiff_t>(first_pos[pi]);
+      links.erase(links.begin() + from,
+                  links.begin() + static_cast<std::ptrdiff_t>(i));
+      changed = true;
+      break;
+    }
+  }
+}
+
+TEST(PruneLinkWalk, MatchesReferenceOnDirectedCases) {
+  const auto topo = net::Topology::clique(6);
+  const auto link = [&](ProcId a, ProcId b) { return topo.link_between(a, b); };
+  const std::vector<std::vector<LinkId>> cases{
+      // No loop / single hop: untouched.
+      {},
+      {link(0, 1)},
+      // Simple loop 0-1-2-1: cut back to the first visit of 1.
+      {link(0, 1), link(1, 2), link(2, 1)},
+      // Nested multi-loop 0-1-2-3-2-1-4: both loops collapse to 0-1-4.
+      {link(0, 1), link(1, 2), link(2, 3), link(3, 2), link(2, 1),
+       link(1, 4)},
+      // Walk returning to the origin collapses entirely.
+      {link(0, 1), link(1, 0)},
+      {link(0, 1), link(1, 2), link(2, 1), link(1, 0)},
+      // Loop at the origin followed by a fresh tail.
+      {link(0, 1), link(1, 0), link(0, 2), link(2, 3)},
+      // Two disjoint loops in one walk: 0-1-2-1-3-4-3-5 -> 0-1-3-5.
+      {link(0, 1), link(1, 2), link(2, 1), link(1, 3), link(3, 4),
+       link(4, 3), link(3, 5)},
+  };
+  const std::vector<std::vector<LinkId>> expected{
+      {},
+      {link(0, 1)},
+      {link(0, 1)},
+      {link(0, 1), link(1, 4)},
+      {},
+      {},
+      {link(0, 2), link(2, 3)},
+      {link(0, 1), link(1, 3), link(3, 5)},
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::vector<LinkId> fast = cases[i];
+    std::vector<LinkId> slow = cases[i];
+    prune_link_walk(topo, fast, 0);
+    prune_walk_reference(topo, slow, 0);
+    EXPECT_EQ(fast, slow) << "case " << i;
+    EXPECT_EQ(fast, expected[i]) << "case " << i;
+  }
+}
+
+TEST(PruneLinkWalk, MatchesReferenceOnRandomMultiLoopWalks) {
+  // Random walks revisit processors constantly on small topologies —
+  // exactly the multi-loop inputs where the old loop went quadratic.
+  for (const int procs : {4, 6, 9}) {
+    const auto topo = net::Topology::ring(procs);
+    Rng rng(derive_seed(2027, static_cast<std::uint64_t>(procs)));
+    for (int iter = 0; iter < 200; ++iter) {
+      const auto origin = static_cast<ProcId>(
+          rng.index(static_cast<std::size_t>(procs)));
+      std::vector<LinkId> walk;
+      ProcId cur = origin;
+      const int len = 1 + static_cast<int>(rng.index(30));
+      for (int i = 0; i < len; ++i) {
+        const auto& nbrs = topo.neighbors(cur);
+        const ProcId next = nbrs[rng.index(nbrs.size())];
+        walk.push_back(topo.link_between(cur, next));
+        cur = next;
+      }
+      std::vector<LinkId> fast = walk;
+      std::vector<LinkId> slow = walk;
+      prune_link_walk(topo, fast, origin);
+      prune_walk_reference(topo, slow, origin);
+      ASSERT_EQ(fast, slow) << "procs=" << procs << " iter=" << iter;
+      // The pruned walk must be loop-free: no processor revisited.
+      std::vector<int> seen(static_cast<std::size_t>(procs), 0);
+      ProcId p = origin;
+      seen[static_cast<std::size_t>(p)] = 1;
+      for (const LinkId l : fast) {
+        p = topo.opposite(l, p);
+        ASSERT_EQ(seen[static_cast<std::size_t>(p)], 0);
+        seen[static_cast<std::size_t>(p)] = 1;
+      }
+    }
+  }
 }
 
 TEST(BsaSmall, HeterogeneityExploitedOnClique) {
