@@ -57,7 +57,7 @@ int main(int argc, char** argv) try {
   }
 
   runtime::ScenarioGrid grid;
-  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.workloads = {"random"};
   grid.sizes = {num_tasks};
   grid.granularities = {0.1, 1.0, 10.0};
   grid.topologies = {"ring", "hypercube"};

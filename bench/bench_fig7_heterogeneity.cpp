@@ -43,7 +43,7 @@ int main(int argc, char** argv) try {
   const int num_tasks = static_cast<int>(cli.get_int("tasks", full ? 500 : 250));
 
   runtime::ScenarioGrid grid;
-  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.workloads = {"random"};
   grid.sizes = {num_tasks};
   grid.granularities = {1.0};
   grid.topologies = {"hypercube"};

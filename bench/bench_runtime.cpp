@@ -217,7 +217,7 @@ int main(int argc, char** argv) {
   }
 
   runtime::ScenarioGrid grid;
-  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.workloads = {"random"};
   grid.sizes = full ? std::vector<int>{50, 100, 200, 400}
                     : std::vector<int>{50, 100, 200};
   grid.granularities = {1.0};

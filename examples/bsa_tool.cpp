@@ -1,38 +1,21 @@
 /// Command-line scheduling tool: read a task graph from a file (or
-/// stdin) in the native text format, pick a topology and cost model on
-/// the command line, schedule with any registered algorithm spec, and
-/// print the result.
+/// stdin) in the native text format — or generate one from any
+/// registered workload spec — pick a topology and cost model on the
+/// command line, schedule with any registered algorithm spec, and print
+/// the result.
 ///
 ///   $ ./bsa_tool graph.tg --topology ring --procs 8 --algo bsa --gantt
 ///   $ ./bsa_tool graph.tg --algo bsa:gate=always,route=static --algo dls
+///   $ ./bsa_tool --workload fft:points=64 --algo all --procs 16
+///   $ ./bsa_tool --workload all --size 80 --algo bsa --out runs.jsonl
 ///   $ cat graph.tg | ./bsa_tool --algo all --threads 3 --out runs.jsonl
 ///
 /// Graph format (see graph::read_text):
 ///   task <cost> [name]
 ///   edge <src> <dst> <cost>
 ///
-/// Flags:
-///   --topology ring|hypercube|clique|random|linear|star  (default ring)
-///   --procs N          processor count (default 8)
-///   --algo SPEC[,SPEC...]  scheduler registry specs (default bsa;
-///                      repeatable; "all" = every registered algorithm;
-///                      variants like bsa:gate=always,route=static; a bad
-///                      spec lists the registered names). --bsa/--dls/
-///                      --eft/--mh boolean aliases also select algorithms.
-///   --list-algos       print the registered algorithm names and exit
-///   --het N / --link-het N   heterogeneity ranges U[1,N]  (default 1)
-///   --per-pair         per-(task,processor) factors instead of speeds
-///   --seed S           RNG seed
-///   --threads N        run the requested algorithms concurrently on the
-///                      experiment runtime's thread pool (0 = all cores)
-///   --gantt            render an ASCII Gantt chart
-///   --dot              print the graph in Graphviz DOT and exit
-///   --stats            print workload statistics before scheduling
-///   --export FILE      write the (last) schedule in text form to FILE
-///   --export-csv FILE  write the (last) schedule as CSV event rows
-///   --out FILE         append one JSONL metrics row per algorithm run
-///                      (the file accretes across invocations)
-///   --validate         run the full invariant checker and report
+/// Run `bsa_tool --help` for the flag reference; the full spec grammar
+/// for --algo and --workload lives in docs/SPECS.md.
 
 #include <chrono>
 #include <fstream>
@@ -53,10 +36,45 @@
 #include "sched/schedule_io.hpp"
 #include "sched/metrics.hpp"
 #include "sched/validate.hpp"
+#include "workloads/workload_registry.hpp"
 
 namespace {
 
 using namespace bsa;
+
+constexpr const char* kUsage = R"(usage: bsa_tool [graph.tg] [flags]
+
+Reads a task graph from a file (or stdin), or generates one per
+--workload spec, and schedules it with every requested --algo spec.
+
+  --workload SPEC[,SPEC...]  generate graphs from the workload registry
+                     (repeatable; "all" = every registered workload;
+                     e.g. fft:points=64,ccr=0.5 or stencil:rows=8,cols=8)
+  --size N           target task count for scalable workloads (default 100)
+  --gran G           granularity (avg exec / avg comm) for generated
+                     workloads (default 1.0; a spec's ccr= option wins)
+  --list-workloads   print the registered workload names and exit
+  --algo SPEC[,SPEC...]  scheduler registry specs (default bsa;
+                     repeatable; "all" = every registered algorithm;
+                     variants like bsa:gate=always,route=static).
+                     --bsa/--dls/--eft/--mh boolean aliases also work.
+  --list-algos       print the registered algorithm names and exit
+  --topology ring|hypercube|clique|mesh|random|linear|star  (default ring)
+  --procs N          processor count (default 8)
+  --het N / --link-het N   heterogeneity ranges U[1,N]  (default 1)
+  --per-pair         per-(task,processor) factors instead of speeds
+  --seed S           RNG seed
+  --threads N        run the requested algorithms concurrently (0 = all cores)
+  --gantt            render an ASCII Gantt chart
+  --dot              print the graph(s) in Graphviz DOT and exit
+  --stats            print workload statistics before scheduling
+  --export FILE      write the (last) schedule in text form to FILE
+  --export-csv FILE  write the (last) schedule as CSV event rows
+  --out FILE         append one JSONL metrics row per algorithm run
+  --validate         run the full invariant checker and report
+
+Spec grammar reference (both registries, every option): docs/SPECS.md
+)";
 
 void report(const std::string& name, const sched::Schedule& s,
             const net::HeterogeneousCostModel& cm, bool gantt,
@@ -78,65 +96,209 @@ void report(const std::string& name, const sched::Schedule& s,
   std::cout << '\n';
 }
 
+/// One input graph: from a file/stdin ("external") or a workload spec.
+struct Input {
+  std::string workload;  ///< canonical workload spec, or "external"
+  graph::TaskGraph g;
+};
+
+/// Schedule `input` with every requested algorithm and report/export.
+/// When `keep_last` is non-null the last schedule is moved into it
+/// (for --export on the final input).
+/// `row_index` numbers JSONL rows consecutively across all inputs of
+/// one invocation (the spec's documented "unique enumeration position").
+void schedule_input(const CliParser& cli, const Input& input,
+                    const net::Topology& topo, const std::string& topo_kind,
+                    const std::vector<std::string>& specs,
+                    runtime::ThreadPool& pool, runtime::JsonlSink* jsonl,
+                    std::size_t* row_index,
+                    std::optional<sched::Schedule>* keep_last) {
+  const sched::SchedulerRegistry& registry =
+      sched::SchedulerRegistry::global();
+  const graph::TaskGraph& g = input.g;
+  const int procs = static_cast<int>(cli.get_int("procs", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int het = static_cast<int>(cli.get_int("het", 1));
+  const int link_het = static_cast<int>(cli.get_int("link-het", 1));
+  const auto cm =
+      cli.get_bool("per-pair", false)
+          ? net::HeterogeneousCostModel::uniform(g, topo, 1, het, 1,
+                                                 link_het, seed)
+          : net::HeterogeneousCostModel::uniform_processor_speeds(
+                g, topo, 1, het, 1, link_het, seed);
+
+  if (input.workload != runtime::kExternalWorkload) {
+    std::cout << "workload: " << input.workload << '\n';
+  }
+  std::cout << "graph: " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " messages, granularity " << g.granularity() << '\n'
+            << "system: " << topo.name() << ", heterogeneity U[1," << het
+            << "] exec / U[1," << link_het << "] links\n\n";
+  if (cli.get_bool("stats", false)) {
+    graph::print_stats(std::cout, graph::compute_stats(g));
+    std::cout << '\n';
+  }
+
+  const bool gantt = cli.get_bool("gantt", false);
+  const bool run_validate = cli.get_bool("validate", false);
+
+  struct Run {
+    std::string spec;   ///< canonical registry spec
+    std::string name;   ///< display label for the report
+    std::unique_ptr<sched::Scheduler> scheduler;
+    std::optional<sched::Schedule> schedule;
+    double wall_ms = 0;
+  };
+  std::vector<Run> runs;
+  for (const std::string& spec : specs) {
+    // resolve() rejects unknown names/options with a message listing
+    // the registered choices — surfaced via main's catch block.
+    Run r;
+    r.scheduler = registry.resolve(spec);
+    r.spec = r.scheduler->spec();
+    r.name = r.scheduler->display_label();
+    // Overlapping requests ("--algo all --bsa") collapse to one run per
+    // canonical spec so reports and JSONL rows aren't duplicated.
+    bool duplicate = false;
+    for (const Run& seen : runs) duplicate = duplicate || seen.spec == r.spec;
+    if (!duplicate) runs.push_back(std::move(r));
+  }
+
+  // The graph, topology and cost model are immutable and scheduler
+  // instances are stateless, so the requested algorithms can run
+  // concurrently; reports stay in request order.
+  pool.parallel_for(runs.size(), 1, [&](std::size_t i) {
+    Run& r = runs[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    r.schedule = r.scheduler->run(g, topo, cm, seed).schedule;
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  });
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    // Validate at most once per schedule; --validate prints the full
+    // report and --out records the verdict.
+    std::optional<sched::ValidationReport> validation;
+    if (run_validate || jsonl != nullptr) {
+      validation = sched::validate(*r.schedule, cm);
+    }
+    report(r.name, *r.schedule, cm, gantt,
+           run_validate ? validation : std::nullopt);
+    if (jsonl != nullptr) {
+      runtime::ScenarioResult row;
+      row.spec.index = (*row_index)++;
+      row.spec.workload = input.workload;
+      row.spec.size = g.num_tasks();
+      row.spec.granularity = g.granularity();
+      row.spec.topology = topo_kind;
+      row.spec.procs = procs;
+      row.spec.het_lo = 1;
+      row.spec.het_hi = het;
+      row.spec.link_het_lo = 1;
+      row.spec.link_het_hi = link_het;
+      row.spec.per_pair = cli.get_bool("per-pair", false);
+      row.spec.algo = r.spec;
+      row.spec.instance_seed = seed;
+      row.schedule_length = r.schedule->makespan();
+      row.wall_ms = r.wall_ms;
+      row.valid = validation->ok();
+      jsonl->consume(row);
+    }
+  }
+  if (keep_last != nullptr) *keep_last = std::move(runs.back().schedule);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bsa;
   const CliParser cli(argc, argv);
   try {
+    if (cli.get_bool("help", false)) {
+      std::cout << kUsage;
+      return 0;
+    }
     const sched::SchedulerRegistry& registry =
         sched::SchedulerRegistry::global();
+    const workloads::WorkloadRegistry& workload_registry =
+        workloads::WorkloadRegistry::global();
     if (cli.get_bool("list-algos", false)) {
       for (const std::string& name : registry.names()) {
         std::cout << name << '\n';
       }
       return 0;
     }
-
-    graph::TaskGraph g = [&] {
-      if (!cli.positional().empty()) {
-        std::ifstream file(cli.positional()[0]);
-        BSA_REQUIRE(file.good(),
-                    "cannot open '" << cli.positional()[0] << "'");
-        return graph::read_text(file);
+    if (cli.get_bool("list-workloads", false)) {
+      for (const std::string& name : workload_registry.names()) {
+        std::cout << name << '\n';
       }
-      return graph::read_text(std::cin);
-    }();
+      return 0;
+    }
+
+    // Collect the requested workload specs ("all" = every registered
+    // workload). With none, the graph comes from a file or stdin.
+    std::vector<std::string> workload_specs;
+    for (const std::string& value : cli.get_strings("workload")) {
+      for (const std::string& item :
+           workload_registry.split_spec_list(value)) {
+        if (ascii_lower(item) == "all") {
+          for (const std::string& name : workload_registry.names()) {
+            workload_specs.push_back(name);
+          }
+        } else {
+          workload_specs.push_back(item);
+        }
+      }
+    }
+
+    const int target = static_cast<int>(cli.get_int("size", 100));
+    const double gran = cli.get_double("gran", 1.0);
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    std::vector<Input> inputs;
+    if (workload_specs.empty()) {
+      graph::TaskGraph g = [&] {
+        if (!cli.positional().empty()) {
+          std::ifstream file(cli.positional()[0]);
+          BSA_REQUIRE(file.good(),
+                      "cannot open '" << cli.positional()[0] << "'");
+          return graph::read_text(file);
+        }
+        return graph::read_text(std::cin);
+      }();
+      inputs.push_back({runtime::kExternalWorkload, std::move(g)});
+    } else {
+      BSA_REQUIRE(cli.positional().empty(),
+                  "--workload and a graph file are mutually exclusive");
+      for (const std::string& spec : workload_specs) {
+        const auto workload = workload_registry.resolve(spec);
+        // Overlapping requests ("--workload all --workload fft")
+        // collapse to one input per canonical spec, mirroring --algo.
+        bool duplicate = false;
+        for (const Input& seen : inputs) {
+          duplicate = duplicate || seen.workload == workload->spec();
+        }
+        if (duplicate) continue;
+        inputs.push_back(
+            {workload->spec(), workload->generate(target, gran, seed)});
+      }
+    }
 
     if (cli.get_bool("dot", false)) {
-      graph::write_dot(std::cout, g);
+      for (const Input& input : inputs) {
+        graph::write_dot(std::cout, input.g);
+      }
       return 0;
     }
 
     const int procs = static_cast<int>(cli.get_int("procs", 8));
     const std::string topo_kind = cli.get_string("topology", "ring");
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     net::Topology topo = [&] {
       if (topo_kind == "linear") return net::Topology::linear(procs);
       if (topo_kind == "star") return net::Topology::star(procs);
       return exp::make_topology(topo_kind, procs, seed);
     }();
-
-    const int het = static_cast<int>(cli.get_int("het", 1));
-    const int link_het = static_cast<int>(cli.get_int("link-het", 1));
-    const auto cm =
-        cli.get_bool("per-pair", false)
-            ? net::HeterogeneousCostModel::uniform(g, topo, 1, het, 1,
-                                                   link_het, seed)
-            : net::HeterogeneousCostModel::uniform_processor_speeds(
-                  g, topo, 1, het, 1, link_het, seed);
-
-    std::cout << "graph: " << g.num_tasks() << " tasks, " << g.num_edges()
-              << " messages, granularity " << g.granularity() << '\n'
-              << "system: " << topo.name() << ", heterogeneity U[1," << het
-              << "] exec / U[1," << link_het << "] links\n\n";
-    if (cli.get_bool("stats", false)) {
-      graph::print_stats(std::cout, graph::compute_stats(g));
-      std::cout << '\n';
-    }
-
-    const bool gantt = cli.get_bool("gantt", false);
-    const bool run_validate = cli.get_bool("validate", false);
 
     // Collect the requested registry specs: every --algo occurrence
     // (comma lists allowed, "all" = every registered algorithm), plus the
@@ -144,7 +306,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> specs;
     for (const std::string& value : cli.get_strings("algo")) {
       for (const std::string& item : registry.split_spec_list(value)) {
-        if (sched::ascii_lower(item) == "all") {
+        if (ascii_lower(item) == "all") {
           for (const std::string& name : registry.names()) {
             specs.push_back(name);
           }
@@ -158,88 +320,31 @@ int main(int argc, char** argv) {
     }
     if (specs.empty()) specs.push_back("bsa");
 
-    struct Run {
-      std::string spec;   ///< canonical registry spec
-      std::string name;   ///< display label for the report
-      std::unique_ptr<sched::Scheduler> scheduler;
-      std::optional<sched::Schedule> schedule;
-      double wall_ms = 0;
-    };
-    std::vector<Run> runs;
-    for (const std::string& spec : specs) {
-      // resolve() rejects unknown names/options with a message listing
-      // the registered choices — surfaced via the catch block below.
-      Run r;
-      r.scheduler = registry.resolve(spec);
-      r.spec = r.scheduler->spec();
-      r.name = r.scheduler->display_label();
-      // Overlapping requests ("--algo all --bsa") collapse to one run per
-      // canonical spec so reports and JSONL rows aren't duplicated.
-      bool duplicate = false;
-      for (const Run& seen : runs) duplicate = duplicate || seen.spec == r.spec;
-      if (!duplicate) runs.push_back(std::move(r));
-    }
-
-    // The graph, topology and cost model are immutable and scheduler
-    // instances are stateless, so the requested algorithms can run
-    // concurrently; reports stay in request order.
-    runtime::ThreadPool pool(cli.threads(1));
-    pool.parallel_for(runs.size(), 1, [&](std::size_t i) {
-      Run& r = runs[i];
-      const auto t0 = std::chrono::steady_clock::now();
-      r.schedule = r.scheduler->run(g, topo, cm, seed).schedule;
-      r.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    });
-
     std::unique_ptr<runtime::JsonlSink> jsonl;
     if (const auto out = cli.out_path()) {
       jsonl = std::make_unique<runtime::JsonlSink>(*out, /*append=*/true);
     }
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const Run& r = runs[i];
-      // Validate at most once per schedule; --validate prints the full
-      // report and --out records the verdict.
-      std::optional<sched::ValidationReport> validation;
-      if (run_validate || jsonl != nullptr) {
-        validation = sched::validate(*r.schedule, cm);
-      }
-      report(r.name, *r.schedule, cm, gantt,
-             run_validate ? validation : std::nullopt);
-      if (jsonl != nullptr) {
-        runtime::ScenarioResult row;
-        row.spec.index = i;
-        row.spec.workload = runtime::WorkloadKind::kExternal;
-        row.spec.size = g.num_tasks();
-        row.spec.granularity = g.granularity();
-        row.spec.topology = topo_kind;
-        row.spec.procs = procs;
-        row.spec.het_lo = 1;
-        row.spec.het_hi = het;
-        row.spec.link_het_lo = 1;
-        row.spec.link_het_hi = link_het;
-        row.spec.per_pair = cli.get_bool("per-pair", false);
-        row.spec.algo = r.spec;
-        row.spec.instance_seed = seed;
-        row.schedule_length = r.schedule->makespan();
-        row.wall_ms = r.wall_ms;
-        row.valid = validation->ok();
-        jsonl->consume(row);
-      }
+    const bool want_export = cli.has("export") || cli.has("export-csv");
+    runtime::ThreadPool pool(cli.threads(1));
+    std::optional<sched::Schedule> last;
+    std::size_t row_index = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const bool is_final = i + 1 == inputs.size();
+      schedule_input(cli, inputs[i], topo, topo_kind, specs, pool,
+                     jsonl.get(), &row_index,
+                     want_export && is_final ? &last : nullptr);
     }
     if (jsonl != nullptr) jsonl->flush();
 
-    const sched::Schedule& last = *runs.back().schedule;
     if (cli.has("export")) {
       std::ofstream out(cli.get_string("export", ""));
       BSA_REQUIRE(out.good(), "cannot write --export file");
-      sched::write_schedule_text(out, last);
+      sched::write_schedule_text(out, *last);
     }
     if (cli.has("export-csv")) {
       std::ofstream out(cli.get_string("export-csv", ""));
       BSA_REQUIRE(out.good(), "cannot write --export-csv file");
-      sched::write_schedule_csv(out, last);
+      sched::write_schedule_csv(out, *last);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

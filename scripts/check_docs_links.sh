@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the repo's markdown docs.
+#
+# Scans README.md and docs/*.md for inline markdown links `[text](target)`
+# and verifies that every relative target (optionally with a #fragment)
+# exists on disk, resolved against the linking file's directory.
+# External (scheme://), mailto: and pure-fragment links are ignored.
+#
+#   $ scripts/check_docs_links.sh        # from the repo root
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+status=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline links only; reference-style links are not used in this repo.
+  # `grep -o` pulls each (target) out even with several links per line.
+  while IFS= read -r target; do
+    case "$target" in
+      *://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $doc: ($target) -> $dir/$path does not exist"
+      status=1
+    fi
+  done < <(grep -o '\](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs link check OK"
+fi
+exit "$status"

@@ -53,6 +53,20 @@ std::optional<std::uint64_t> parse_uint64_literal(const std::string& text) {
   return v;
 }
 
+std::optional<double> parse_double_literal(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) {
+    return std::nullopt;
+  }
+  // Overflow clamps to +-HUGE_VAL with ERANGE; underflow-to-zero is
+  // accepted (the nearest representable value is a fine answer there).
+  if (errno == ERANGE && std::abs(v) == HUGE_VAL) return std::nullopt;
+  return v;
+}
+
 CliParser::CliParser(int argc, const char* const* argv) {
   BSA_REQUIRE(argc >= 1, "argc must include the program name");
   program_ = argv[0];

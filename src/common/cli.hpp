@@ -21,6 +21,8 @@ namespace bsa {
     const std::string& text);
 [[nodiscard]] std::optional<std::uint64_t> parse_uint64_literal(
     const std::string& text);
+[[nodiscard]] std::optional<double> parse_double_literal(
+    const std::string& text);
 
 class CliParser {
  public:

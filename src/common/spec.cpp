@@ -1,0 +1,216 @@
+#include "common/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace bsa {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string join_list(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ascii_lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+ParsedSpec parse_spec(const std::string& spec, const std::string& kind) {
+  const std::string text = trim(spec);
+  BSA_REQUIRE(!text.empty(), kind << " spec is empty");
+  ParsedSpec out;
+  const std::size_t colon = text.find(':');
+  out.name = ascii_lower(trim(text.substr(0, colon)));
+  BSA_REQUIRE(!out.name.empty(),
+              kind << " spec '" << spec << "' has an empty name");
+  if (colon == std::string::npos) return out;
+
+  const std::string opts = text.substr(colon + 1);
+  BSA_REQUIRE(!trim(opts).empty(),
+              kind << " spec '" << spec
+                   << "' has a ':' but no options after it");
+  std::size_t pos = 0;
+  while (pos <= opts.size()) {
+    const std::size_t comma = opts.find(',', pos);
+    const std::string item =
+        opts.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const std::size_t eq = item.find('=');
+    BSA_REQUIRE(eq != std::string::npos,
+                kind << " spec '" << spec << "': option '" << trim(item)
+                     << "' is not of the form key=value");
+    const std::string key = ascii_lower(trim(item.substr(0, eq)));
+    const std::string value = ascii_lower(trim(item.substr(eq + 1)));
+    BSA_REQUIRE(!key.empty(),
+                kind << " spec '" << spec << "': option with empty key");
+    BSA_REQUIRE(!value.empty(), kind << " spec '" << spec << "': option '"
+                                     << key << "' has an empty value");
+    for (const auto& [seen, _] : out.options) {
+      BSA_REQUIRE(seen != key, kind << " spec '" << spec
+                                    << "': duplicate option '" << key << "'");
+    }
+    out.options.emplace_back(key, value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+    BSA_REQUIRE(!trim(opts.substr(pos)).empty(),
+                kind << " spec '" << spec << "' ends with ','");
+  }
+  return out;
+}
+
+// --- SpecOptions ------------------------------------------------------------
+
+const std::string* SpecOptions::raw(const std::string& key) const {
+  for (const auto& [k, v] : options_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool SpecOptions::has(const std::string& key) const {
+  return raw(key) != nullptr;
+}
+
+std::string SpecOptions::get_choice(const std::string& key,
+                                    const std::vector<std::string>& choices,
+                                    const std::string& fallback) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  for (const std::string& c : choices) {
+    if (*v == c) return c;
+  }
+  BSA_REQUIRE(false, kind_ << " '" << name_ << "': option '" << key
+                           << "' expects one of {" << join_list(choices, ", ")
+                           << "}, got '" << *v << "'");
+  return fallback;  // unreachable
+}
+
+bool SpecOptions::get_flag(const std::string& key, bool fallback) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<bool> parsed = parse_bool_literal(*v);
+  BSA_REQUIRE(parsed.has_value(), kind_ << " '" << name_ << "': option '"
+                                        << key << "' expects on|off, got '"
+                                        << *v << "'");
+  return *parsed;
+}
+
+int SpecOptions::get_int(const std::string& key, int fallback,
+                         int min_value) const {
+  // Sanity ceiling for counted options (sweep counts, graph dimensions
+  // and the like): far above any sensible value, and keeps the value in
+  // int range.
+  constexpr std::int64_t kMaxIntOption = 1000000000;
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<std::int64_t> parsed = parse_int_literal(*v);
+  BSA_REQUIRE(parsed.has_value() && *parsed >= min_value &&
+                  *parsed <= kMaxIntOption,
+              kind_ << " '" << name_ << "': option '" << key
+                    << "' expects an integer in [" << min_value << ", "
+                    << kMaxIntOption << "], got '" << *v << "'");
+  return static_cast<int>(*parsed);
+}
+
+std::uint64_t SpecOptions::get_uint64(const std::string& key,
+                                      std::uint64_t fallback) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<std::uint64_t> parsed = parse_uint64_literal(*v);
+  BSA_REQUIRE(parsed.has_value(),
+              kind_ << " '" << name_ << "': option '" << key
+                    << "' expects an unsigned integer, got '" << *v << "'");
+  return *parsed;
+}
+
+double SpecOptions::get_double(const std::string& key, double fallback,
+                               double min_exclusive) const {
+  const std::string* v = raw(key);
+  if (v == nullptr) return fallback;
+  const std::optional<double> parsed = parse_double_literal(*v);
+  BSA_REQUIRE(parsed.has_value() && std::isfinite(*parsed) &&
+                  *parsed > min_exclusive,
+              kind_ << " '" << name_ << "': option '" << key
+                    << "' expects a finite number > " << min_exclusive
+                    << ", got '" << *v << "'");
+  return *parsed;
+}
+
+// --- canonical assembly -----------------------------------------------------
+
+std::string canonical_spec(const std::string& name,
+                           std::vector<std::string> non_default_options) {
+  // Canonical form sorts options by key; "key=value" strings sort the
+  // same way, so enforce it here rather than trusting caller order.
+  std::sort(non_default_options.begin(), non_default_options.end());
+  std::string out = name;
+  for (std::size_t i = 0; i < non_default_options.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += non_default_options[i];
+  }
+  return out;
+}
+
+std::string canonical_double(double v) {
+  // Shortest %.{1..17}g spelling that round-trips; option values are
+  // human-scale (CCRs, layer factors), so this terminates early.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::vector<std::string> split_spec_list(
+    const std::string& text,
+    const std::function<bool(const std::string&)>& is_registered_name) {
+  std::vector<std::string> specs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token = trim(
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos));
+    const std::size_t eq = token.find('=');
+    const std::size_t colon = token.find(':');
+    const bool continuation =
+        !specs.empty() && eq != std::string::npos &&
+        (colon == std::string::npos || colon > eq) &&
+        !is_registered_name(ascii_lower(trim(token.substr(0, eq))));
+    if (continuation) {
+      specs.back() += "," + token;
+    } else {
+      specs.push_back(token);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return specs;
+}
+
+}  // namespace bsa

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file spec.hpp
+/// The shared *spec string* machinery behind every named-thing registry in
+/// the repo (scheduler specs such as "bsa:gate=always,route=static" and
+/// workload specs such as "fft:points=64,ccr=0.5").
+///
+/// Grammar (names, keys and values are case-insensitive ASCII,
+/// whitespace-tolerant; full reference: docs/SPECS.md):
+///
+///   spec    := name [ ":" option ("," option)* ]
+///   option  := key "=" value
+///
+/// The *canonical form* of a spec is the lowercase name followed by the
+/// non-default options sorted by key with canonical value spellings;
+/// `canonical_spec` assembles it and each registry's `canonical()`
+/// round-trips any accepted spec to it.
+///
+/// Everything here is stateless and thread-safe: parsing never mutates
+/// shared state, and SpecOptions instances are immutable.
+
+namespace bsa {
+
+/// A spec string split into its (lowercased) name and option list.
+struct ParsedSpec {
+  std::string name;
+  /// Options in spec order; keys and values lowercased and trimmed.
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+/// ASCII lowercase (spec strings are ASCII identifiers).
+[[nodiscard]] std::string ascii_lower(const std::string& s);
+
+/// Parse a spec string. `kind` names the registry in error messages
+/// ("scheduler", "workload"). Throws PreconditionError on grammar errors
+/// (empty name, missing '=', duplicate keys, stray separators).
+[[nodiscard]] ParsedSpec parse_spec(const std::string& spec,
+                                    const std::string& kind);
+
+/// Typed option accessors handed to registry factories. Every getter
+/// throws PreconditionError with the valid choices on a bad value.
+/// Immutable once constructed — safe to share across threads.
+class SpecOptions {
+ public:
+  SpecOptions(std::string kind, std::string name,
+              std::vector<std::pair<std::string, std::string>> options)
+      : kind_(std::move(kind)),
+        name_(std::move(name)),
+        options_(std::move(options)) {}
+
+  /// The (lowercase) registry name the options belong to.
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of `key` restricted to `choices`; returns the canonical
+  /// (lowercase) choice, or `fallback` when the key is absent.
+  [[nodiscard]] std::string get_choice(
+      const std::string& key, const std::vector<std::string>& choices,
+      const std::string& fallback) const;
+
+  /// Boolean option: accepts on/off, true/false, yes/no, 1/0.
+  [[nodiscard]] bool get_flag(const std::string& key, bool fallback) const;
+
+  /// Integer option with an inclusive lower bound.
+  [[nodiscard]] int get_int(const std::string& key, int fallback,
+                            int min_value) const;
+
+  /// Unsigned 64-bit option (seeds).
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& key,
+                                         std::uint64_t fallback) const;
+
+  /// Finite floating-point option, strictly greater than `min_exclusive`.
+  [[nodiscard]] double get_double(const std::string& key, double fallback,
+                                  double min_exclusive) const;
+
+ private:
+  [[nodiscard]] const std::string* raw(const std::string& key) const;
+
+  std::string kind_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> options_;
+};
+
+/// Assemble a canonical spec: `name` followed by the given non-default
+/// "key=value" fragments sorted by key ("key=value" strings sort the same
+/// way as keys, so a plain sort is the canonical order).
+[[nodiscard]] std::string canonical_spec(
+    const std::string& name, std::vector<std::string> non_default_options);
+
+/// Canonical spelling of a double-valued option ("0.5", "10", "2.25") —
+/// shortest representation that parses back to the same value.
+[[nodiscard]] std::string canonical_double(double v);
+
+/// Split a comma-separated list of specs, e.g. a CLI `--algo` or
+/// `--workload` value. Variant options themselves use commas
+/// ("bsa:gate=always,route=static"), so a comma token of the form
+/// key=value whose key does not satisfy `is_registered_name` continues
+/// the preceding spec instead of starting a new one. The returned specs
+/// are not yet validated — feed them to a registry's resolve/canonical.
+[[nodiscard]] std::vector<std::string> split_spec_list(
+    const std::string& text,
+    const std::function<bool(const std::string&)>& is_registered_name);
+
+/// Join strings with a separator — shared by registry error listings.
+[[nodiscard]] std::string join_list(const std::vector<std::string>& parts,
+                                    const char* sep);
+
+}  // namespace bsa

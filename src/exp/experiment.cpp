@@ -38,6 +38,14 @@ net::Topology make_topology(const std::string& kind, int procs,
     return net::Topology::hypercube(dim);
   }
   if (kind == "clique") return net::Topology::clique(procs);
+  if (kind == "mesh") {
+    // Most-square factorisation: the largest divisor <= sqrt(procs).
+    int rows = 1;
+    for (int r = 1; r * r <= procs; ++r) {
+      if (procs % r == 0) rows = r;
+    }
+    return net::Topology::mesh(rows, procs / rows);
+  }
   if (kind == "random") {
     // Paper: degrees 2..8. Cap the degree below the processor count so
     // small test networks remain constructible.

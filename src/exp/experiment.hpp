@@ -32,9 +32,10 @@ struct RunOutcome {
                                        const net::HeterogeneousCostModel& costs,
                                        std::uint64_t seed);
 
-/// The paper's four experiment topologies over `procs` processors:
+/// The paper's four experiment topologies over `procs` processors —
 /// "ring", "hypercube" (procs must be a power of two), "clique", and
-/// "random" (degrees 2..8, seeded).
+/// "random" (degrees 2..8, seeded) — plus "mesh" (most-square 2-D grid;
+/// used by bench_workloads).
 [[nodiscard]] net::Topology make_topology(const std::string& kind, int procs,
                                           std::uint64_t seed);
 /// The kinds in the paper's figure order.
@@ -60,8 +61,11 @@ enum class RegularApp : unsigned char {
 
 /// Build the graph for one experiment cell: `regular` selects
 /// paper_regular_apps()[app_index], otherwise a random layered DAG of
-/// `size` tasks. Deterministic in the seed; this is the instance factory
-/// the runtime sweeps share with the figure drivers.
+/// `size` tasks. Deterministic in the seed. This is the pre-registry
+/// instance factory, kept as the reference the workload registry's
+/// "gauss"/"lu"/"laplace"/"random" adapters are tested bit-identical
+/// against; sweeps now resolve workloads::WorkloadRegistry specs
+/// instead (see runtime/scenario.hpp and docs/SPECS.md).
 [[nodiscard]] graph::TaskGraph make_instance(bool regular, int app_index,
                                              int size, double granularity,
                                              std::uint64_t seed);

@@ -46,7 +46,11 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string json_number(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+  // JSON has no inf/nan literals; emit null so a row with a non-finite
+  // metric (e.g. the granularity of an edge-free external graph) stays
+  // parseable instead of corrupting the whole JSONL file.
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.0f", v);
     return buf;
@@ -60,13 +64,8 @@ std::string to_jsonl(const ScenarioResult& row) {
   const ScenarioSpec& s = row.spec;
   std::ostringstream os;
   os << "{\"index\":" << s.index                                        //
-     << ",\"workload\":\"" << workload_kind_name(s.workload) << '"'     //
-     << ",\"app\":\""
-     << (s.workload == WorkloadKind::kRegularApp
-             ? exp::app_name(exp::paper_regular_apps()[static_cast<std::size_t>(
-                   s.app_index)])
-             : workload_kind_name(s.workload))
-     << '"'                                                             //
+     << ",\"workload\":\"" << json_escape(s.workload) << '"'            //
+     << ",\"app\":\"" << json_escape(workload_family(s.workload)) << '"'  //
      << ",\"size\":" << s.size                                          //
      << ",\"granularity\":" << json_number(s.granularity)               //
      << ",\"topology\":\"" << json_escape(s.topology) << '"'            //

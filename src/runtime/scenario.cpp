@@ -2,20 +2,14 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "exp/experiment.hpp"
 #include "sched/scheduler.hpp"
+#include "workloads/workload_registry.hpp"
 
 namespace bsa::runtime {
 
-const char* workload_kind_name(WorkloadKind k) {
-  switch (k) {
-    case WorkloadKind::kRegularApp:
-      return "regular";
-    case WorkloadKind::kRandomDag:
-      return "random";
-    case WorkloadKind::kExternal:
-      return "external";
-  }
-  return "?";
+std::string workload_family(const std::string& workload_spec) {
+  return workload_spec.substr(0, workload_spec.find(':'));
 }
 
 const char* seed_mode_name(SeedMode m) {
@@ -29,6 +23,7 @@ const char* seed_mode_name(SeedMode m) {
 }
 
 ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
+  BSA_REQUIRE(!grid.workloads.empty(), "ScenarioGrid: no workloads");
   BSA_REQUIRE(!grid.sizes.empty(), "ScenarioGrid: no sizes");
   BSA_REQUIRE(!grid.granularities.empty(), "ScenarioGrid: no granularities");
   BSA_REQUIRE(!grid.topologies.empty(), "ScenarioGrid: no topologies");
@@ -36,22 +31,25 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
   BSA_REQUIRE(!grid.het_highs.empty(), "ScenarioGrid: no heterogeneity range");
   BSA_REQUIRE(grid.seeds_per_cell > 0, "ScenarioGrid: seeds_per_cell < 1");
 
-  const int num_apps =
-      grid.workload == WorkloadKind::kRegularApp
-          ? static_cast<int>(exp::paper_regular_apps().size())
-          : 1;
   // Legacy seeds depend on the replicate index alone: on a grid with
-  // several sizes, granularities or apps they would silently hand the
-  // same instance seed to cells that are supposed to be independent.
+  // several sizes, granularities or workloads they would silently hand
+  // the same instance seed to cells that are supposed to be independent.
   BSA_REQUIRE(grid.seed_mode != SeedMode::kLegacySequential ||
                   (grid.sizes.size() == 1 && grid.granularities.size() == 1 &&
-                   num_apps == 1),
+                   grid.workloads.size() == 1),
               "ScenarioGrid: kLegacySequential requires a single size, "
-              "granularity and app (seeds derive from the replicate only)");
+              "granularity and workload (seeds derive from the replicate "
+              "only)");
 
-  // Canonicalise every algorithm spec once up front: bad specs fail here
-  // with an error listing the registered names, and downstream consumers
-  // (JSONL sinks, aggregation keys) see one spelling per variant.
+  // Canonicalise every workload and algorithm spec once up front: bad
+  // specs fail here with an error listing the registered names, and
+  // downstream consumers (JSONL sinks, aggregation keys) see one
+  // spelling per variant.
+  std::vector<std::string> workloads;
+  workloads.reserve(grid.workloads.size());
+  for (const std::string& spec : grid.workloads) {
+    workloads.push_back(workloads::WorkloadRegistry::global().canonical(spec));
+  }
   std::vector<std::string> algos;
   algos.reserve(grid.algos.size());
   for (const std::string& spec : grid.algos) {
@@ -61,21 +59,24 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
   ScenarioSet set;
   set.scenarios_.reserve(grid.topologies.size() * grid.het_highs.size() *
                          grid.sizes.size() * grid.granularities.size() *
-                         static_cast<std::size_t>(num_apps) *
+                         workloads.size() *
                          static_cast<std::size_t>(grid.seeds_per_cell) *
-                         grid.algos.size());
+                         algos.size());
   for (const std::string& topo : grid.topologies) {
     for (const int het_hi : grid.het_highs) {
       for (const int size : grid.sizes) {
         for (const double gran : grid.granularities) {
-          for (int app = 0; app < num_apps; ++app) {
+          for (std::size_t w = 0; w < workloads.size(); ++w) {
             for (int rep = 0; rep < grid.seeds_per_cell; ++rep) {
               // Both formulas depend on the cell only — never on
               // topology, range, algorithm or thread count — so every
               // algorithm of a cell schedules the same graph at any
               // --threads. kLegacySequential reproduces the pre-runtime
               // serial drivers (fig7); kGridCoordinates additionally
-              // decorrelates cells across sizes/granularities/apps.
+              // decorrelates cells across sizes/granularities/workloads.
+              // The workload's position in the grid (not its spec) keys
+              // the derivation — the same formula as the pre-registry
+              // app_index, so fig3-6 instances are unchanged.
               const std::uint64_t instance_seed =
                   grid.seed_mode == SeedMode::kLegacySequential
                       ? derive_seed(grid.base_seed,
@@ -84,13 +85,12 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
                             grid.base_seed,
                             static_cast<std::uint64_t>(size) * 1000 +
                                 static_cast<std::uint64_t>(gran * 10),
-                            static_cast<std::uint64_t>(app),
+                            static_cast<std::uint64_t>(w),
                             static_cast<std::uint64_t>(rep));
               for (const std::string& algo : algos) {
                 ScenarioSpec s;
                 s.index = set.scenarios_.size();
-                s.workload = grid.workload;
-                s.app_index = app;
+                s.workload = workloads[w];
                 s.size = size;
                 s.granularity = gran;
                 s.topology = topo;
@@ -117,13 +117,13 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
 }
 
 ScenarioResult evaluate_scenario(const ScenarioSpec& spec) {
-  BSA_REQUIRE(spec.workload != WorkloadKind::kExternal,
+  BSA_REQUIRE(spec.workload != kExternalWorkload,
               "evaluate_scenario: external graphs are not reconstructible "
               "from a spec");
   const graph::TaskGraph g =
-      exp::make_instance(spec.workload == WorkloadKind::kRegularApp,
-                         spec.app_index, spec.size, spec.granularity,
-                         spec.instance_seed);
+      workloads::WorkloadRegistry::global()
+          .resolve(spec.workload)
+          ->generate(spec.size, spec.granularity, spec.instance_seed);
   const net::Topology topo =
       exp::make_topology(spec.topology, spec.procs, spec.topology_seed);
   const net::HeterogeneousCostModel cm =

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "exp/experiment.hpp"
 
 /// \file scenario.hpp
 /// Scenario enumeration for experiment sweeps.
@@ -17,25 +16,33 @@
 /// canonical order, pre-deriving every random seed from the grid
 /// coordinates, so evaluating the set is embarrassingly parallel and
 /// bit-identical at any thread count.
+///
+/// Workloads and algorithms are both registry spec strings
+/// (workloads::WorkloadRegistry / sched::SchedulerRegistry — see
+/// docs/SPECS.md), so one grid enumerates algorithm × workload ×
+/// topology cross products.
 
 namespace bsa::runtime {
 
-/// Which workload family a scenario draws its task graph from.
-enum class WorkloadKind : unsigned char {
-  kRegularApp,  ///< exp::paper_regular_apps()[app_index] (Figures 3/5)
-  kRandomDag,   ///< workloads::random_layered_dag (Figures 4/6/7)
-  kExternal,    ///< caller-supplied graph (e.g. bsa_tool file input);
-                ///< not enumerable by a ScenarioGrid
-};
-[[nodiscard]] const char* workload_kind_name(WorkloadKind k);
+/// Sentinel workload spec for caller-supplied graphs (e.g. bsa_tool file
+/// input): such rows are loggable but not reconstructible, so
+/// evaluate_scenario rejects them and a ScenarioGrid cannot enumerate
+/// them.
+inline constexpr const char* kExternalWorkload = "external";
+
+/// The registry family name of a workload spec (the part before ':'),
+/// e.g. "fft" for "fft:points=64" — the JSONL "app" column.
+[[nodiscard]] std::string workload_family(const std::string& workload_spec);
 
 /// One fully-specified evaluation. Everything random about the scenario
 /// is fixed by the embedded seeds; evaluate_scenario is a pure function
 /// of this struct.
 struct ScenarioSpec {
   std::size_t index = 0;  ///< position in the ScenarioSet enumeration
-  WorkloadKind workload = WorkloadKind::kRandomDag;
-  int app_index = 0;  ///< into exp::paper_regular_apps() for kRegularApp
+  /// Workload registry spec (canonical form when enumerated by
+  /// from_grid), e.g. "random" or "fft:points=64" — or
+  /// kExternalWorkload for caller-supplied graphs.
+  std::string workload = "random";
   int size = 100;     ///< target task count
   double granularity = 1.0;
   std::string topology = "ring";  ///< kind for exp::make_topology
@@ -76,7 +83,7 @@ struct ScenarioResult {
 /// How per-scenario instance seeds are derived from the grid.
 enum class SeedMode : unsigned char {
   /// Seeds derive from the full cell coordinates
-  /// (base_seed, size, granularity, app, rep) — independent of the
+  /// (base_seed, size, granularity, workload, rep) — independent of the
   /// enumeration position, so grids that sweep sizes/granularities hand
   /// identical graphs to every algorithm, topology and range of a cell.
   kGridCoordinates,
@@ -85,7 +92,7 @@ enum class SeedMode : unsigned char {
   /// drivers. Figure 7 uses this so its numbers match the seed repo's
   /// serial driver for the same --seed (the parallel-runtime port had
   /// silently switched fig7 to coordinate seeds, shifting its table).
-  /// Restricted to single-size, single-granularity, single-app grids
+  /// Restricted to single-size, single-granularity, single-workload grids
   /// (enforced by from_grid): any other cells would silently share
   /// instance seeds.
   kLegacySequential,
@@ -93,9 +100,13 @@ enum class SeedMode : unsigned char {
 [[nodiscard]] const char* seed_mode_name(SeedMode m);
 
 /// Axes of a sweep; the cross product is enumerated topology-outermost:
-///   topology × het_hi × size × granularity × app × rep × algo.
+///   topology × het_hi × size × granularity × workload × rep × algo.
 struct ScenarioGrid {
-  WorkloadKind workload = WorkloadKind::kRandomDag;
+  /// Workload registry specs, e.g. {"random"} (Figures 4/6/7),
+  /// {"gauss", "lu", "laplace"} (the Figures 3/5 regular suite) or any
+  /// mix such as {"fft:points=64", "sp:depth=6"}. Canonicalised (and
+  /// validated, with errors listing the registered names) by from_grid.
+  std::vector<std::string> workloads = {"random"};
   std::vector<int> sizes;
   std::vector<double> granularities = {1.0};
   std::vector<std::string> topologies;
@@ -118,9 +129,10 @@ struct ScenarioGrid {
 class ScenarioSet {
  public:
   /// Enumerate the grid. Instance seeds are derived from
-  /// (base_seed, size, granularity, app, rep) only — identical graphs are
-  /// handed to every algorithm, topology and heterogeneity range of a
-  /// cell, and the derivation is independent of enumeration position.
+  /// (base_seed, size, granularity, workload index, rep) only — identical
+  /// graphs are handed to every algorithm, topology and heterogeneity
+  /// range of a cell, and the derivation is independent of enumeration
+  /// position.
   [[nodiscard]] static ScenarioSet from_grid(const ScenarioGrid& grid);
 
   [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
@@ -138,8 +150,9 @@ class ScenarioSet {
   std::vector<ScenarioSpec> scenarios_;
 };
 
-/// Evaluate one scenario: build the graph, topology and cost model from
-/// the spec's seeds, run the algorithm and validate the schedule.
+/// Evaluate one scenario: resolve the workload spec against the global
+/// WorkloadRegistry, build the graph, topology and cost model from the
+/// spec's seeds, run the algorithm and validate the schedule.
 /// Deterministic in the spec (except the wall_ms timing field).
 [[nodiscard]] ScenarioResult evaluate_scenario(const ScenarioSpec& spec);
 

@@ -29,18 +29,9 @@ double ms_since(const Clock::time_point& t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-std::string canonical_spec(const std::string& name,
-                           std::vector<std::string> non_default_options) {
-  // Canonical form sorts options by key; "key=value" strings sort the
-  // same way, so enforce it here rather than trusting caller order.
-  std::sort(non_default_options.begin(), non_default_options.end());
-  std::string out = name;
-  for (std::size_t i = 0; i < non_default_options.size(); ++i) {
-    out += i == 0 ? ":" : ",";
-    out += non_default_options[i];
-  }
-  return out;
-}
+// Canonical specs are assembled by the shared bsa::canonical_spec
+// (common/spec.hpp) — non-default options only, sorted by key.
+using bsa::canonical_spec;
 
 // --- BSA --------------------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/spec.hpp"
 #include "common/types.hpp"
 #include "graph/task_graph.hpp"
 #include "network/cost_model.hpp"
@@ -18,7 +19,9 @@
 /// a process-wide registry that resolves *spec strings* into configured
 /// scheduler instances.
 ///
-/// Spec grammar (names, keys and values are case-insensitive):
+/// Spec grammar (names, keys and values are case-insensitive; shared with
+/// the workload registry via common/spec.hpp — full reference:
+/// docs/SPECS.md):
 ///
 ///   spec    := name [ ":" option ("," option)* ]
 ///   option  := key "=" value
@@ -34,6 +37,15 @@
 /// benches, bsa_tool, JSONL sinks) goes through this surface; adding an
 /// algorithm means registering one factory, not widening an enum in four
 /// drivers (see docs/DESIGN_API.md).
+///
+/// Contracts relied on by the parallel runtime:
+///  * determinism — resolving the same spec twice yields instances whose
+///    run() produces bit-identical schedules for identical inputs and
+///    seeds, at any thread count;
+///  * thread-safety — Scheduler instances are immutable after
+///    construction and one instance may serve concurrent run() calls;
+///    SchedulerRegistry::global() is initialised once and only read
+///    afterwards, so lookups need no locking.
 
 namespace bsa::sched {
 
@@ -84,54 +96,18 @@ class Scheduler {
       std::uint64_t seed = 0) const = 0;
 };
 
-/// A spec string split into its (lowercased) name and option list.
-struct ParsedSpec {
-  std::string name;
-  /// Options in spec order; keys and values lowercased and trimmed.
-  std::vector<std::pair<std::string, std::string>> options;
-};
+/// The spec grammar (ParsedSpec, SpecOptions, canonicalisation helpers)
+/// is shared with the workload registry — see common/spec.hpp. The sched
+/// aliases keep existing call sites (`sched::parse_spec`, ...) working.
+using bsa::ascii_lower;
+using bsa::ParsedSpec;
+using bsa::SpecOptions;
 
-/// Parse a spec string. Throws PreconditionError on grammar errors
-/// (empty name, missing '=', duplicate keys, stray separators).
-[[nodiscard]] ParsedSpec parse_spec(const std::string& spec);
-
-/// ASCII lowercase (spec strings are ASCII identifiers).
-[[nodiscard]] std::string ascii_lower(const std::string& s);
-
-/// Typed option accessors handed to scheduler factories. Every getter
-/// throws PreconditionError with the valid choices on a bad value.
-class SpecOptions {
- public:
-  SpecOptions(std::string scheduler_name,
-              std::vector<std::pair<std::string, std::string>> options)
-      : name_(std::move(scheduler_name)), options_(std::move(options)) {}
-
-  [[nodiscard]] const std::string& scheduler_name() const { return name_; }
-  [[nodiscard]] bool has(const std::string& key) const;
-
-  /// Value of `key` restricted to `choices`; returns the canonical
-  /// (lowercase) choice, or `fallback` when the key is absent.
-  [[nodiscard]] std::string get_choice(
-      const std::string& key, const std::vector<std::string>& choices,
-      const std::string& fallback) const;
-
-  /// Boolean option: accepts on/off, true/false, yes/no, 1/0.
-  [[nodiscard]] bool get_flag(const std::string& key, bool fallback) const;
-
-  /// Integer option with an inclusive lower bound.
-  [[nodiscard]] int get_int(const std::string& key, int fallback,
-                            int min_value) const;
-
-  /// Unsigned 64-bit option (seeds).
-  [[nodiscard]] std::uint64_t get_uint64(const std::string& key,
-                                         std::uint64_t fallback) const;
-
- private:
-  [[nodiscard]] const std::string* raw(const std::string& key) const;
-
-  std::string name_;
-  std::vector<std::pair<std::string, std::string>> options_;
-};
+/// Parse a scheduler spec string. Throws PreconditionError on grammar
+/// errors (empty name, missing '=', duplicate keys, stray separators).
+[[nodiscard]] inline ParsedSpec parse_spec(const std::string& spec) {
+  return bsa::parse_spec(spec, "scheduler");
+}
 
 /// Registry of named scheduler factories. `global()` holds the built-in
 /// algorithms (bsa, dls, eft, mh); local instances can be built in tests.

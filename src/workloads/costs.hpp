@@ -11,7 +11,13 @@
 /// (average ~150) and communication costs are drawn around
 /// (average exec cost / granularity), so granularity 0.1 yields
 /// fine-grained graphs (communication ~10x computation) and granularity
-/// 10 coarse-grained ones.
+/// 10 coarse-grained ones. The workload registry's ccr= option is the
+/// reciprocal: granularity = 1/ccr.
+///
+/// Draws advance the caller's Rng deterministically; the helpers hold
+/// no state of their own, so they are thread-safe as long as each
+/// thread uses its own Rng (generators derive one per call from the
+/// CostParams seed).
 
 namespace bsa::workloads {
 

@@ -150,4 +150,96 @@ graph::TaskGraph random_layered_dag(const RandomDagParams& params) {
   return g;
 }
 
+graph::TaskGraph series_parallel(int depth, int max_branch,
+                                 const CostParams& costs) {
+  BSA_REQUIRE(depth >= 1, "series_parallel needs depth >= 1");
+  BSA_REQUIRE(max_branch >= 2 && max_branch <= 32,
+              "series_parallel needs max_branch in [2, 32]");
+  // Expected growth is ~2.5x edges per round; cap the rounds so a typo
+  // cannot request an astronomically large graph.
+  BSA_REQUIRE(depth <= 14, "series_parallel depth " << depth << " > 14");
+  Rng rng(derive_seed(costs.seed, 0x7370ULL));  // "sp"
+
+  // --- recursive two-terminal expansion over abstract nodes ----------------
+  struct AbsEdge {
+    int u, v;
+  };
+  std::vector<AbsEdge> edges{{0, 1}};  // node 0 = source, node 1 = sink
+  int num_nodes = 2;
+  for (int d = 0; d < depth; ++d) {
+    // Worst-case growth (every edge parallel-expanded at max_branch) is
+    // far above the expectation; bound the realised size deterministically.
+    BSA_REQUIRE(edges.size() <= 10000000,
+                "series_parallel expansion exceeds 10M edges — reduce "
+                "depth/branch");
+    std::vector<AbsEdge> next;
+    next.reserve(edges.size() * 2);
+    for (const AbsEdge e : edges) {
+      // Leave some edges alone each round so the decomposition tree is
+      // irregular rather than a perfect recursion.
+      if (!rng.bernoulli(0.6)) {
+        next.push_back(e);
+        continue;
+      }
+      // Series composition is a one-branch parallel composition; every
+      // branch routes through a fresh node, so no duplicate (u,v) pairs
+      // ever arise.
+      const int branches =
+          rng.bernoulli(0.5)
+              ? 1
+              : static_cast<int>(rng.uniform_int(2, max_branch));
+      for (int k = 0; k < branches; ++k) {
+        const int w = num_nodes++;
+        next.push_back({e.u, w});
+        next.push_back({w, e.v});
+      }
+    }
+    edges = std::move(next);
+  }
+
+  // --- relabel topologically (Kahn, smallest abstract id first) ------------
+  const auto n = static_cast<std::size_t>(num_nodes);
+  std::vector<std::vector<int>> out(n);
+  std::vector<int> in_degree(n, 0);
+  for (const AbsEdge& e : edges) {
+    out[static_cast<std::size_t>(e.u)].push_back(e.v);
+    ++in_degree[static_cast<std::size_t>(e.v)];
+  }
+  std::set<int> ready;
+  for (int v = 0; v < num_nodes; ++v) {
+    if (in_degree[static_cast<std::size_t>(v)] == 0) ready.insert(v);
+  }
+  std::vector<TaskId> new_id(n, kInvalidTask);
+  TaskId next_id = 0;
+  while (!ready.empty()) {
+    const int v = *ready.begin();
+    ready.erase(ready.begin());
+    new_id[static_cast<std::size_t>(v)] = next_id++;
+    for (const int w : out[static_cast<std::size_t>(v)]) {
+      if (--in_degree[static_cast<std::size_t>(w)] == 0) ready.insert(w);
+    }
+  }
+  BSA_ASSERT(static_cast<int>(next_id) == num_nodes,
+             "series_parallel produced a cycle");
+
+  // --- materialise in new-id order so costs are deterministic --------------
+  std::vector<std::pair<TaskId, TaskId>> sorted_edges;
+  sorted_edges.reserve(edges.size());
+  for (const AbsEdge& e : edges) {
+    sorted_edges.emplace_back(new_id[static_cast<std::size_t>(e.u)],
+                              new_id[static_cast<std::size_t>(e.v)]);
+  }
+  std::sort(sorted_edges.begin(), sorted_edges.end());
+  graph::TaskGraphBuilder b;
+  for (int v = 0; v < num_nodes; ++v) {
+    (void)b.add_task(draw_exec_cost(rng, costs));
+  }
+  for (const auto& [src, dst] : sorted_edges) {
+    (void)b.add_edge(src, dst, draw_comm_cost(rng, costs));
+  }
+  graph::TaskGraph g = b.build();
+  BSA_ASSERT(g.is_weakly_connected(), "series-parallel graph not connected");
+  return g;
+}
+
 }  // namespace bsa::workloads

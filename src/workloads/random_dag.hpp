@@ -7,6 +7,16 @@
 /// Randomly structured task graphs (the paper's second suite, §3): exact
 /// target size, connected, execution costs U[100,200], communication
 /// costs set by the granularity parameter.
+///
+/// Contracts (shared by every generator in src/workloads/, relied on by
+/// the parallel sweep runtime and the workload registry):
+///  * determinism — each generator is a pure function of its parameters
+///    (structure values + CostParams, including the seed): repeated
+///    calls produce bit-identical graphs at any thread count;
+///  * thread-safety — generators share no mutable state; concurrent
+///    calls (even with identical arguments) are safe;
+///  * structure — the result is a weakly-connected DAG whose task ids
+///    are topologically ordered.
 
 namespace bsa::workloads {
 
@@ -32,5 +42,17 @@ struct RandomDagParams {
 ///  * weak connectivity is enforced by bridging residual components.
 /// Deterministic in the seed; task ids are topologically ordered by layer.
 [[nodiscard]] graph::TaskGraph random_layered_dag(const RandomDagParams& params);
+
+/// Recursive series-parallel DAG (Wilhelm & Pionteck-style decomposition):
+/// start from the two-terminal edge source->sink and expand every edge
+/// `depth` times, each expansion replacing an edge u->v either in
+/// *series* (u->w->v) or in *parallel* (2..max_branch one-node branches
+/// u->w_i->v), chosen pseudo-randomly. The result is a connected
+/// two-terminal series-parallel graph. depth in [1, 14], max_branch in
+/// [2, 32] (both capped so a typo cannot request an astronomically
+/// large graph). Deterministic in (depth, max_branch, costs); task ids
+/// are topologically ordered.
+[[nodiscard]] graph::TaskGraph series_parallel(int depth, int max_branch,
+                                               const CostParams& costs = {});
 
 }  // namespace bsa::workloads

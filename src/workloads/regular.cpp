@@ -230,6 +230,25 @@ int fft_task_count(int points) {
   return points * (stages + 1);
 }
 
+int fft_points_for(int target_tasks) {
+  BSA_REQUIRE(target_tasks >= fft_task_count(2),
+              "target size " << target_tasks << " below minimum "
+                             << fft_task_count(2));
+  // Counts are strictly increasing in the (power-of-two) point count;
+  // compute in 64 bits — doubling overshoots int range quickly.
+  auto count = [](std::int64_t p) {
+    std::int64_t stages = 0;
+    for (std::int64_t v = p; v > 1; v >>= 1) ++stages;
+    return p * (stages + 1);
+  };
+  std::int64_t points = 2;
+  while (count(points * 2) <= target_tasks) points *= 2;
+  if (count(points * 2) - target_tasks < target_tasks - count(points)) {
+    points *= 2;
+  }
+  return static_cast<int>(points);
+}
+
 graph::TaskGraph fft(int points, const CostParams& costs) {
   BSA_REQUIRE(points >= 2 && (points & (points - 1)) == 0,
               "fft needs a power-of-two point count >= 2");
@@ -303,6 +322,10 @@ int cholesky_task_count(int tiles) {
     count += 1 + r + r + r * (r - 1) / 2;
   }
   return count;
+}
+
+int cholesky_tiles_for(int target_tasks) {
+  return dim_for_target(target_tasks, 2, cholesky_task_count);
 }
 
 graph::TaskGraph cholesky(int tiles, const CostParams& costs) {
@@ -383,6 +406,100 @@ graph::TaskGraph stencil_1d(int steps, int cells, const CostParams& costs) {
         const int nc = c + d;
         if (nc < 0 || nc >= cells) continue;
         (void)b.add_edge(id(s, c), id(s + 1, nc), draw_comm_cost(rng, costs));
+      }
+    }
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// 2-D Laplace stencil (5-point, iterated)
+// ---------------------------------------------------------------------------
+
+int stencil_2d_task_count(int rows, int cols, int iters) {
+  BSA_REQUIRE(rows >= 1 && cols >= 1 && iters >= 1,
+              "stencil_2d needs rows,cols,iters >= 1");
+  // All edges run between consecutive iterations, so a single sweep
+  // over more than one cell would be an edgeless, disconnected graph.
+  const std::int64_t cells = static_cast<std::int64_t>(rows) * cols;
+  BSA_REQUIRE(iters >= 2 || cells == 1,
+              "stencil_2d with rows*cols > 1 needs iters >= 2 "
+              "(connectivity)");
+  // 64-bit product: option values up to 1e9 would overflow int long
+  // before the builder could ever materialise the graph.
+  const std::int64_t count = cells * iters;
+  BSA_REQUIRE(count <= 50000000,
+              "stencil_2d size " << count << " exceeds 50M tasks");
+  return static_cast<int>(count);
+}
+
+graph::TaskGraph stencil_2d(int rows, int cols, int iters,
+                            const CostParams& costs) {
+  (void)stencil_2d_task_count(rows, cols, iters);  // validates
+  Rng rng(derive_seed(costs.seed, 0x7332ULL));  // "s2"
+  graph::TaskGraphBuilder b;
+  auto id = [rows, cols](int t, int i, int j) {
+    return static_cast<TaskId>((t * rows + i) * cols + j);
+  };
+  for (int t = 0; t < iters; ++t) {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        (void)b.add_task(draw_exec_cost(rng, costs),
+                         "G" + std::to_string(t) + "_" + std::to_string(i) +
+                             "_" + std::to_string(j));
+      }
+    }
+  }
+  constexpr int kDi[] = {0, -1, 1, 0, 0};
+  constexpr int kDj[] = {0, 0, 0, -1, 1};
+  for (int t = 0; t + 1 < iters; ++t) {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        for (int n = 0; n < 5; ++n) {
+          const int ni = i + kDi[n], nj = j + kDj[n];
+          if (ni < 0 || ni >= rows || nj < 0 || nj >= cols) continue;
+          (void)b.add_edge(id(t, i, j), id(t + 1, ni, nj),
+                           draw_comm_cost(rng, costs));
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Linear pipeline
+// ---------------------------------------------------------------------------
+
+int pipeline_task_count(int stages, int width) {
+  BSA_REQUIRE(stages >= 1 && width >= 1, "pipeline needs stages,width >= 1");
+  BSA_REQUIRE(stages >= 2 || width == 1,
+              "pipeline with width > 1 needs stages >= 2 (connectivity)");
+  const std::int64_t count = static_cast<std::int64_t>(stages) * width;
+  BSA_REQUIRE(count <= 50000000,
+              "pipeline size " << count << " exceeds 50M tasks");
+  return static_cast<int>(count);
+}
+
+graph::TaskGraph pipeline(int stages, int width, const CostParams& costs) {
+  (void)pipeline_task_count(stages, width);  // validates the parameters
+  Rng rng(derive_seed(costs.seed, 0x7069ULL));  // "pi"
+  graph::TaskGraphBuilder b;
+  auto id = [width](int s, int l) {
+    return static_cast<TaskId>(s * width + l);
+  };
+  for (int s = 0; s < stages; ++s) {
+    for (int l = 0; l < width; ++l) {
+      (void)b.add_task(draw_exec_cost(rng, costs),
+                       "P" + std::to_string(s) + "_" + std::to_string(l));
+    }
+  }
+  for (int s = 0; s + 1 < stages; ++s) {
+    for (int l = 0; l < width; ++l) {
+      (void)b.add_edge(id(s, l), id(s + 1, l), draw_comm_cost(rng, costs));
+      if (l + 1 < width) {
+        (void)b.add_edge(id(s, l), id(s + 1, l + 1),
+                         draw_comm_cost(rng, costs));
       }
     }
   }

@@ -10,8 +10,17 @@
 /// problem dimension N — plus FFT and fork-join extras used by examples
 /// and tests.
 ///
-/// Every generator is deterministic in (structure parameters, CostParams
-/// seed). *_task_count(...) predicts the exact task count and
+/// Contracts (relied on by the sweep runtime and the workload registry):
+///  * determinism — every generator is a pure function of (structure
+///    parameters, CostParams): repeated calls produce bit-identical
+///    graphs at any thread count;
+///  * thread-safety — no shared mutable state; concurrent calls are
+///    safe;
+///  * structure — results are weakly-connected DAGs; all generators
+///    except lu_decomposition and cholesky (whose factorisation steps
+///    interleave) additionally emit task ids in topological order.
+///
+/// *_task_count(...) predicts the exact task count and
 /// *_dim_for(target) picks the dimension whose count is closest to a
 /// target size (the paper sweeps sizes ~50..500 in steps of 50).
 
@@ -50,6 +59,8 @@ namespace bsa::workloads {
 /// of `points` tasks.
 [[nodiscard]] graph::TaskGraph fft(int points, const CostParams& costs = {});
 [[nodiscard]] int fft_task_count(int points);
+/// Power-of-two point count whose task count is closest to `target_tasks`.
+[[nodiscard]] int fft_points_for(int target_tasks);
 
 /// `stages` fork-join stages of `width` parallel tasks between join tasks.
 [[nodiscard]] graph::TaskGraph fork_join(int stages, int width,
@@ -60,12 +71,31 @@ namespace bsa::workloads {
 /// triangle: POTRF(k) -> TRSM(k,i) -> SYRK/GEMM updates -> step k+1.
 [[nodiscard]] graph::TaskGraph cholesky(int tiles, const CostParams& costs = {});
 [[nodiscard]] int cholesky_task_count(int tiles);
+[[nodiscard]] int cholesky_tiles_for(int target_tasks);
 
 /// One-dimensional stencil pipeline: `steps` time steps over `cells`
 /// cells; T(s,c) depends on T(s-1, c-1..c+1). Models iterative solvers.
 [[nodiscard]] graph::TaskGraph stencil_1d(int steps, int cells,
                                           const CostParams& costs = {});
 [[nodiscard]] int stencil_1d_task_count(int steps, int cells);
+
+/// Two-dimensional Laplace stencil: `iters` Jacobi sweeps over a
+/// rows x cols grid; T(t,i,j) depends on T(t-1,i,j) and its in-bounds
+/// 4-neighbourhood (the 5-point update). rows, cols, iters >= 1, and
+/// iters >= 2 when rows*cols > 1 (all edges run between sweeps, so a
+/// single sweep over several cells would be disconnected).
+[[nodiscard]] graph::TaskGraph stencil_2d(int rows, int cols, int iters,
+                                          const CostParams& costs = {});
+[[nodiscard]] int stencil_2d_task_count(int rows, int cols, int iters);
+
+/// Linear (systolic) pipeline: `stages` stages of `width` parallel
+/// lanes; P(s,l) feeds P(s+1,l) and the diagonal P(s+1,l+1), so data
+/// flows down every lane with nearest-neighbour exchange. stages >= 2
+/// when width > 1 (stages >= 1 for a single chain) keeps the graph
+/// weakly connected, as the paper assumes.
+[[nodiscard]] graph::TaskGraph pipeline(int stages, int width,
+                                        const CostParams& costs = {});
+[[nodiscard]] int pipeline_task_count(int stages, int width);
 
 /// Complete out-tree (fan-out `fanout`, `depth` levels; depth 1 = root
 /// only) — divide phase of divide-and-conquer programs.

@@ -1,34 +1,31 @@
-#include "sched/scheduler.hpp"
+#include "workloads/workload_registry.hpp"
 
 #include "common/check.hpp"
-#include "common/spec.hpp"
 
-namespace bsa::sched {
+namespace bsa::workloads {
 
-std::string Scheduler::display_label() const {
+std::string Workload::display_label() const {
   const std::string canonical = spec();
   return canonical.find(':') == std::string::npos ? display_name()
                                                   : canonical;
 }
 
-// --- SchedulerRegistry ------------------------------------------------------
-
-void SchedulerRegistry::add(Entry entry) {
-  BSA_REQUIRE(!entry.name.empty(), "scheduler registration with empty name");
+void WorkloadRegistry::add(Entry entry) {
+  BSA_REQUIRE(!entry.name.empty(), "workload registration with empty name");
   BSA_REQUIRE(entry.name == ascii_lower(entry.name) &&
                   entry.name.find(':') == std::string::npos &&
                   entry.name.find(',') == std::string::npos &&
                   entry.name.find('=') == std::string::npos,
-              "scheduler name '" << entry.name
-                                 << "' is not a canonical identifier");
+              "workload name '" << entry.name
+                                << "' is not a canonical identifier");
   BSA_REQUIRE(find(entry.name) == nullptr,
-              "scheduler '" << entry.name << "' is already registered");
+              "workload '" << entry.name << "' is already registered");
   BSA_REQUIRE(entry.factory != nullptr,
-              "scheduler '" << entry.name << "' registered without a factory");
+              "workload '" << entry.name << "' registered without a factory");
   entries_.push_back(std::move(entry));
 }
 
-const SchedulerRegistry::Entry* SchedulerRegistry::find(
+const WorkloadRegistry::Entry* WorkloadRegistry::find(
     const std::string& name) const {
   const std::string key = ascii_lower(name);
   for (const Entry& e : entries_) {
@@ -37,18 +34,18 @@ const SchedulerRegistry::Entry* SchedulerRegistry::find(
   return nullptr;
 }
 
-std::vector<std::string> SchedulerRegistry::names() const {
+std::vector<std::string> WorkloadRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const Entry& e : entries_) out.push_back(e.name);
   return out;
 }
 
-std::unique_ptr<Scheduler> SchedulerRegistry::resolve(
+std::unique_ptr<Workload> WorkloadRegistry::resolve(
     const std::string& spec) const {
-  const ParsedSpec parsed = parse_spec(spec);
+  const ParsedSpec parsed = parse_spec(spec, "workload");
   const Entry* entry = find(parsed.name);
-  BSA_REQUIRE(entry != nullptr, "unknown scheduler '"
+  BSA_REQUIRE(entry != nullptr, "unknown workload '"
                                     << parsed.name << "'; registered: "
                                     << join_list(names(), ", "));
   for (const auto& [key, _] : parsed.options) {
@@ -58,37 +55,37 @@ std::unique_ptr<Scheduler> SchedulerRegistry::resolve(
       std::vector<std::string> valid;
       valid.reserve(entry->options.size());
       for (const OptionDoc& doc : entry->options) valid.push_back(doc.name);
-      BSA_REQUIRE(false, "scheduler '"
+      BSA_REQUIRE(false, "workload '"
                              << entry->name << "': unknown option '" << key
                              << "'; valid options: "
                              << (valid.empty() ? std::string("(none)")
                                                : join_list(valid, ", ")));
     }
   }
-  return entry->factory(SpecOptions("scheduler", entry->name, parsed.options));
+  return entry->factory(SpecOptions("workload", entry->name, parsed.options));
 }
 
-std::vector<std::string> SchedulerRegistry::split_spec_list(
+std::vector<std::string> WorkloadRegistry::split_spec_list(
     const std::string& text) const {
   return bsa::split_spec_list(
       text, [this](const std::string& name) { return find(name) != nullptr; });
 }
 
-std::string SchedulerRegistry::canonical(const std::string& spec) const {
+std::string WorkloadRegistry::canonical(const std::string& spec) const {
   return resolve(spec)->spec();
 }
 
-std::string SchedulerRegistry::display_label(const std::string& spec) const {
+std::string WorkloadRegistry::display_label(const std::string& spec) const {
   return resolve(spec)->display_label();
 }
 
-const SchedulerRegistry& SchedulerRegistry::global() {
-  static const SchedulerRegistry* instance = [] {
-    auto* r = new SchedulerRegistry();
-    register_builtin_schedulers(*r);
+const WorkloadRegistry& WorkloadRegistry::global() {
+  static const WorkloadRegistry* instance = [] {
+    auto* r = new WorkloadRegistry();
+    register_builtin_workloads(*r);
     return r;
   }();
   return *instance;
 }
 
-}  // namespace bsa::sched
+}  // namespace bsa::workloads

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spec.hpp"
+#include "graph/task_graph.hpp"
+
+/// \file workload_registry.hpp
+/// The unified workload surface: a polymorphic Workload interface and a
+/// process-wide registry that resolves *workload spec strings* into
+/// configured task-graph generators — the exact mirror of the scheduler
+/// registry (sched/scheduler.hpp), sharing its grammar, canonicalisation
+/// and error-listing behaviour via common/spec.hpp.
+///
+/// Spec examples (names, keys and values are case-insensitive; full
+/// reference: docs/SPECS.md):
+///
+///   "fft:points=64,ccr=0.5"      FFT butterfly, pinned size and CCR
+///   "forkjoin:width=8,depth=5"   fork-join, 8-wide, 5 stages
+///   "sp:depth=6,seed=3"          series-parallel, pinned seed
+///   "stencil:rows=8,cols=8,iters=4"
+///   "pipeline:stages=10,width=4"
+///   "gauss:n=12"                 Gaussian elimination, 12x12 matrix
+///   "random"                     layered random DAG (Figures 4/6/7)
+///
+/// Contracts relied on by the parallel runtime and the tests:
+///  * determinism — generate() is a pure function of
+///    (canonical spec, target_tasks, granularity, seed): repeated calls,
+///    repeated resolves and any thread count produce bit-identical
+///    graphs;
+///  * thread-safety — Workload instances are immutable after
+///    construction and may serve concurrent generate() calls;
+///    WorkloadRegistry::global() is initialised once and only read
+///    afterwards;
+///  * scalability — structure options left unset are derived from the
+///    caller's target task count (the sweep axis), so one spec can serve
+///    a whole size sweep; pinning the structure option fixes the graph
+///    size regardless of the axis.
+
+namespace bsa::workloads {
+
+/// A configured task-graph generator.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Canonical spec string ("fft", "fft:points=64", ...). Feeding this
+  /// back through WorkloadRegistry::resolve reproduces the instance.
+  [[nodiscard]] virtual std::string spec() const = 0;
+
+  /// Human display name of the workload family ("FFT butterfly", ...).
+  [[nodiscard]] virtual std::string display_name() const = 0;
+
+  /// Label for tables and reports: the display name for a default
+  /// configuration, the canonical spec for a variant.
+  [[nodiscard]] std::string display_label() const;
+
+  /// Generate the task graph. `target_tasks` sizes workloads whose
+  /// structure options are unset (a pinned structure option wins);
+  /// `granularity` (avg exec / avg comm, §3 of the paper) and `seed`
+  /// are the sweep-axis values, overridden by pinned ccr= / seed=
+  /// options. Deterministic in all arguments.
+  [[nodiscard]] virtual graph::TaskGraph generate(
+      int target_tasks, double granularity, std::uint64_t seed) const = 0;
+};
+
+/// Registry of named workload factories. `global()` holds the built-in
+/// generators; local instances can be built in tests.
+class WorkloadRegistry {
+ public:
+  /// Documentation of one accepted option, used for error messages,
+  /// `--help`-style listings and docs/SPECS.md tables.
+  struct OptionDoc {
+    std::string name;
+    std::string values;         ///< e.g. "power of two >= 2"
+    std::string default_value;  ///< canonical default spelling
+    std::string summary;
+  };
+
+  using Factory = std::function<std::unique_ptr<Workload>(const SpecOptions&)>;
+
+  struct Entry {
+    std::string name;          ///< canonical lowercase registry name
+    std::string display_name;  ///< e.g. "FFT butterfly"
+    std::string summary;       ///< one-line description
+    std::vector<OptionDoc> options;
+    Factory factory;
+  };
+
+  /// Register a workload. Throws on duplicate or non-canonical names.
+  void add(Entry entry);
+
+  /// Resolve a spec string into a configured workload. Unknown names
+  /// and unknown option keys throw PreconditionError messages listing
+  /// the registered names / the workload's valid options.
+  [[nodiscard]] std::unique_ptr<Workload> resolve(
+      const std::string& spec) const;
+
+  /// Canonical form of `spec` (resolve + Workload::spec).
+  [[nodiscard]] std::string canonical(const std::string& spec) const;
+
+  /// Table/report label for `spec` (resolve + Workload::display_label).
+  [[nodiscard]] std::string display_label(const std::string& spec) const;
+
+  /// Registered names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Split a comma-separated list of specs, e.g. a CLI `--workload`
+  /// value — same continuation rule as the scheduler registry: a
+  /// key=value token whose key is not a registered workload name
+  /// continues the preceding spec.
+  [[nodiscard]] std::vector<std::string> split_spec_list(
+      const std::string& text) const;
+
+  /// Entry for `name` (case-insensitive), or nullptr.
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+
+  /// The process-wide registry, populated with the built-in workloads.
+  [[nodiscard]] static const WorkloadRegistry& global();
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Register the built-in workloads (cholesky, fft, forkjoin, gauss,
+/// laplace, lu, mva, pipeline, random, sp, stencil) — defined in
+/// builtin_workloads.cpp, invoked once by WorkloadRegistry::global().
+void register_builtin_workloads(WorkloadRegistry& registry);
+
+}  // namespace bsa::workloads

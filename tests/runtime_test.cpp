@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -9,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "exp/experiment.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
@@ -90,7 +93,7 @@ TEST(ThreadPool, RejectsZeroChunk) {
 
 ScenarioGrid small_grid() {
   ScenarioGrid grid;
-  grid.workload = WorkloadKind::kRandomDag;
+  grid.workloads = {"random"};
   grid.sizes = {20, 30};
   grid.granularities = {0.1, 1.0};
   grid.topologies = {"ring", "clique"};
@@ -119,7 +122,7 @@ TEST(ScenarioSet, InstanceSeedsIgnoreAlgoTopologyAndRange) {
   for (const ScenarioSpec& a : set) {
     for (const ScenarioSpec& b : set) {
       if (a.size == b.size && a.granularity == b.granularity &&
-          a.app_index == b.app_index && a.rep == b.rep) {
+          a.workload == b.workload && a.rep == b.rep) {
         EXPECT_EQ(a.instance_seed, b.instance_seed);
       }
     }
@@ -128,7 +131,7 @@ TEST(ScenarioSet, InstanceSeedsIgnoreAlgoTopologyAndRange) {
 
 TEST(ScenarioSet, RegularSuiteEnumeratesThreeApps) {
   ScenarioGrid grid = small_grid();
-  grid.workload = WorkloadKind::kRegularApp;
+  grid.workloads = {"gauss", "lu", "laplace"};
   grid.sizes = {30};
   grid.granularities = {1.0};
   grid.topologies = {"ring"};
@@ -172,7 +175,7 @@ TEST(ScenarioSet, LegacySeedModeRejectsMultiCellAxes) {
   ScenarioGrid apps = small_grid();
   apps.sizes = {20};
   apps.granularities = {1.0};
-  apps.workload = WorkloadKind::kRegularApp;  // three paper apps
+  apps.workloads = {"gauss", "lu", "laplace"};  // three paper apps
   apps.seed_mode = SeedMode::kLegacySequential;
   EXPECT_THROW((void)ScenarioSet::from_grid(apps), PreconditionError);
 }
@@ -187,7 +190,7 @@ TEST(ScenarioSet, LegacySeedModeReproducesSerialFig7Driver) {
   const std::vector<int> ranges{10, 50};
 
   ScenarioGrid grid;
-  grid.workload = WorkloadKind::kRandomDag;
+  grid.workloads = {"random"};
   grid.sizes = {num_tasks};
   grid.granularities = {1.0};
   grid.topologies = {"hypercube"};
@@ -300,7 +303,7 @@ TEST(SweepRunner, EmptySetYieldsNoResultsAndNoSinkRows) {
 ScenarioResult sample_result() {
   ScenarioResult r;
   r.spec.index = 3;
-  r.spec.workload = WorkloadKind::kRandomDag;
+  r.spec.workload = "random";
   r.spec.size = 120;
   r.spec.granularity = 0.1;
   r.spec.topology = "hypercube";
@@ -431,6 +434,16 @@ TEST(JsonNumber, FormatsIntegersCleanlyAndRoundTripsDoubles) {
   const double v = 0.1 + 0.2;
   const auto row = parse_jsonl_row("{\"v\":" + json_number(v) + "}");
   EXPECT_EQ(std::get<double>(row.at("v")), v);
+  // JSON has no inf/nan literals; non-finite metrics (e.g. the
+  // granularity of an edge-free graph) must not corrupt the line.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(json_number(inf), "null");
+  EXPECT_EQ(json_number(-inf), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  ScenarioResult r = sample_result();
+  r.spec.granularity = inf;
+  EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+      parse_jsonl_row(to_jsonl(r)).at("granularity")));
 }
 
 TEST(Sinks, CollectingAndTeeFanOut) {

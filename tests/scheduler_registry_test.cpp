@@ -297,7 +297,7 @@ TEST(Registry, DlsSeedOptionRandomisesTieBreaksDeterministically) {
 /// one sweep; specs are canonicalised and results stay per-variant.
 TEST(Registry, ScenarioGridEnumeratesVariantCrossProducts) {
   runtime::ScenarioGrid grid;
-  grid.workload = runtime::WorkloadKind::kRandomDag;
+  grid.workloads = {"random"};
   grid.sizes = {20};
   grid.granularities = {1.0};
   grid.topologies = {"ring"};

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/spec.hpp"
+#include "exp/experiment.hpp"
+#include "graph/graph_io.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/regular.hpp"
+#include "workloads/workload_registry.hpp"
+
+namespace bsa::workloads {
+namespace {
+
+/// what() of the PreconditionError thrown by `fn`, or "" when it throws
+/// nothing (callers assert on substrings of the message).
+template <typename Fn>
+std::string error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const PreconditionError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+const WorkloadRegistry& reg() { return WorkloadRegistry::global(); }
+
+graph::TaskGraph gen(const std::string& spec, int target = 60,
+                     double gran = 1.0, std::uint64_t seed = 3) {
+  return reg().resolve(spec)->generate(target, gran, seed);
+}
+
+// --- names and grammar -------------------------------------------------------
+
+TEST(WorkloadRegistry, ListsAtLeastEightBuiltinsInRegistrationOrder) {
+  const std::vector<std::string> names = reg().names();
+  ASSERT_GE(names.size(), 8u);  // PR acceptance: >= 8 registered workloads
+  const std::vector<std::string> expected{
+      "cholesky", "fft",      "forkjoin", "gauss", "laplace", "lu",
+      "mva",      "pipeline", "random",   "sp",    "stencil"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(WorkloadRegistry, SharesTheSpecGrammarWithSchedulers) {
+  // Same parser as scheduler specs, workload-flavoured messages.
+  EXPECT_THROW((void)bsa::parse_spec("", "workload"), PreconditionError);
+  EXPECT_THROW((void)bsa::parse_spec("fft:", "workload"), PreconditionError);
+  EXPECT_THROW((void)bsa::parse_spec("fft:points", "workload"),
+               PreconditionError);
+  EXPECT_THROW((void)bsa::parse_spec("fft:points=8,points=16", "workload"),
+               PreconditionError);
+  const std::string msg = error_message(
+      [] { (void)bsa::parse_spec(":points=8", "workload"); });
+  EXPECT_NE(msg.find("workload spec"), std::string::npos) << msg;
+
+  const ParsedSpec p =
+      bsa::parse_spec("  FFT : Points = 64 , CCR = 0.5 ", "workload");
+  EXPECT_EQ(p.name, "fft");
+  ASSERT_EQ(p.options.size(), 2u);
+  EXPECT_EQ(p.options[0].first, "points");
+  EXPECT_EQ(p.options[0].second, "64");
+}
+
+// --- canonicalisation --------------------------------------------------------
+
+TEST(WorkloadRegistry, CanonicalLowercasesSortsAndDropsNoOpOptions) {
+  EXPECT_EQ(reg().canonical("FFT"), "fft");
+  EXPECT_EQ(reg().canonical("Random"), "random");
+  // Non-default options sort by key with canonical value spellings.
+  EXPECT_EQ(reg().canonical("fft:points=64,ccr=0.50"),
+            "fft:ccr=0.5,points=64");
+  EXPECT_EQ(reg().canonical("stencil:iters=2,rows=8,cols=8"),
+            "stencil:cols=8,iters=2,rows=8");
+  // Pinning a constant-default structure option is a no-op and
+  // canonicalises away (scaled options like points/depth never do).
+  EXPECT_EQ(reg().canonical("mva:stations=8"), "mva");
+  EXPECT_EQ(reg().canonical("forkjoin:width=4"), "forkjoin");
+  EXPECT_EQ(reg().canonical("pipeline:width=4,stages=10"),
+            "pipeline:stages=10");
+  EXPECT_EQ(reg().canonical("stencil:iters=4"), "stencil");
+  EXPECT_EQ(reg().canonical("gauss:ccr=2.0"), "gauss:ccr=2");
+}
+
+TEST(WorkloadRegistry, CanonicalIsIdempotent) {
+  for (const std::string spec :
+       {"fft", "fft:points=64,ccr=0.5", "forkjoin:width=8,depth=5",
+        "sp:depth=6,seed=3", "stencil:rows=8,cols=8,iters=4",
+        "pipeline:stages=10,width=4", "gauss:n=12", "random:n=100",
+        "mva:levels=4,stations=6", "cholesky:tiles=5", "lu:tiles=4",
+        "laplace:n=9"}) {
+    const std::string canonical = reg().canonical(spec);
+    EXPECT_EQ(reg().canonical(canonical), canonical) << spec;
+  }
+}
+
+TEST(WorkloadRegistry, DisplayLabelsUseTheFamilyNameForDefaults) {
+  EXPECT_EQ(reg().display_label("fft"), "FFT butterfly");
+  EXPECT_EQ(reg().display_label("sp"), "Series-parallel");
+  EXPECT_EQ(reg().display_label("fft:points=64"), "fft:points=64");
+}
+
+// --- rejection with helpful messages -----------------------------------------
+
+TEST(WorkloadRegistry, UnknownNameListsRegisteredNames) {
+  const std::string msg =
+      error_message([] { (void)reg().resolve("butterfly"); });
+  EXPECT_NE(msg.find("unknown workload 'butterfly'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("cholesky, fft, forkjoin, gauss, laplace, lu, mva, "
+                     "pipeline, random, sp, stencil"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(WorkloadRegistry, UnknownOptionListsValidOptions) {
+  const std::string msg =
+      error_message([] { (void)reg().resolve("fft:pionts=8"); });
+  EXPECT_NE(msg.find("unknown option 'pionts'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("points"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ccr"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("seed"), std::string::npos) << msg;
+}
+
+TEST(WorkloadRegistry, BadValuesAreRejectedWithChoices) {
+  // Non-power-of-two FFT sizes fail at resolve time, not generate time.
+  const std::string msg =
+      error_message([] { (void)reg().resolve("fft:points=63"); });
+  EXPECT_NE(msg.find("power of two"), std::string::npos) << msg;
+  EXPECT_THROW((void)reg().resolve("fft:points=1"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("sp:depth=0"), PreconditionError);
+  // Documented structure bounds fail at resolve time, not mid-sweep.
+  EXPECT_THROW((void)reg().resolve("sp:depth=15"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("pipeline:stages=1"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("pipeline:stages=1,width=2"),
+               PreconditionError);
+  EXPECT_NO_THROW((void)reg().resolve("pipeline:stages=1,width=1"));
+  EXPECT_NO_THROW((void)reg().resolve("sp:depth=14"));
+  // A single stencil sweep over > 1 cell would be edgeless/disconnected.
+  EXPECT_THROW((void)reg().resolve("stencil:iters=1"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("stencil:rows=3,cols=3,iters=1"),
+               PreconditionError);
+  EXPECT_NO_THROW((void)reg().resolve("stencil:rows=1,cols=1,iters=1"));
+  // Unbounded structure options cannot request runaway graphs.
+  EXPECT_THROW((void)reg().resolve("sp:branch=33"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("sp:branch=1000000"), PreconditionError);
+  EXPECT_NO_THROW((void)reg().resolve("sp:branch=32"));
+  // Oversized pinned dimensions fail the 64-bit size guard instead of
+  // overflowing int inside the count helpers.
+  EXPECT_THROW((void)gen("stencil:rows=100000,cols=100000,iters=2"),
+               PreconditionError);
+  EXPECT_THROW((void)gen("pipeline:stages=1000000,width=1000"),
+               PreconditionError);
+  EXPECT_THROW((void)reg().resolve("sp:branch=1"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("stencil:rows=0"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("gauss:n=1"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("random:n=abc"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("fft:ccr=0"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("fft:ccr=-2"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("fft:ccr=nan"), PreconditionError);
+  EXPECT_THROW((void)reg().resolve("fft:seed=-1"), PreconditionError);
+}
+
+TEST(WorkloadRegistry, LocalInstanceRejectsDuplicateAndMalformedEntries) {
+  WorkloadRegistry local;
+  register_builtin_workloads(local);
+  EXPECT_EQ(local.names().size(), 11u);
+  WorkloadRegistry::Entry dup;
+  dup.name = "fft";
+  dup.factory = [](const SpecOptions&) -> std::unique_ptr<Workload> {
+    return nullptr;
+  };
+  EXPECT_THROW(local.add(dup), PreconditionError);
+  WorkloadRegistry::Entry bad;
+  bad.name = "Not:Canonical";
+  bad.factory = dup.factory;
+  EXPECT_THROW(local.add(bad), PreconditionError);
+}
+
+// --- spec list splitting -----------------------------------------------------
+
+TEST(WorkloadRegistry, SplitSpecListKeepsVariantOptionsAttached) {
+  EXPECT_EQ(reg().split_spec_list("fft,sp"),
+            (std::vector<std::string>{"fft", "sp"}));
+  EXPECT_EQ(reg().split_spec_list("fft:points=8,ccr=2,sp:depth=4,random"),
+            (std::vector<std::string>{"fft:points=8,ccr=2", "sp:depth=4",
+                                      "random"}));
+}
+
+// --- structural invariants ---------------------------------------------------
+
+TEST(WorkloadGenerators, KnownParamsYieldExactNodeAndEdgeCounts) {
+  struct Expectation {
+    const char* spec;
+    int tasks;
+    int edges;
+  };
+  const Expectation table[] = {
+      // fft: points*(log2+1) tasks; 2*points edges per stage boundary.
+      {"fft:points=8", 32, 48},
+      // forkjoin: depth*(width+1) + 1 tasks; 2*width edges per stage.
+      {"forkjoin:depth=3,width=4", 16, 24},
+      // gauss: n(n+1)/2 - 1 tasks; pivot fan-outs + per-column chains.
+      {"gauss:n=6", 20, 29},
+      // laplace: n^2 wavefront; 2n(n-1) edges.
+      {"laplace:n=4", 16, 24},
+      // stencil 3x4, 2 iters: 24 tasks; 12 self + 2*(3*3 + 2*4) = 46.
+      {"stencil:rows=3,cols=4,iters=2", 24, 46},
+      // pipeline: stages*width tasks; (2*width - 1) edges per boundary.
+      {"pipeline:stages=3,width=2", 6, 6},
+      // mva 2 levels x 3 stations: 8 tasks; 3 stations->agg per level
+      // plus agg->station fan-out between levels.
+      {"mva:levels=2,stations=3", 8, 9},
+      // lu tiles=3: 9 + 4 + 1 tasks.
+      {"lu:tiles=3", 14, 21},
+      // cholesky tiles=3: 6 + 3 + 1 tasks.
+      {"cholesky:tiles=3", 10, 12},
+      // random: exact task count.
+      {"random:n=40", 40, -1},
+  };
+  for (const Expectation& e : table) {
+    const graph::TaskGraph g = gen(e.spec);
+    EXPECT_EQ(g.num_tasks(), e.tasks) << e.spec;
+    if (e.edges >= 0) {
+      EXPECT_EQ(g.num_edges(), e.edges) << e.spec;
+    }
+    EXPECT_TRUE(g.is_weakly_connected()) << e.spec;
+  }
+  // Predicted counts match the *_task_count helpers the adapters use.
+  EXPECT_EQ(fft_task_count(8), 32);
+  EXPECT_EQ(fork_join_task_count(3, 4), 16);
+  EXPECT_EQ(stencil_2d_task_count(3, 4, 2), 24);
+  EXPECT_EQ(pipeline_task_count(3, 2), 6);
+  EXPECT_EQ(cholesky_task_count(3), 10);
+}
+
+TEST(WorkloadGenerators, TaskIdsAreTopologicallyOrdered) {
+  // DAG-ness itself is enforced by TaskGraphBuilder::build; these
+  // generators additionally emit ids in topological order (LU/Cholesky
+  // interleave steps and are exempt — build() orders them internally).
+  for (const std::string spec :
+       {"fft:points=8", "forkjoin:depth=3,width=4", "gauss:n=6",
+        "laplace:n=4", "stencil:rows=3,cols=4,iters=3",
+        "pipeline:stages=4,width=3", "mva:levels=3,stations=4",
+        "sp:depth=5", "random:n=50"}) {
+    const graph::TaskGraph g = gen(spec);
+    for (EdgeId e = 0; e < static_cast<EdgeId>(g.num_edges()); ++e) {
+      ASSERT_LT(g.edge_src(e), g.edge_dst(e)) << spec << " edge " << e;
+    }
+  }
+}
+
+TEST(WorkloadGenerators, EveryRegisteredDefaultScalesToTheTarget) {
+  for (const std::string& name : reg().names()) {
+    const graph::TaskGraph g = gen(name, /*target=*/60);
+    // Discrete structure parameters cannot hit 60 exactly; sp grows in
+    // ~2.5x jumps and is the loosest.
+    EXPECT_GE(g.num_tasks(), 20) << name;
+    EXPECT_LE(g.num_tasks(), 180) << name;
+    EXPECT_TRUE(g.is_weakly_connected()) << name;
+    // A pinned structure ignores the target axis entirely.
+  }
+  EXPECT_EQ(gen("fft:points=8", /*target=*/500).num_tasks(), 32);
+  EXPECT_EQ(gen("gauss:n=6", /*target=*/500).num_tasks(), 20);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(WorkloadRegistry, RepeatedResolvesYieldBitIdenticalGraphs) {
+  for (const std::string& name : reg().names()) {
+    const std::string a = graph::to_text(gen(name, 60, 0.5, 11));
+    const std::string b = graph::to_text(gen(name, 60, 0.5, 11));
+    EXPECT_EQ(a, b) << name;
+    // The workload instance itself is reusable and pure.
+    const auto w = reg().resolve(name);
+    EXPECT_EQ(graph::to_text(w->generate(60, 0.5, 11)), a) << name;
+    // Different seeds change the costs (and, for random structures, the
+    // shape).
+    EXPECT_NE(graph::to_text(w->generate(60, 0.5, 12)), a) << name;
+  }
+}
+
+TEST(WorkloadRegistry, GenerationIsBitIdenticalAcrossThreadCounts) {
+  // One shared Workload instance, hammered concurrently: every thread
+  // must see the same bytes (the sweep runtime relies on this).
+  const auto w = reg().resolve("sp:depth=5");
+  const std::string reference = graph::to_text(w->generate(60, 1.0, 7));
+  for (const int threads : {2, 8}) {
+    std::vector<std::string> texts(16);
+    runtime::ThreadPool pool(threads);
+    pool.parallel_for(texts.size(), 1, [&](std::size_t i) {
+      texts[i] = graph::to_text(w->generate(60, 1.0, 7));
+    });
+    for (const std::string& t : texts) EXPECT_EQ(t, reference);
+  }
+}
+
+TEST(WorkloadRegistry, PinnedCcrAndSeedOverrideTheCallerAxes) {
+  // ccr=10 => granularity 0.1 regardless of the caller's axis value.
+  const graph::TaskGraph fine = gen("fft:points=16,ccr=10", 60, 1.0, 3);
+  EXPECT_LT(fine.granularity(), 0.2);
+  const graph::TaskGraph coarse = gen("fft:points=16,ccr=0.1", 60, 1.0, 3);
+  EXPECT_GT(coarse.granularity(), 5.0);
+  // A pinned seed makes the caller seed irrelevant.
+  EXPECT_EQ(graph::to_text(gen("sp:depth=4,seed=5", 60, 1.0, 1)),
+            graph::to_text(gen("sp:depth=4,seed=5", 60, 1.0, 99)));
+}
+
+// --- equivalence with the pre-registry instance factory ----------------------
+
+TEST(WorkloadRegistry, AdaptersReproduceTheLegacyFactoryBitIdentically) {
+  // The fig3-6 byte-identity guarantee: the specs fig_common enumerates
+  // must hand the sweep the exact graphs exp::make_instance built.
+  const std::vector<std::string> regular{"gauss", "lu", "laplace"};
+  for (const std::uint64_t seed : {1ULL, 2026ULL}) {
+    for (const int size : {50, 150}) {
+      for (const double gran : {0.1, 1.0, 10.0}) {
+        for (std::size_t app = 0; app < regular.size(); ++app) {
+          EXPECT_EQ(
+              graph::to_text(gen(regular[app], size, gran, seed)),
+              graph::to_text(exp::make_instance(true, static_cast<int>(app),
+                                                size, gran, seed)))
+              << regular[app] << " size " << size;
+        }
+        EXPECT_EQ(graph::to_text(gen("random", size, gran, seed)),
+                  graph::to_text(
+                      exp::make_instance(false, 0, size, gran, seed)));
+      }
+    }
+  }
+}
+
+// --- sweep integration -------------------------------------------------------
+
+TEST(WorkloadRegistry, ScenarioGridEnumeratesWorkloadCrossProducts) {
+  runtime::ScenarioGrid grid;
+  grid.workloads = {"FFT:points=16", "sp:depth=3", "random"};
+  grid.sizes = {20};
+  grid.granularities = {1.0};
+  grid.topologies = {"ring"};
+  grid.algos = {"bsa", "dls"};
+  grid.procs = 4;
+  grid.seeds_per_cell = 1;
+  grid.base_seed = 3;
+  const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
+  ASSERT_EQ(set.size(), 6u);  // 3 workloads x 2 algos
+  EXPECT_EQ(set[0].workload, "fft:points=16");  // canonicalised
+  EXPECT_EQ(set[2].workload, "sp:depth=3");
+  EXPECT_EQ(set[4].workload, "random");
+  const auto results = runtime::SweepRunner({.threads = 2}).run(set);
+  ASSERT_EQ(results.size(), set.size());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.valid) << r.spec.workload << " / " << r.spec.algo;
+    EXPECT_GT(r.schedule_length, 0) << r.spec.workload;
+  }
+  EXPECT_EQ(runtime::workload_family(set[0].workload), "fft");
+}
+
+TEST(WorkloadRegistry, FromGridRejectsBadWorkloadSpecsUpFront) {
+  runtime::ScenarioGrid grid;
+  grid.workloads = {"random", "no-such-workload"};
+  grid.sizes = {10};
+  grid.topologies = {"ring"};
+  grid.algos = {"bsa"};
+  EXPECT_THROW((void)runtime::ScenarioSet::from_grid(grid),
+               PreconditionError);
+}
+
+TEST(WorkloadRegistry, ExternalRowsCannotBeEvaluated) {
+  runtime::ScenarioSpec spec;
+  spec.workload = runtime::kExternalWorkload;
+  EXPECT_THROW((void)runtime::evaluate_scenario(spec), PreconditionError);
+}
+
+// --- docs/SPECS.md stays in sync ---------------------------------------------
+
+/// Every spec inside the ```specs-workload / ```specs-scheduler fenced
+/// blocks of docs/SPECS.md must resolve against its registry (PR
+/// acceptance criterion — the reference doc cannot rot).
+TEST(SpecsDoc, EveryDocumentedSpecResolves) {
+  const std::string path = std::string(BSA_SOURCE_DIR) + "/docs/SPECS.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  enum class Block { kNone, kWorkload, kScheduler };
+  Block block = Block::kNone;
+  int workload_specs = 0, scheduler_specs = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.rfind("```specs-workload", 0) == 0) {
+      block = Block::kWorkload;
+      continue;
+    }
+    if (line.rfind("```specs-scheduler", 0) == 0) {
+      block = Block::kScheduler;
+      continue;
+    }
+    if (line.rfind("```", 0) == 0) {
+      block = Block::kNone;
+      continue;
+    }
+    if (block == Block::kNone || line.empty()) continue;
+    if (block == Block::kWorkload) {
+      EXPECT_NO_THROW((void)reg().canonical(line)) << "workload: " << line;
+      ++workload_specs;
+    } else {
+      EXPECT_NO_THROW(
+          (void)sched::SchedulerRegistry::global().canonical(line))
+          << "scheduler: " << line;
+      ++scheduler_specs;
+    }
+  }
+  // The doc must actually document specs (guards against renamed fences).
+  EXPECT_GE(workload_specs, 11);
+  EXPECT_GE(scheduler_specs, 4);
+}
+
+}  // namespace
+}  // namespace bsa::workloads
