@@ -18,7 +18,8 @@
 ///   * "bsa:route=static"    static shortest-path re-routing
 ///
 /// Flags: --tasks N, --seeds N, --per-pair, --seed S, --algo spec[,...]
-///        (override the variant list), --threads/--jobs N, --out FILE.
+///        (override the variant list), --threads/--jobs N, --out FILE,
+///        --progress (live stderr meter).
 
 #include <exception>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "obs/progress.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
 #include "runtime/result_sink.hpp"
@@ -69,7 +71,12 @@ int main(int argc, char** argv) try {
   grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
 
   const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
-  runtime::SweepRunner runner({.threads = cli.threads(1)});
+  const std::unique_ptr<obs::ProgressMeter> meter = obs::maybe_progress(
+      cli.get_bool("progress", false), set.size(), "ablation");
+  runtime::SweepOptions sweep_opts;
+  sweep_opts.threads = cli.threads(1);
+  if (meter != nullptr) sweep_opts.progress = meter->callback();
+  runtime::SweepRunner runner(sweep_opts);
 
   std::cout << "=== BSA design-choice ablation (registry variant grid) ===\n"
             << num_tasks << "-task random graphs, " << seeds
@@ -81,6 +88,7 @@ int main(int argc, char** argv) try {
     jsonl = std::make_unique<runtime::JsonlSink>(*out);
   }
   const auto results = runner.run(set, jsonl.get());
+  if (meter != nullptr) meter->finish();
 
   // topology -> canonical spec -> granularity -> mean schedule length.
   std::map<std::string, std::map<std::string, std::map<double, exp::CellMean>>>

@@ -17,7 +17,7 @@
 ///        quicker 4 graphs of 250 tasks), --graphs N, --tasks N,
 ///        --per-pair, --csv, --seed S, --seed-mode legacy|grid,
 ///        --threads/--jobs N (0 = all cores), --out FILE (stream
-///        per-scenario JSONL rows).
+///        per-scenario JSONL rows), --progress (live stderr meter).
 
 #include <exception>
 #include <iostream>
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "obs/progress.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
 #include "runtime/result_sink.hpp"
@@ -65,7 +66,12 @@ int main(int argc, char** argv) try {
   }
 
   const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
-  runtime::SweepRunner runner({.threads = cli.threads(1)});
+  const std::unique_ptr<obs::ProgressMeter> meter = obs::maybe_progress(
+      cli.get_bool("progress", false), set.size(), "Figure 7");
+  runtime::SweepOptions sweep_opts;
+  sweep_opts.threads = cli.threads(1);
+  if (meter != nullptr) sweep_opts.progress = meter->callback();
+  runtime::SweepRunner runner(sweep_opts);
 
   std::cout << "=== Figure 7: effect of heterogeneity range ===\n"
             << num_graphs << " random graphs of " << num_tasks
@@ -80,6 +86,7 @@ int main(int argc, char** argv) try {
     jsonl = std::make_unique<runtime::JsonlSink>(*out);
   }
   const auto results = runner.run(set, jsonl.get());
+  if (meter != nullptr) meter->finish();
 
   // canonical spec -> heterogeneity range -> accumulator; display labels
   // come from the registry (single source of truth, no local name table).

@@ -33,9 +33,14 @@
 ///        --threads/--jobs N (0 = all cores), --seed S,
 ///        --out FILE (JSONL rows; default BENCH_runtime.json holds the
 ///        aggregate report either way),
+///        --progress (live stderr meter for the scenario sweep),
 ///        --quick (CI smoke: only the rollback/eval-mode equality check
 ///        on a small scenario; writes no report file, fails loudly if
 ///        any mode combination diverges).
+///
+/// BENCH_runtime.json entries carry p50/p99 wall-time percentiles next
+/// to the historical means, plus each cell's summed deterministic
+/// algorithm counters (see docs/DESIGN_OBS.md).
 
 #include <chrono>
 #include <fstream>
@@ -53,6 +58,8 @@
 #include "common/table.hpp"
 #include "core/bsa.hpp"
 #include "exp/experiment.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
           const auto topo = exp::make_topology("clique", 16, base_seed);
           for (const int size : sizes) {
             StatAccumulator ms[4];
+            std::vector<double> ms_samples[4];
             StatAccumulator lengths;
             std::int64_t rejected = 0;
             std::size_t committed = 0;
@@ -174,6 +182,7 @@ int main(int argc, char** argv) {
                                             insertion, modes[m].snapshot,
                                             modes[m].pooled);
                 ms[m].add(runs[m].wall_ms);
+                ms_samples[m].push_back(runs[m].wall_ms);
                 BSA_REQUIRE(
                     runs[m].length == runs[0].length &&
                         runs[m].migrations == runs[0].migrations &&
@@ -200,6 +209,8 @@ int main(int argc, char** argv) {
                         std::to_string(size);
               e.runs = static_cast<int>(ms[m].count());
               e.mean_wall_ms = ms[m].mean();
+              e.p50_wall_ms = percentile_of(ms_samples[m], 50);
+              e.p99_wall_ms = percentile_of(ms_samples[m], 99);
               e.mean_schedule_length = lengths.mean();
               out.push_back(std::move(e));
             }
@@ -229,7 +240,12 @@ int main(int argc, char** argv) {
   grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
   const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
-  runtime::SweepRunner runner({.threads = cli.threads(1)});
+  const std::unique_ptr<obs::ProgressMeter> meter = obs::maybe_progress(
+      cli.get_bool("progress", false), set.size(), "bench_runtime");
+  runtime::SweepOptions sweep_opts;
+  sweep_opts.threads = cli.threads(1);
+  if (meter != nullptr) sweep_opts.progress = meter->callback();
+  runtime::SweepRunner runner(sweep_opts);
 
   std::cout << "=== scheduler running times (means over " << reps
             << " graphs/cell, " << set.size() << " scenarios on "
@@ -240,11 +256,14 @@ int main(int argc, char** argv) {
     jsonl = std::make_unique<runtime::JsonlSink>(*out);
   }
   const auto results = runner.run(set, jsonl.get());
+  if (meter != nullptr) meter->finish();
 
   // (topology, size, algo) -> wall-time / schedule-length accumulators,
   // keyed in enumeration order for a stable report.
   struct Cell {
     StatAccumulator wall, length;
+    std::vector<double> wall_samples;
+    obs::Registry counters;
   };
   std::vector<std::string> order;
   std::map<std::string, Cell> cells;
@@ -256,18 +275,24 @@ int main(int argc, char** argv) {
     if (cells.find(label) == cells.end()) order.push_back(label);
     Cell& c = cells[label];
     c.wall.add(r.wall_ms);
+    c.wall_samples.push_back(r.wall_ms);
     c.length.add(r.schedule_length);
+    c.counters.merge(r.counters);
     BSA_REQUIRE(r.valid, "invalid schedule from " << label);
   }
 
-  TextTable table({"algo/topology/size", "mean ms", "min ms", "max ms",
-                   "mean schedule length"});
+  TextTable table({"algo/topology/size", "mean ms", "p50 ms", "p99 ms",
+                   "min ms", "max ms", "mean schedule length"});
   std::vector<runtime::BenchEntry> entries;
   for (const std::string& label : order) {
     const Cell& c = cells.at(label);
+    const double p50 = percentile_of(c.wall_samples, 50);
+    const double p99 = percentile_of(c.wall_samples, 99);
     table.new_row()
         .cell(label)
         .cell(c.wall.mean(), 2)
+        .cell(p50, 2)
+        .cell(p99, 2)
         .cell(c.wall.min(), 2)
         .cell(c.wall.max(), 2)
         .cell(c.length.mean(), 1);
@@ -275,7 +300,10 @@ int main(int argc, char** argv) {
     e.label = label;
     e.runs = c.wall.count();
     e.mean_wall_ms = c.wall.mean();
+    e.p50_wall_ms = p50;
+    e.p99_wall_ms = p99;
     e.mean_schedule_length = c.length.mean();
+    e.counters = c.counters.snapshot();
     entries.push_back(std::move(e));
   }
   table.print(std::cout);
@@ -292,6 +320,7 @@ int main(int argc, char** argv) {
     const auto topo = exp::make_topology(topo_kind, grid.procs,
                                          grid.base_seed);
     StatAccumulator full_ms, inc_ms, lengths;
+    std::vector<double> full_samples, inc_samples;
     for (int rep = 0; rep < reps; ++rep) {
       workloads::RandomDagParams params;
       params.num_tasks = retime_size;
@@ -309,7 +338,9 @@ int main(int argc, char** argv) {
                   "re-timing engines disagree on " << topo_kind << " rep "
                                                    << rep);
       full_ms.add(ms_full);
+      full_samples.push_back(ms_full);
       inc_ms.add(ms_inc);
+      inc_samples.push_back(ms_inc);
       lengths.add(len_full);
     }
     retime_table.new_row()
@@ -323,6 +354,8 @@ int main(int argc, char** argv) {
                    std::to_string(retime_size);
     before.runs = static_cast<int>(full_ms.count());
     before.mean_wall_ms = full_ms.mean();
+    before.p50_wall_ms = percentile_of(full_samples, 50);
+    before.p99_wall_ms = percentile_of(full_samples, 99);
     before.mean_schedule_length = lengths.mean();
     entries.push_back(std::move(before));
     runtime::BenchEntry after;
@@ -330,6 +363,8 @@ int main(int argc, char** argv) {
                   std::to_string(retime_size);
     after.runs = static_cast<int>(inc_ms.count());
     after.mean_wall_ms = inc_ms.mean();
+    after.p50_wall_ms = percentile_of(inc_samples, 50);
+    after.p99_wall_ms = percentile_of(inc_samples, 99);
     after.mean_schedule_length = lengths.mean();
     entries.push_back(std::move(after));
   }

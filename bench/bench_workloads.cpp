@@ -3,7 +3,7 @@
 /// evaluated on the parallel experiment runtime.
 ///
 ///   $ ./bench_workloads [--threads 0] [--size 80] [--seeds 2]
-///                       [--full] [--out runs.jsonl] [--csv]
+///                       [--full] [--out runs.jsonl] [--csv] [--progress]
 ///
 /// Prints one table per topology (rows = workloads, columns = algorithm
 /// mean schedule lengths plus the BSA/DLS ratio) and writes aggregate
@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
 #include "common/table.hpp"
 #include "exp/experiment.hpp"
 #include "runtime/result_sink.hpp"
@@ -48,7 +51,12 @@ int run(const CliParser& cli) {
   grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
 
   const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);
-  runtime::SweepRunner runner({.threads = cli.threads(1)});
+  const std::unique_ptr<obs::ProgressMeter> meter = obs::maybe_progress(
+      cli.get_bool("progress", false), set.size(), "workloads");
+  runtime::SweepOptions sweep_opts;
+  sweep_opts.threads = cli.threads(1);
+  if (meter != nullptr) sweep_opts.progress = meter->callback();
+  runtime::SweepRunner runner(sweep_opts);
   std::cout << "=== workload suite: " << grid.workloads.size()
             << " workloads x " << grid.algos.size() << " algorithms x "
             << grid.topologies.size() << " topologies, target size "
@@ -62,12 +70,15 @@ int run(const CliParser& cli) {
   }
   const std::vector<runtime::ScenarioResult> results =
       runner.run(set, jsonl.get());
+  if (meter != nullptr) meter->finish();
   if (jsonl != nullptr) jsonl->flush();
 
   // topology -> workload -> algo -> means. Enumeration order is
   // deterministic, so the aggregation (and every artefact) is too.
   struct Cell {
     exp::CellMean length, wall;
+    std::vector<double> wall_samples;
+    obs::Registry counters;
   };
   std::map<std::string, std::map<std::string, std::map<std::string, Cell>>>
       agg;
@@ -76,6 +87,8 @@ int run(const CliParser& cli) {
     Cell& c = agg[r.spec.topology][r.spec.workload][r.spec.algo];
     c.length.add(static_cast<double>(r.schedule_length));
     c.wall.add(r.wall_ms);
+    c.wall_samples.push_back(r.wall_ms);
+    c.counters.merge(r.counters);
     all_valid = all_valid && r.valid;
   }
 
@@ -109,11 +122,17 @@ int run(const CliParser& cli) {
       table.new_row().cell(workload).cell(
           static_cast<long long>(task_counts.at(workload)));
       for (const char* algo : kAlgos) {
-        table.cell(cells.at(algo).length.mean(), 1);
-        entries.push_back(
-            {workload + "/" + topo + "/" + algo,
-             static_cast<std::size_t>(cells.at(algo).length.count),
-             cells.at(algo).wall.mean(), cells.at(algo).length.mean()});
+        const Cell& cell = cells.at(algo);
+        table.cell(cell.length.mean(), 1);
+        runtime::BenchEntry e;
+        e.label = workload + "/" + topo + "/" + algo;
+        e.runs = static_cast<std::size_t>(cell.length.count);
+        e.mean_wall_ms = cell.wall.mean();
+        e.mean_schedule_length = cell.length.mean();
+        e.p50_wall_ms = percentile_of(cell.wall_samples, 50);
+        e.p99_wall_ms = percentile_of(cell.wall_samples, 99);
+        e.counters = cell.counters.snapshot();
+        entries.push_back(std::move(e));
       }
       const double dls = cells.at("dls").length.mean();
       table.cell(dls > 0 ? cells.at("bsa").length.mean() / dls : 0.0, 3);

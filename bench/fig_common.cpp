@@ -1,6 +1,7 @@
 #include "fig_common.hpp"
 
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -8,6 +9,8 @@
 
 #include "common/check.hpp"
 #include "common/table.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/sweep_runner.hpp"
@@ -76,6 +79,8 @@ void apply_cli(const CliParser& cli, SweepConfig* config) {
                                                  config->base_seed)));
   config->threads = cli.threads(config->threads);
   config->out_path = cli.out_path().value_or(config->out_path);
+  config->progress = cli.get_bool("progress", config->progress);
+  config->trace_path = cli.get_string("trace", config->trace_path);
 }
 
 void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
@@ -96,7 +101,15 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
 
   const runtime::ScenarioSet set =
       runtime::ScenarioSet::from_grid(make_grid(cfg));
-  runtime::SweepRunner runner({.threads = cfg.threads});
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!cfg.trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
+  const std::unique_ptr<obs::ProgressMeter> meter =
+      obs::maybe_progress(cfg.progress, set.size(), figure_name);
+  runtime::SweepOptions sweep_opts;
+  sweep_opts.threads = cfg.threads;
+  sweep_opts.tracer = tracer.get();
+  if (meter != nullptr) sweep_opts.progress = meter->callback();
+  runtime::SweepRunner runner(sweep_opts);
 
   os << "=== " << figure_name << ": average schedule lengths, "
      << (cfg.regular_suite ? "regular" : "random") << " graphs, x-axis = "
@@ -121,6 +134,7 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
   }
   const std::vector<runtime::ScenarioResult> results =
       runner.run(set, jsonl.get());
+  if (meter != nullptr) meter->finish();
 
   // topology -> canonical spec -> x value -> accumulator. Results arrive
   // in enumeration order, so aggregation is deterministic too.
@@ -183,6 +197,13 @@ void run_and_print(const SweepConfig& cfg, const std::string& figure_name,
   if (jsonl != nullptr) {
     os << "wrote " << jsonl->rows_written() << " JSONL rows to "
        << cfg.out_path << "\n";
+  }
+  if (tracer != nullptr) {
+    std::ofstream tf(cfg.trace_path, std::ios::trunc);
+    BSA_REQUIRE(tf.good(), "cannot open trace file '" << cfg.trace_path << "'");
+    tracer->write_chrome_trace(tf);
+    os << "wrote " << tracer->event_count() << " trace events to "
+       << cfg.trace_path << " (load in Perfetto / chrome://tracing)\n";
   }
 }
 

@@ -47,11 +47,18 @@ struct SweepConfig {
   /// When non-empty, every scenario result is also streamed to this path
   /// as JSON Lines.
   std::string out_path;
+  /// Show a live done/total progress meter on stderr (auto-disabled when
+  /// stderr is not a TTY; never affects the printed tables or JSONL).
+  bool progress = false;
+  /// When non-empty, write a Chrome trace-event JSON file of the sweep
+  /// (per-worker tracks; load in Perfetto or chrome://tracing).
+  std::string trace_path;
 };
 
 /// Apply the standard command-line flags (--full, --seeds, --procs,
 /// --per-pair, --algo spec[,spec...], --eft (alias for appending "eft"),
-/// --csv, --seed, --threads/--jobs, --out) to a config.
+/// --csv, --seed, --threads/--jobs, --out, --progress, --trace FILE) to
+/// a config.
 void apply_cli(const CliParser& cli, SweepConfig* config);
 
 /// Run the sweep on the parallel runtime and print one table per

@@ -17,7 +17,9 @@
 /// Run `bsa_tool --help` for the flag reference; the full spec grammar
 /// for --algo and --workload lives in docs/SPECS.md.
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +31,9 @@
 #include "exp/experiment.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/graph_stats.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "runtime/result_sink.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/gantt.hpp"
@@ -73,6 +78,17 @@ Reads a task graph from a file (or stdin), or generates one per
   --out FILE         append one JSONL metrics row per algorithm run
   --validate         run the full invariant checker and report
 
+Observability (tracing/logging never changes any schedule or table;
+see docs/DESIGN_OBS.md):
+  --counters         print each run's deterministic algorithm counters
+                     (and add ctr:* columns to --out rows)
+  --trace FILE       write a Chrome trace-event JSON of the runs
+                     (load in Perfetto or chrome://tracing)
+  --decision-log FILE  stream BSA's per-migration-attempt decisions as
+                     JSONL (one "migration" event per attempt)
+  --progress         live done/total meter on stderr (auto-disabled
+                     when stderr is not a terminal)
+
 Spec grammar reference (both registries, every option): docs/SPECS.md
 )";
 
@@ -102,6 +118,16 @@ struct Input {
   graph::TaskGraph g;
 };
 
+/// Shared observability state for one bsa_tool invocation (all fields
+/// optional; a default ObsState is "everything off").
+struct ObsState {
+  obs::Tracer* tracer = nullptr;
+  std::ostream* decision_out = nullptr;
+  bool print_counters = false;
+  obs::ProgressMeter* meter = nullptr;
+  std::atomic<std::size_t> runs_done{0};
+};
+
 /// Schedule `input` with every requested algorithm and report/export.
 /// When `keep_last` is non-null the last schedule is moved into it
 /// (for --export on the final input).
@@ -111,7 +137,7 @@ void schedule_input(const CliParser& cli, const Input& input,
                     const net::Topology& topo, const std::string& topo_kind,
                     const std::vector<std::string>& specs,
                     runtime::ThreadPool& pool, runtime::JsonlSink* jsonl,
-                    std::size_t* row_index,
+                    std::size_t* row_index, ObsState& obs_state,
                     std::optional<sched::Schedule>* keep_last) {
   const sched::SchedulerRegistry& registry =
       sched::SchedulerRegistry::global();
@@ -147,6 +173,10 @@ void schedule_input(const CliParser& cli, const Input& input,
     std::string name;   ///< display label for the report
     std::unique_ptr<sched::Scheduler> scheduler;
     std::optional<sched::Schedule> schedule;
+    obs::CounterSnapshot counters;
+    /// Per-run decision collector so parallel runs never interleave in
+    /// the --decision-log file; written out in request order below.
+    std::unique_ptr<obs::CollectingDecisionLog> decisions;
     double wall_ms = 0;
   };
   std::vector<Run> runs;
@@ -161,7 +191,11 @@ void schedule_input(const CliParser& cli, const Input& input,
     // canonical spec so reports and JSONL rows aren't duplicated.
     bool duplicate = false;
     for (const Run& seen : runs) duplicate = duplicate || seen.spec == r.spec;
-    if (!duplicate) runs.push_back(std::move(r));
+    if (duplicate) continue;
+    if (obs_state.decision_out != nullptr) {
+      r.decisions = std::make_unique<obs::CollectingDecisionLog>();
+    }
+    runs.push_back(std::move(r));
   }
 
   // The graph, topology and cost model are immutable and scheduler
@@ -169,12 +203,33 @@ void schedule_input(const CliParser& cli, const Input& input,
   // concurrently; reports stay in request order.
   pool.parallel_for(runs.size(), 1, [&](std::size_t i) {
     Run& r = runs[i];
+    obs::Hooks hooks;
+    hooks.tracer = obs_state.tracer;
+    hooks.trace_tid =
+        static_cast<std::uint32_t>(runtime::current_worker_id() + 1);
+    hooks.decision_log = r.decisions.get();
     const auto t0 = std::chrono::steady_clock::now();
-    r.schedule = r.scheduler->run(g, topo, cm, seed).schedule;
+    sched::SchedulerResult result =
+        r.scheduler->run_observed(g, topo, cm, seed, hooks);
     r.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+    r.schedule = std::move(result.schedule);
+    r.counters = std::move(result.counters);
+    if (obs_state.meter != nullptr) {
+      obs_state.meter->update(obs_state.runs_done.fetch_add(1) + 1);
+    }
   });
+
+  // Decision logs drain serially in request order — the file is
+  // deterministic however the runs were scheduled above.
+  if (obs_state.decision_out != nullptr) {
+    for (const Run& r : runs) {
+      for (const obs::MigrationDecision& d : r.decisions->decisions()) {
+        *obs_state.decision_out << obs::decision_to_jsonl(d, r.spec) << '\n';
+      }
+    }
+  }
 
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
@@ -186,6 +241,13 @@ void schedule_input(const CliParser& cli, const Input& input,
     }
     report(r.name, *r.schedule, cm, gantt,
            run_validate ? validation : std::nullopt);
+    if (obs_state.print_counters && !r.counters.empty()) {
+      std::cout << "counters (" << r.name << "):\n";
+      for (const auto& [counter_name, value] : r.counters) {
+        std::cout << "  " << counter_name << " = " << value << '\n';
+      }
+      std::cout << '\n';
+    }
     if (jsonl != nullptr) {
       runtime::ScenarioResult row;
       row.spec.index = (*row_index)++;
@@ -204,6 +266,7 @@ void schedule_input(const CliParser& cli, const Input& input,
       row.schedule_length = r.schedule->makespan();
       row.wall_ms = r.wall_ms;
       row.valid = validation->ok();
+      row.counters = r.counters;
       jsonl->consume(row);
     }
   }
@@ -320,21 +383,70 @@ int main(int argc, char** argv) {
     }
     if (specs.empty()) specs.push_back("bsa");
 
+    const bool print_counters = cli.get_bool("counters", false);
     std::unique_ptr<runtime::JsonlSink> jsonl;
     if (const auto out = cli.out_path()) {
-      jsonl = std::make_unique<runtime::JsonlSink>(*out, /*append=*/true);
+      jsonl = std::make_unique<runtime::JsonlSink>(*out, /*append=*/true,
+                                                   print_counters);
     }
     const bool want_export = cli.has("export") || cli.has("export-csv");
     runtime::ThreadPool pool(cli.threads(1));
+
+    ObsState obs_state;
+    obs_state.print_counters = print_counters;
+    std::unique_ptr<obs::Tracer> tracer;
+    if (cli.has("trace")) {
+      tracer = std::make_unique<obs::Tracer>();
+      tracer->set_thread_name(0, "main");
+      for (int w = 0; w < pool.size(); ++w) {
+        tracer->set_thread_name(static_cast<std::uint32_t>(w + 1),
+                                "worker " + std::to_string(w));
+      }
+      obs_state.tracer = tracer.get();
+    }
+    std::unique_ptr<std::ofstream> decision_out;
+    if (cli.has("decision-log")) {
+      const std::string path = cli.get_string("decision-log", "");
+      decision_out = std::make_unique<std::ofstream>(path, std::ios::trunc);
+      BSA_REQUIRE(decision_out->good(),
+                  "cannot open --decision-log file '" << path << "'");
+      obs_state.decision_out = decision_out.get();
+    }
+    // Dedupe the spec list up front (by canonical form, keeping request
+    // order) so the progress total matches the runs actually performed.
+    std::vector<std::string> unique_specs;
+    for (const std::string& spec : specs) {
+      const std::string canonical = registry.canonical(spec);
+      bool duplicate = false;
+      for (const std::string& seen : unique_specs) {
+        duplicate = duplicate || seen == canonical;
+      }
+      if (!duplicate) unique_specs.push_back(canonical);
+    }
+    const std::unique_ptr<obs::ProgressMeter> meter = obs::maybe_progress(
+        cli.get_bool("progress", false), inputs.size() * unique_specs.size(),
+        "bsa_tool");
+    obs_state.meter = meter.get();
+
     std::optional<sched::Schedule> last;
     std::size_t row_index = 0;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       const bool is_final = i + 1 == inputs.size();
-      schedule_input(cli, inputs[i], topo, topo_kind, specs, pool,
-                     jsonl.get(), &row_index,
+      schedule_input(cli, inputs[i], topo, topo_kind, unique_specs, pool,
+                     jsonl.get(), &row_index, obs_state,
                      want_export && is_final ? &last : nullptr);
     }
+    if (meter != nullptr) meter->finish();
     if (jsonl != nullptr) jsonl->flush();
+    if (decision_out != nullptr) decision_out->flush();
+    if (tracer != nullptr) {
+      const std::string path = cli.get_string("trace", "");
+      std::ofstream tf(path, std::ios::trunc);
+      BSA_REQUIRE(tf.good(), "cannot open --trace file '" << path << "'");
+      tracer->write_chrome_trace(tf);
+      std::cout << "wrote " << tracer->event_count() << " trace events to "
+                << path << " (load in Perfetto / chrome://tracing)\n";
+    }
 
     if (cli.has("export")) {
       std::ofstream out(cli.get_string("export", ""));

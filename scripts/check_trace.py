@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by obs::Tracer.
+
+Checks that the file is what Perfetto / chrome://tracing will accept:
+
+  * the document parses as JSON and has a "traceEvents" array;
+  * every event carries the required keys (name, ph, pid, tid), and
+    complete events ("ph":"X") also carry ts and dur;
+  * timestamps are non-negative, durations are non-negative, and the
+    non-metadata events appear sorted by start time (obs::Tracer sorts
+    on export — a regression here breaks Perfetto's track layout);
+  * at least one span is present (an empty trace from an instrumented
+    run means the hooks were never wired through).
+
+Usage: scripts/check_trace.py TRACE.json [TRACE2.json ...]
+
+Exits non-zero with a diagnostic on the first violation. Stdlib only.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "pid", "tid")
+
+
+def fail(path, message):
+    print(f"check_trace: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, f"cannot load JSON: {exc}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, 'missing top-level "traceEvents" object key')
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, '"traceEvents" is not an array')
+
+    spans = 0
+    last_ts = None
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(path, f"event {i} is not an object")
+        for key in REQUIRED_KEYS:
+            if key not in e:
+                fail(path, f"event {i} ({e.get('name')!r}) lacks {key!r}")
+        ph = e["ph"]
+        if ph == "M":
+            continue  # metadata events have no timeline position
+        if "ts" not in e:
+            fail(path, f"event {i} ({e['name']!r}) lacks 'ts'")
+        ts = e["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(path, f"event {i} ({e['name']!r}) has bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(path, f"event {i} ({e['name']!r}) ts {ts} < previous "
+                       f"{last_ts}: events not sorted by start time")
+        last_ts = ts
+        if ph == "X":
+            spans += 1
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, f"event {i} ({e['name']!r}) has bad dur {dur!r}")
+
+    if spans == 0:
+        fail(path, "no complete events ('ph':'X') — nothing was traced")
+    print(f"check_trace: {path}: OK ({len(events)} events, {spans} spans)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -51,6 +51,18 @@ double median_of(std::vector<double> xs) {
   return 0.5 * (xs[mid - 1] + hi);
 }
 
+double percentile_of(std::vector<double> xs, double p) {
+  BSA_REQUIRE(!xs.empty(), "percentile of empty sequence");
+  BSA_REQUIRE(p >= 0.0 && p <= 100.0,
+              "percentile rank must be in [0, 100], got " << p);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 double geometric_mean_of(std::span<const double> xs) {
   BSA_REQUIRE(!xs.empty(), "geometric mean of empty sequence");
   double log_sum = 0.0;

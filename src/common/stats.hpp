@@ -43,6 +43,12 @@ class StatAccumulator {
 /// Precondition: xs non-empty.
 [[nodiscard]] double median_of(std::vector<double> xs);
 
+/// The p-th percentile (p in [0, 100]) with linear interpolation between
+/// order statistics (the common "exclusive of interpolation" definition:
+/// rank p/100 * (n-1)). percentile_of(xs, 50) equals median_of(xs).
+/// Precondition: xs non-empty.
+[[nodiscard]] double percentile_of(std::vector<double> xs, double p);
+
 /// Geometric mean; precondition: all values strictly positive.
 [[nodiscard]] double geometric_mean_of(std::span<const double> xs);
 

@@ -1,6 +1,7 @@
 #include "core/bsa.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <optional>
 #include <vector>
@@ -8,6 +9,8 @@
 #include "common/check.hpp"
 #include "core/pivot.hpp"
 #include "network/routing.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
 #include "sched/retime.hpp"
 #include "sched/retime_context.hpp"
 #include "sched/timeline.hpp"
@@ -82,33 +85,54 @@ class BsaRunner {
   }
 
   BsaResult run() {
-    const PivotSelection pv = select_first_pivot(g_, topo_, costs_);
+    obs::Tracer* const tracer = opt_.obs.tracer;
+    const std::uint32_t tid = opt_.obs.trace_tid;
+
+    PivotSelection pv;
+    {
+      obs::Span span(tracer, "pivot_selection", "bsa", tid);
+      pv = select_first_pivot(g_, topo_, costs_);
+    }
     trace_.first_pivot = pv.pivot;
     trace_.pivot_cp_lengths = pv.cp_length_by_proc;
 
     Rng rng(opt_.seed);
     const auto exec_on_pivot = costs_.exec_costs_on(pv.pivot);
-    trace_.serialization =
-        opt_.serialization == SerializationRule::kCpIbOb
-            ? serialize(g_, exec_on_pivot, costs_.nominal_comm_costs(), rng)
-            : serialize_by_blevel(g_, exec_on_pivot,
-                                  costs_.nominal_comm_costs(), rng);
+    {
+      obs::Span span(tracer, "serialization", "bsa", tid);
+      trace_.serialization =
+          opt_.serialization == SerializationRule::kCpIbOb
+              ? serialize(g_, exec_on_pivot, costs_.nominal_comm_costs(), rng)
+              : serialize_by_blevel(g_, exec_on_pivot,
+                                    costs_.nominal_comm_costs(), rng);
+    }
 
-    inject_serial(pv.pivot, exec_on_pivot);
+    {
+      obs::Span span(tracer, "injection", "bsa", tid);
+      inject_serial(pv.pivot, exec_on_pivot);
+    }
     trace_.initial_serial_length = sched_.makespan();
 
     const std::vector<ProcId> bfs = topo_.bfs_order(pv.pivot);
     BSA_REQUIRE(opt_.max_sweeps >= 1, "max_sweeps must be >= 1");
     for (int sweep = 0; sweep < opt_.max_sweeps; ++sweep) {
+      sweep_ = sweep;
       const std::size_t migrations_before = trace_.migrations.size();
       for (const ProcId pivot : bfs) {
         trace_.pivot_sequence.push_back(pivot);
-        run_phase(pivot,
-                  static_cast<int>(trace_.pivot_sequence.size()) - 1);
+        const int phase =
+            static_cast<int>(trace_.pivot_sequence.size()) - 1;
+        obs::Span span(tracer, "pivot", "bsa", tid);
+        span.arg("pivot", pivot);
+        span.arg("phase", phase);
+        run_phase(pivot, phase);
       }
       if (trace_.migrations.size() == migrations_before) break;
     }
     if (retime_ctx_.has_value()) trace_.retime = retime_ctx_->stats();
+    trace_.slot_index_builds = sched_.slot_index_builds();
+    trace_.eval_edge_epochs = scratch_.edge_epoch;
+    trace_.eval_link_epochs = scratch_.link_epoch;
     return BsaResult{std::move(sched_), std::move(trace_)};
   }
 
@@ -162,8 +186,12 @@ class BsaRunner {
       const bool delayed = time_lt(cur.drt, st);
       const bool vip_elsewhere =
           cur.vip != kInvalidTask && sched_.proc_of(cur.vip) != pivot;
-      if (!delayed && !vip_elsewhere) return;
+      if (!delayed && !vip_elsewhere) {
+        ++trace_.gate_skips;
+        return;
+      }
     }
+    ++trace_.considered;
 
     // Evaluate every neighbour.
     ProcId best_proc = kInvalidProc;
@@ -194,7 +222,25 @@ class BsaRunner {
       target = vip_proc;
       via_vip = true;
     }
-    if (target == kInvalidProc) return;
+    if (target == kInvalidProc) {
+      ++trace_.rejected_no_gain;
+      if (opt_.obs.decision_log != nullptr) {
+        obs::MigrationDecision d;
+        d.sweep = sweep_;
+        d.phase = phase;
+        d.pivot = pivot;
+        d.task = t;
+        d.from = pivot;
+        d.old_finish = cur_ft;
+        d.predicted_finish = best_ft;
+        d.new_finish = std::numeric_limits<double>::quiet_NaN();
+        d.makespan_before = std::numeric_limits<double>::quiet_NaN();
+        d.makespan_after = std::numeric_limits<double>::quiet_NaN();
+        d.outcome = obs::DecisionOutcome::kRejectedNoGain;
+        opt_.obs.decision_log->record(d);
+      }
+      return;
+    }
 
     const Time predicted = via_vip ? vip_ft : best_ft;
     commit_migration(t, pivot, target, phase, cur_ft, predicted, via_vip);
@@ -588,12 +634,21 @@ class BsaRunner {
 
     // Bubble up: earliest times under the new orders; replay on the rare
     // order cycle introduced by re-issued outgoing routes.
-    const bool retimed =
-        retime_ctx_.has_value()
-            ? retime_ctx_->retime_migration(t, nullptr)
-            : sched::try_retime(sched_, costs_, nullptr);
+    bool retimed;
+    {
+      obs::Span span(opt_.obs.tracer, "retime", "bsa", opt_.obs.trace_tid);
+      retimed = retime_ctx_.has_value()
+                    ? retime_ctx_->retime_migration(t, nullptr)
+                    : sched::try_retime(sched_, costs_, nullptr);
+    }
+    if (use_txn) {
+      const auto depth = static_cast<std::int64_t>(txn_.size());
+      trace_.txn_journal_records += depth;
+      trace_.txn_journal_hwm = std::max(trace_.txn_journal_hwm, depth);
+    }
     bool replayed = false;
     if (!retimed) {
+      obs::Span span(opt_.obs.tracer, "replay", "bsa", opt_.obs.trace_tid);
       if (use_txn) {
         // replay_retime rebuilds the schedule wholesale, which cannot be
         // journaled: undo the mutations, fall back to a snapshot of the
@@ -605,16 +660,38 @@ class BsaRunner {
       (void)sched::replay_retime(sched_, costs_, opt_.insertion_slots);
       if (retime_ctx_.has_value()) retime_ctx_->invalidate();
       replayed = true;
+      ++trace_.replay_fallbacks;
     }
 
-    if (guarded && time_lt(makespan_before, sched_.makespan())) {
+    const Time makespan_after = sched_.makespan();
+    if (guarded && time_lt(makespan_before, makespan_after)) {
       ++trace_.rejected_migrations;
-      if (use_txn && !replayed) {
-        sched_.rollback_transaction();
-        if (retime_ctx_.has_value()) retime_ctx_->undo_migration(t);
-      } else {
-        sched_ = *snapshot_;  // reject: schedule got longer
-        if (retime_ctx_.has_value()) retime_ctx_->resync_migration(t);
+      {
+        obs::Span span(opt_.obs.tracer, "rollback", "bsa",
+                       opt_.obs.trace_tid);
+        if (use_txn && !replayed) {
+          sched_.rollback_transaction();
+          if (retime_ctx_.has_value()) retime_ctx_->undo_migration(t);
+        } else {
+          sched_ = *snapshot_;  // reject: schedule got longer
+          if (retime_ctx_.has_value()) retime_ctx_->resync_migration(t);
+        }
+      }
+      if (opt_.obs.decision_log != nullptr) {
+        obs::MigrationDecision d;
+        d.sweep = sweep_;
+        d.phase = phase;
+        d.pivot = pivot;
+        d.task = t;
+        d.from = pivot;
+        d.to = py;
+        d.old_finish = old_ft;
+        d.predicted_finish = predicted_ft;
+        d.new_finish = std::numeric_limits<double>::quiet_NaN();
+        d.makespan_before = makespan_before;
+        d.makespan_after = makespan_after;
+        d.outcome = obs::DecisionOutcome::kRejectedMakespanGuard;
+        opt_.obs.decision_log->record(d);
       }
       return;
     }
@@ -622,7 +699,27 @@ class BsaRunner {
 
     trace_.migrations.push_back(Migration{
         t, pivot, py, old_ft, predicted_ft, sched_.finish_of(t),
-        sched_.makespan(), phase, via_vip});
+        makespan_after, phase, via_vip});
+
+    if (opt_.obs.decision_log != nullptr) {
+      obs::MigrationDecision d;
+      d.sweep = sweep_;
+      d.phase = phase;
+      d.pivot = pivot;
+      d.task = t;
+      d.from = pivot;
+      d.to = py;
+      d.old_finish = old_ft;
+      d.predicted_finish = predicted_ft;
+      d.new_finish = sched_.finish_of(t);
+      d.makespan_before = guarded
+                              ? makespan_before
+                              : std::numeric_limits<double>::quiet_NaN();
+      d.makespan_after = makespan_after;
+      d.outcome = via_vip ? obs::DecisionOutcome::kCommittedVip
+                          : obs::DecisionOutcome::kCommitted;
+      opt_.obs.decision_log->record(d);
+    }
 
     if (opt_.validate_each_step) {
       const auto report = sched::validate(sched_, costs_);
@@ -755,6 +852,8 @@ class BsaRunner {
   Schedule::Transaction txn_;
   /// Reused evaluation buffers (see EvalScratch).
   EvalScratch scratch_;
+  /// Current BFS sweep number, for decision-log rows.
+  int sweep_ = 0;
 };
 
 }  // namespace

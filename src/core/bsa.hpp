@@ -8,6 +8,7 @@
 #include "graph/task_graph.hpp"
 #include "network/cost_model.hpp"
 #include "network/topology.hpp"
+#include "obs/hooks.hpp"
 #include "sched/retime_context.hpp"
 #include "sched/schedule.hpp"
 
@@ -123,6 +124,11 @@ struct BsaOptions {
   /// allocate fresh containers per call — the reference implementation,
   /// proven bit-identical.
   bool pooled_eval = true;
+  /// Observability hooks (phase/migration span tracer + per-attempt
+  /// decision log). Hooks only observe — they never influence the
+  /// computed schedule — and with the default null hooks every
+  /// instrumented path costs one branch (docs/DESIGN_OBS.md).
+  obs::Hooks obs;
 };
 
 /// One committed migration, for tracing/debugging.
@@ -147,6 +153,26 @@ struct BsaTrace {
   std::vector<Migration> migrations;
   /// Migrations undone by the makespan guard (kMakespanGuarded only).
   std::int64_t rejected_migrations = 0;
+  /// Decision-path counters: pivot tasks the gate skipped / passed, and
+  /// evaluated attempts that found no qualifying neighbour.
+  std::int64_t gate_skips = 0;
+  std::int64_t considered = 0;
+  std::int64_t rejected_no_gain = 0;
+  /// Migrations whose re-timing hit an order cycle and fell back to the
+  /// wholesale replay_retime rebuild (the residual DESIGN_RETIME.md
+  /// discusses; rare by construction).
+  std::int64_t replay_fallbacks = 0;
+  /// Transaction-journal footprint (txn rollback engine only): deepest
+  /// journal observed before commit/rollback, and total records journaled.
+  std::int64_t txn_journal_hwm = 0;
+  std::int64_t txn_journal_records = 0;
+  /// Lazily-built free-slot indexes the schedule constructed during the
+  /// run (Schedule::slot_index_builds()).
+  std::int64_t slot_index_builds = 0;
+  /// EvalScratch epoch bumps — pooled evaluation calls that invalidated
+  /// the edge / link mark arrays (zero when pooled_eval is off).
+  std::int64_t eval_edge_epochs = 0;
+  std::int64_t eval_link_epochs = 0;
   /// Re-timing engine counters (zero when incremental_retime is off).
   sched::RetimeContext::Stats retime;
 };

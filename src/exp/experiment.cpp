@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/validate.hpp"
 #include "workloads/random_dag.hpp"
@@ -16,13 +17,25 @@ RunOutcome run_algorithm(const std::string& spec, const graph::TaskGraph& g,
                          const net::Topology& topo,
                          const net::HeterogeneousCostModel& costs,
                          std::uint64_t seed) {
+  return run_algorithm(spec, g, topo, costs, seed, obs::Hooks{});
+}
+
+RunOutcome run_algorithm(const std::string& spec, const graph::TaskGraph& g,
+                         const net::Topology& topo,
+                         const net::HeterogeneousCostModel& costs,
+                         std::uint64_t seed, const obs::Hooks& hooks) {
   const std::unique_ptr<sched::Scheduler> scheduler =
       sched::SchedulerRegistry::global().resolve(spec);
-  const sched::SchedulerResult result = scheduler->run(g, topo, costs, seed);
+  sched::SchedulerResult result =
+      scheduler->run_observed(g, topo, costs, seed, hooks);
   RunOutcome out;
   out.wall_ms = result.total_ms();
   out.schedule_length = result.makespan();
-  out.valid = sched::validate(result.schedule, costs).ok();
+  {
+    obs::Span span(hooks.tracer, "validate", "runtime", hooks.trace_tid);
+    out.valid = sched::validate(result.schedule, costs).ok();
+  }
+  out.counters = std::move(result.counters);
   return out;
 }
 

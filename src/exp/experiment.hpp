@@ -8,6 +8,8 @@
 #include "graph/task_graph.hpp"
 #include "network/cost_model.hpp"
 #include "network/topology.hpp"
+#include "obs/counters.hpp"
+#include "obs/hooks.hpp"
 
 /// \file experiment.hpp
 /// Shared harness for the paper-reproduction benchmarks: the paper's four
@@ -21,16 +23,27 @@ struct RunOutcome {
   Time schedule_length = 0;
   double wall_ms = 0;   ///< algorithm wall-clock time
   bool valid = false;   ///< full invariant validation result
+  /// Deterministic algorithm counters (SchedulerResult::counters).
+  obs::CounterSnapshot counters;
 };
 
 /// Resolve a scheduler spec against the global registry, run it on one
 /// instance and validate the schedule. `seed` is the tie-breaking seed
-/// handed to Scheduler::run (spec-pinned seeds take precedence).
+/// handed to Scheduler::run (spec-pinned seeds take precedence). The
+/// hooks overload threads observability hooks into the scheduler and
+/// wraps validation in a span; hooks only observe — same outcome for
+/// any hooks.
 [[nodiscard]] RunOutcome run_algorithm(const std::string& spec,
                                        const graph::TaskGraph& g,
                                        const net::Topology& topo,
                                        const net::HeterogeneousCostModel& costs,
                                        std::uint64_t seed);
+[[nodiscard]] RunOutcome run_algorithm(const std::string& spec,
+                                       const graph::TaskGraph& g,
+                                       const net::Topology& topo,
+                                       const net::HeterogeneousCostModel& costs,
+                                       std::uint64_t seed,
+                                       const obs::Hooks& hooks);
 
 /// The paper's four experiment topologies over `procs` processors —
 /// "ring", "hypercube" (procs must be a power of two), "clique", and

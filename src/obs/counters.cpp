@@ -1,0 +1,39 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+
+namespace bsa::obs {
+
+Registry::Slot& Registry::intern(const std::string& name) {
+  for (Slot& s : slots_) {
+    if (s.name == name) return s;
+  }
+  slots_.push_back(Slot{name, 0});
+  return slots_.back();
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(&intern(name).value);
+}
+
+void Registry::add(const std::string& name, std::int64_t v) {
+  intern(name).value += v;
+}
+
+void Registry::merge(const CounterSnapshot& snap) {
+  for (const auto& [name, value] : snap) add(name, value);
+}
+
+CounterSnapshot Registry::snapshot() const {
+  CounterSnapshot out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.emplace_back(s.name, s.value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Registry::reset() noexcept {
+  for (Slot& s : slots_) s.value = 0;
+}
+
+}  // namespace bsa::obs

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file counters.hpp
+/// Deterministic counter registry — the uniform surface replacing the
+/// per-adapter `diagnostics` pair lists.
+///
+/// A Registry interns names into stable slots once; Counter handles are
+/// plain pointers into those slots, so bumping a counter on a hot path
+/// is a single add with no allocation, no hashing and no locking.
+/// `snapshot()` is the deterministic flush: the slots sorted by name,
+/// independent of interning order. Counters are integral by contract —
+/// they count events, not measure time — which is what makes them
+/// bit-identical at any thread count: every scheduler run is a pure
+/// function of its inputs, and sweep aggregation only ever sums exact
+/// integers (see docs/DESIGN_OBS.md for the full contract).
+///
+/// A Registry is not thread-safe; the runtime keeps one per scenario
+/// (or per aggregation cell) and merges snapshots, never sharing one
+/// across threads.
+
+namespace bsa::obs {
+
+/// One flushed registry: (name, value) pairs sorted by name.
+using CounterSnapshot = std::vector<std::pair<std::string, std::int64_t>>;
+
+/// Handle to one registry slot. Copyable, trivially cheap; an empty
+/// handle (default-constructed) ignores every operation, so hot paths
+/// can bump unconditionally-held handles without null checks of their
+/// own.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::int64_t n) noexcept {
+    if (slot_ != nullptr) *slot_ += n;
+  }
+  void increment() noexcept { add(1); }
+  void set(std::int64_t v) noexcept {
+    if (slot_ != nullptr) *slot_ = v;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return slot_ == nullptr ? 0 : *slot_;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::int64_t* slot) noexcept : slot_(slot) {}
+  std::int64_t* slot_ = nullptr;
+};
+
+class Registry {
+ public:
+  /// Intern `name` (idempotent) and return a handle to its slot. Slot
+  /// addresses are stable for the registry's lifetime, so handles may be
+  /// cached across any number of counter bumps.
+  [[nodiscard]] Counter counter(const std::string& name);
+
+  /// Intern + add in one step — the convenient form for one-shot flushes
+  /// (adapters exporting trace fields, benches merging snapshots).
+  void add(const std::string& name, std::int64_t v);
+
+  /// Sum a snapshot into this registry (per-cell aggregation).
+  void merge(const CounterSnapshot& snap);
+
+  /// The deterministic flush: every slot as (name, value), sorted by
+  /// name regardless of interning order.
+  [[nodiscard]] CounterSnapshot snapshot() const;
+
+  /// Zero every slot, keeping the interned names and handle addresses.
+  void reset() noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  [[nodiscard]] Slot& intern(const std::string& name);
+
+  // Deque, not vector: growing must not move existing slots out from
+  // under live Counter handles.
+  std::deque<Slot> slots_;
+};
+
+}  // namespace bsa::obs

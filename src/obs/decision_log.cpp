@@ -1,0 +1,78 @@
+#include "obs/decision_log.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace bsa::obs {
+
+const char* decision_outcome_name(DecisionOutcome o) {
+  switch (o) {
+    case DecisionOutcome::kCommitted:
+      return "commit";
+    case DecisionOutcome::kCommittedVip:
+      return "commit-vip";
+    case DecisionOutcome::kRejectedNoGain:
+      return "reject-no-gain";
+    case DecisionOutcome::kRejectedMakespanGuard:
+      return "reject-makespan-guard";
+  }
+  return "?";
+}
+
+std::string decision_to_jsonl(const MigrationDecision& d,
+                              const std::string& label) {
+  std::ostringstream os;
+  os << "{\"event\":\"migration\"";
+  if (!label.empty()) os << ",\"algo\":\"" << json_escape(label) << '"';
+  os << ",\"sweep\":" << d.sweep << ",\"phase\":" << d.phase          //
+     << ",\"pivot\":" << d.pivot << ",\"task\":" << d.task            //
+     << ",\"from\":" << d.from << ",\"to\":" << d.to                  //
+     << ",\"old_finish\":" << json_number(d.old_finish)               //
+     << ",\"predicted_finish\":" << json_number(d.predicted_finish)   //
+     << ",\"gain\":" << json_number(d.gain())                         //
+     << ",\"new_finish\":" << json_number(d.new_finish)               //
+     << ",\"makespan_before\":" << json_number(d.makespan_before)     //
+     << ",\"makespan_after\":" << json_number(d.makespan_after)       //
+     << ",\"outcome\":\"" << decision_outcome_name(d.outcome) << "\"}";
+  return os.str();
+}
+
+JsonlDecisionLog::JsonlDecisionLog(std::ostream& os, std::string label)
+    : os_(&os), label_(std::move(label)) {}
+
+JsonlDecisionLog::JsonlDecisionLog(const std::string& path, std::string label)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      os_(owned_.get()),
+      label_(std::move(label)) {
+  BSA_REQUIRE(owned_->good(),
+              "JsonlDecisionLog: cannot open '" << path << "'");
+}
+
+void JsonlDecisionLog::record(const MigrationDecision& d) {
+  const std::string line = decision_to_jsonl(d, label_);
+  const std::lock_guard<std::mutex> lock(mu_);
+  *os_ << line << '\n';
+  ++rows_;
+}
+
+void JsonlDecisionLog::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os_->flush();
+}
+
+std::size_t JsonlDecisionLog::rows_written() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+void CollectingDecisionLog::record(const MigrationDecision& d) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  decisions_.push_back(d);
+}
+
+}  // namespace bsa::obs

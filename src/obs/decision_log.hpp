@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file decision_log.hpp
+/// Structured BSA decision log: one event per migration attempt, with
+/// the pivot, the task, the chosen target and why the attempt was kept
+/// or rejected — the "explain why" surface a debugger session used to
+/// be needed for. Rows serialise as flat JSONL (every value a scalar),
+/// so they round-trip through runtime::parse_jsonl_row and pipe into
+/// jq/python without a schema.
+///
+/// The log observes; it never influences the algorithm. With a null
+/// sink BSA skips even building the event struct, so the decision path
+/// costs one branch when logging is off (docs/DESIGN_OBS.md).
+
+namespace bsa::obs {
+
+/// Why a migration attempt ended the way it did.
+enum class DecisionOutcome : unsigned char {
+  kCommitted,             ///< strictly earlier finish; kept
+  kCommittedVip,          ///< equal finish, kept under the VIP rule
+  kRejectedNoGain,        ///< no neighbour beats the current finish time
+  kRejectedMakespanGuard  ///< committed then rolled back: makespan grew
+};
+[[nodiscard]] const char* decision_outcome_name(DecisionOutcome o);
+
+/// One migration attempt. Times are schedule times; fields that do not
+/// apply to the outcome (e.g. new_finish of a no-gain attempt) are NaN
+/// and serialise as JSON null.
+struct MigrationDecision {
+  int sweep = 0;           ///< BFS sweep number (0-based)
+  int phase = 0;           ///< migration phase within the pivot visit
+  std::int32_t pivot = -1;
+  std::int32_t task = -1;
+  std::int32_t from = -1;  ///< processor the task sat on
+  std::int32_t to = -1;    ///< chosen target, -1 when none qualified
+  double old_finish = 0;         ///< finish time before the attempt
+  double predicted_finish = 0;   ///< best candidate finish found
+  double new_finish = 0;         ///< realised finish (NaN unless committed)
+  double makespan_before = 0;    ///< NaN unless a commit was evaluated
+  double makespan_after = 0;     ///< NaN unless a commit was evaluated
+  DecisionOutcome outcome = DecisionOutcome::kRejectedNoGain;
+
+  /// The attempt's predicted improvement (old - predicted).
+  [[nodiscard]] double gain() const { return old_finish - predicted_finish; }
+};
+
+/// Serialise one decision as a flat JSONL row. A non-empty `label` is
+/// emitted as the "algo" column so logs of several runs stay
+/// distinguishable after concatenation.
+[[nodiscard]] std::string decision_to_jsonl(const MigrationDecision& d,
+                                            const std::string& label = "");
+
+class DecisionSink {
+ public:
+  virtual ~DecisionSink() = default;
+  /// Record one attempt. Implementations must be safe to call from any
+  /// thread (parallel sweeps may share a sink).
+  virtual void record(const MigrationDecision& d) = 0;
+};
+
+/// Streams decisions to an ostream or file as JSON Lines.
+class JsonlDecisionLog final : public DecisionSink {
+ public:
+  explicit JsonlDecisionLog(std::ostream& os, std::string label = "");
+  /// Opens `path` for writing (truncated). Throws PreconditionError when
+  /// the file cannot be opened.
+  explicit JsonlDecisionLog(const std::string& path, std::string label = "");
+
+  void record(const MigrationDecision& d) override;
+  void flush();
+  [[nodiscard]] std::size_t rows_written() const;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  std::string label_;
+  mutable std::mutex mu_;
+  std::size_t rows_ = 0;
+};
+
+/// Collects decisions in memory (record order) — for tests and for
+/// drivers that interleave parallel runs and want per-run logs written
+/// out deterministically afterwards.
+class CollectingDecisionLog final : public DecisionSink {
+ public:
+  void record(const MigrationDecision& d) override;
+  [[nodiscard]] const std::vector<MigrationDecision>& decisions() const {
+    return decisions_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<MigrationDecision> decisions_;
+};
+
+}  // namespace bsa::obs

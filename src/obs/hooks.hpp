@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file hooks.hpp
+/// The non-owning observability hook bundle threaded through scheduler
+/// runs (Scheduler::run_observed, BsaOptions::obs). Deliberately a bag
+/// of nullable pointers: a default-constructed Hooks is "observability
+/// off", and every instrumented code path pays exactly one branch on the
+/// relevant null pointer — outputs are byte-identical either way (see
+/// docs/DESIGN_OBS.md).
+
+namespace bsa::obs {
+
+class Tracer;
+class DecisionSink;
+
+struct Hooks {
+  /// Span sink for phase/runtime timing, or nullptr (tracing off).
+  Tracer* tracer = nullptr;
+  /// Trace track the spans land on: 0 for the caller thread, worker
+  /// index + 1 inside a SweepRunner sweep.
+  std::uint32_t trace_tid = 0;
+  /// Per-migration-attempt decision sink, or nullptr (logging off).
+  DecisionSink* decision_log = nullptr;
+
+  [[nodiscard]] bool any() const noexcept {
+    return tracer != nullptr || decision_log != nullptr;
+  }
+};
+
+}  // namespace bsa::obs

@@ -1,0 +1,93 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace bsa::obs {
+
+bool stderr_is_tty() noexcept {
+#if defined(_WIN32)
+  return _isatty(_fileno(stderr)) != 0;
+#else
+  return isatty(STDERR_FILENO) != 0;
+#endif
+}
+
+ProgressMeter::ProgressMeter(std::size_t total, std::string label,
+                             std::ostream* os,
+                             std::chrono::milliseconds min_interval)
+    : os_(os == nullptr ? &std::cerr : os),
+      total_(total),
+      label_(std::move(label)),
+      min_interval_(min_interval),
+      start_(std::chrono::steady_clock::now()),
+      last_render_(start_ - min_interval) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::update(std::size_t done) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  if (done <= best_done_) return;
+  best_done_ = done;
+  const auto now = std::chrono::steady_clock::now();
+  if (done < total_ && now - last_render_ < min_interval_) return;
+  last_render_ = now;
+  render(done, false);
+}
+
+void ProgressMeter::finish() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (!rendered_) return;  // never drew anything; nothing to end
+  render(best_done_, true);
+}
+
+void ProgressMeter::render(std::size_t done, bool final_line) {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done) /
+                       static_cast<double>(total_)
+                 : 100.0;
+  char buf[160];
+  if (done < total_ && rate > 0) {
+    const long eta =
+        static_cast<long>(static_cast<double>(total_ - done) / rate);
+    std::snprintf(buf, sizeof buf,
+                  "\r%s: %zu/%zu (%.1f%%)  %.1f/s  eta %ld:%02ld   ",
+                  label_.c_str(), done, total_, pct, rate, eta / 60, eta % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "\r%s: %zu/%zu (%.1f%%)  %.1f/s   ",
+                  label_.c_str(), done, total_, pct, rate);
+  }
+  *os_ << buf;
+  if (final_line) {
+    *os_ << '\n';
+  }
+  os_->flush();
+  rendered_ = true;
+}
+
+std::function<void(std::size_t, std::size_t)> ProgressMeter::callback() {
+  return [this](std::size_t done, std::size_t /*total*/) { update(done); };
+}
+
+std::unique_ptr<ProgressMeter> maybe_progress(bool requested,
+                                              std::size_t total,
+                                              std::string label) {
+  if (!requested || !stderr_is_tty()) return nullptr;
+  return std::make_unique<ProgressMeter>(total, std::move(label));
+}
+
+}  // namespace bsa::obs

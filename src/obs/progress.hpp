@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+/// \file progress.hpp
+/// Live progress meter for long sweeps: a single stderr line with
+/// done/total, completion rate and an ETA, redrawn in place with '\r'.
+///
+/// The meter only ever writes to stderr (or the stream it was handed),
+/// never to an artefact stream, so enabling it cannot perturb tables,
+/// JSONL files or BENCH reports. Updates are thread-safe and throttled
+/// — workers can tick it per scenario without serialising on terminal
+/// I/O. Drivers should gate it on stderr_is_tty() (maybe_progress does)
+/// so CI logs and redirected runs stay clean.
+
+namespace bsa::obs {
+
+/// True when stderr is attached to a terminal.
+[[nodiscard]] bool stderr_is_tty() noexcept;
+
+class ProgressMeter {
+ public:
+  /// Render to `os` (nullptr selects std::cerr). `min_interval` bounds
+  /// the redraw rate; tests pass 0 to observe every update.
+  ProgressMeter(std::size_t total, std::string label,
+                std::ostream* os = nullptr,
+                std::chrono::milliseconds min_interval =
+                    std::chrono::milliseconds(100));
+  /// Finishes the meter (final render + newline) if still open.
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Report that `done` units are complete. Out-of-order calls are fine
+  /// (parallel workers race to report); the meter never goes backwards.
+  void update(std::size_t done);
+
+  /// Render the final state and end the line. Idempotent; call before
+  /// printing results so tables don't land mid-line.
+  void finish();
+
+  /// Adapter for SweepOptions::progress — forwards (done, total) calls
+  /// to update(). The meter must outlive the callback.
+  [[nodiscard]] std::function<void(std::size_t, std::size_t)> callback();
+
+ private:
+  void render(std::size_t done, bool final_line);
+
+  std::ostream* os_;
+  std::size_t total_;
+  std::string label_;
+  std::chrono::milliseconds min_interval_;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_render_;
+  std::size_t best_done_ = 0;
+  bool rendered_ = false;
+  bool finished_ = false;
+};
+
+/// The standard driver gate: a meter when `requested` (the --progress
+/// flag) and stderr is a TTY, nullptr otherwise — so `--progress` in a
+/// CI log or behind a redirect is a silent no-op.
+[[nodiscard]] std::unique_ptr<ProgressMeter> maybe_progress(
+    bool requested, std::size_t total, std::string label);
+
+}  // namespace bsa::obs

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace bsa::obs {
+
+namespace {
+
+double us_between(const std::chrono::steady_clock::time_point& a,
+                  const std::chrono::steady_clock::time_point& b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+     << json_escape(e.cat) << "\",\"ph\":\"" << e.ph
+     << "\",\"ts\":" << json_number(e.ts_us);
+  if (e.ph == 'X') os << ",\"dur\":" << json_number(e.dur_us);
+  os << ",\"pid\":1,\"tid\":" << e.tid;
+  if (e.ph == 'i') os << ",\"s\":\"t\"";
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      os << (i ? "," : "") << '"' << json_escape(e.args[i].first)
+         << "\":" << json_number(e.args[i].second);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(Clock::now()) {}
+
+double Tracer::now_us() const { return us_between(epoch_, Clock::now()); }
+
+double Tracer::to_us(std::chrono::steady_clock::time_point tp) const {
+  return us_between(epoch_, tp);
+}
+
+void Tracer::add_complete(std::string name, std::string cat, double ts_us,
+                          double dur_us, std::uint32_t tid,
+                          std::vector<std::pair<std::string, double>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = tid;
+  e.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::add_instant(std::string name, std::string cat,
+                         std::uint32_t tid) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.ts_us = now_us();
+  e.tid = tid;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::set_thread_name(std::uint32_t tid, std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::sorted_events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::map<std::uint32_t, std::string> names;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    names = thread_names_;
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const TraceEvent& e : sorted_events()) {
+    if (!first) os << ',';
+    first = false;
+    write_event(os, e);
+  }
+  os << "]}\n";
+}
+
+Span::Span(Tracer* tracer, const char* name, const char* cat,
+           std::uint32_t tid) {
+  if (tracer == nullptr) return;
+  tracer_ = tracer;
+  name_ = name;
+  cat_ = cat;
+  tid_ = tid;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(Tracer* tracer, std::string name, const char* cat,
+           std::uint32_t tid) {
+  if (tracer == nullptr) return;
+  tracer_ = tracer;
+  name_ = std::move(name);
+  cat_ = cat;
+  tid_ = tid;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::arg(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, value);
+}
+
+void Span::close() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double dur =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  tracer_->add_complete(std::move(name_), cat_, tracer_->to_us(start_), dur,
+                        tid_, std::move(args_));
+  tracer_ = nullptr;
+}
+
+}  // namespace bsa::obs

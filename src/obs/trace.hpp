@@ -1,0 +1,122 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file trace.hpp
+/// Span tracer exporting Chrome trace-event JSON (loadable in Perfetto
+/// or chrome://tracing).
+///
+/// A Tracer collects complete events ("ph":"X") — spans with a start
+/// timestamp and a duration in microseconds since the tracer's epoch —
+/// plus instant marks and per-track thread names. Spans are recorded
+/// through the RAII Span guard, which is inert when handed a null
+/// tracer: construction is a couple of member stores behind one branch,
+/// so instrumented hot paths cost nothing measurable with tracing off.
+///
+/// Timestamps come from std::chrono::steady_clock, so they are
+/// monotonic; write_chrome_trace sorts events by start time, which is
+/// what scripts/check_trace.py validates. Recording takes a mutex —
+/// sweeps trace scenario/chunk-grained spans from many workers, and a
+/// span is closed far less often than the work inside it. Tracing never
+/// changes what any algorithm computes; it only observes (see
+/// docs/DESIGN_OBS.md for the span taxonomy).
+
+namespace bsa::obs {
+
+/// One recorded event. `ph` is the Chrome trace phase: 'X' complete,
+/// 'i' instant, 'M' metadata (thread names).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  double ts_us = 0;
+  double dur_us = 0;
+  std::uint32_t tid = 0;
+  /// Small numeric payload emitted as the event's "args" object.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class Tracer {
+ public:
+  /// The construction instant is the trace epoch (ts 0).
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since the epoch, for callers recording events
+  /// directly.
+  [[nodiscard]] double now_us() const;
+
+  /// Convert a steady_clock instant to microseconds since the epoch.
+  [[nodiscard]] double to_us(std::chrono::steady_clock::time_point tp) const;
+
+  /// Record a complete event (span) — thread-safe.
+  void add_complete(std::string name, std::string cat, double ts_us,
+                    double dur_us, std::uint32_t tid,
+                    std::vector<std::pair<std::string, double>> args = {});
+
+  /// Record an instant mark — thread-safe.
+  void add_instant(std::string name, std::string cat, std::uint32_t tid);
+
+  /// Name a track ("main", "worker 3"); emitted as a thread_name
+  /// metadata event so Perfetto labels the row.
+  void set_thread_name(std::uint32_t tid, std::string name);
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Events in start-time order (a copy; mainly for tests).
+  [[nodiscard]] std::vector<TraceEvent> sorted_events() const;
+
+  /// Write the whole trace as a Chrome trace-event JSON document:
+  /// {"traceEvents":[...]} with metadata events first, then spans and
+  /// instants sorted by start time.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::uint32_t, std::string> thread_names_;
+};
+
+/// RAII span guard: captures the start time at construction and records
+/// one complete event on close (or destruction). All operations are
+/// no-ops when the tracer is null — the "branch on a null sink" the
+/// overhead budget allows.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, const char* name, const char* cat,
+       std::uint32_t tid = 0);
+  Span(Tracer* tracer, std::string name, const char* cat,
+       std::uint32_t tid = 0);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { close(); }
+
+  /// Attach one numeric argument (shown in the Perfetto detail pane).
+  void arg(const char* key, double value);
+
+  /// Record the event now; further calls are no-ops.
+  void close();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  const char* cat_ = "";
+  std::uint32_t tid_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<std::pair<std::string, double>> args_;
+};
+
+}  // namespace bsa::obs

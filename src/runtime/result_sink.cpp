@@ -12,55 +12,11 @@
 
 namespace bsa::runtime {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  // JSON has no inf/nan literals; emit null so a row with a non-finite
-  // metric (e.g. the granularity of an edge-free external graph) stays
-  // parseable instead of corrupting the whole JSONL file.
-  if (!std::isfinite(v)) return "null";
-  if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-    return buf;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
 std::string to_jsonl(const ScenarioResult& row) {
+  return to_jsonl(row, /*with_counters=*/false);
+}
+
+std::string to_jsonl(const ScenarioResult& row, bool with_counters) {
   const ScenarioSpec& s = row.spec;
   std::ostringstream os;
   os << "{\"index\":" << s.index                                        //
@@ -79,7 +35,13 @@ std::string to_jsonl(const ScenarioResult& row) {
      << ",\"seed\":" << s.instance_seed                                 //
      << ",\"schedule_length\":" << json_number(row.schedule_length)     //
      << ",\"wall_ms\":" << json_number(row.wall_ms)                     //
-     << ",\"valid\":" << (row.valid ? "true" : "false") << '}';
+     << ",\"valid\":" << (row.valid ? "true" : "false");
+  if (with_counters) {
+    for (const auto& [name, value] : row.counters) {
+      os << ",\"ctr:" << json_escape(name) << "\":" << value;
+    }
+  }
+  os << '}';
   return os.str();
 }
 
@@ -225,17 +187,19 @@ std::map<std::string, JsonScalar> parse_jsonl_row(const std::string& line) {
   return MiniJsonParser(line).parse_object();
 }
 
-JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+JsonlSink::JsonlSink(std::ostream& os, bool emit_counters)
+    : os_(&os), emit_counters_(emit_counters) {}
 
-JsonlSink::JsonlSink(const std::string& path, bool append)
+JsonlSink::JsonlSink(const std::string& path, bool append, bool emit_counters)
     : owned_(std::make_unique<std::ofstream>(
           path, append ? std::ios::app : std::ios::trunc)),
-      os_(owned_.get()) {
+      os_(owned_.get()),
+      emit_counters_(emit_counters) {
   BSA_REQUIRE(owned_->good(), "JsonlSink: cannot open '" << path << "'");
 }
 
 void JsonlSink::consume(const ScenarioResult& row) {
-  const std::string line = to_jsonl(row);
+  const std::string line = to_jsonl(row, emit_counters_);
   const std::lock_guard<std::mutex> lock(mu_);
   *os_ << line << '\n';
   ++rows_;
@@ -277,8 +241,18 @@ void write_bench_json(std::ostream& os, const std::string& bench_name,
     os << (i ? "," : "") << "{\"label\":\"" << json_escape(e.label)
        << "\",\"runs\":" << e.runs
        << ",\"mean_wall_ms\":" << json_number(e.mean_wall_ms)
-       << ",\"mean_schedule_length\":" << json_number(e.mean_schedule_length)
-       << '}';
+       << ",\"p50_wall_ms\":" << json_number(e.p50_wall_ms)
+       << ",\"p99_wall_ms\":" << json_number(e.p99_wall_ms)
+       << ",\"mean_schedule_length\":" << json_number(e.mean_schedule_length);
+    if (!e.counters.empty()) {
+      os << ",\"counters\":{";
+      for (std::size_t c = 0; c < e.counters.size(); ++c) {
+        os << (c ? "," : "") << '"' << json_escape(e.counters[c].first)
+           << "\":" << e.counters[c].second;
+      }
+      os << '}';
+    }
+    os << '}';
   }
   os << "]}\n";
 }

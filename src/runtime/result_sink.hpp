@@ -9,6 +9,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/json.hpp"
+#include "obs/counters.hpp"
 #include "runtime/scenario.hpp"
 
 /// \file result_sink.hpp
@@ -32,16 +34,18 @@ class ResultSink {
 
 /// Serialise one result as a single-line JSON object (JSON Lines row).
 /// Numbers are formatted with round-trip precision so re-parsing yields
-/// bit-identical values.
+/// bit-identical values. With `with_counters`, each algorithm counter is
+/// appended as a flat "ctr:<name>" key (flat so parse_jsonl_row still
+/// round-trips the row); the default emission is unchanged so existing
+/// JSONL consumers and byte-identity baselines are unaffected.
 [[nodiscard]] std::string to_jsonl(const ScenarioResult& row);
+[[nodiscard]] std::string to_jsonl(const ScenarioResult& row,
+                                   bool with_counters);
 
-/// Escape a string for embedding in a JSON document (no surrounding
-/// quotes added).
-[[nodiscard]] std::string json_escape(const std::string& s);
-
-/// Format a double with round-trip (max_digits10) precision; integral
-/// values print without an exponent or trailing zeros.
-[[nodiscard]] std::string json_number(double v);
+/// JSON string/number formatting lives in common/json.hpp; re-exported
+/// here for the existing bsa::runtime call sites.
+using bsa::json_escape;
+using bsa::json_number;
 
 /// A parsed scalar from a flat JSONL row.
 using JsonScalar = std::variant<std::nullptr_t, bool, double, std::string>;
@@ -57,11 +61,13 @@ using JsonScalar = std::variant<std::nullptr_t, bool, double, std::string>;
 class JsonlSink : public ResultSink {
  public:
   /// Write to a caller-owned stream (kept alive by the caller).
-  explicit JsonlSink(std::ostream& os);
+  /// `emit_counters` opts into the "ctr:<name>" columns (see to_jsonl).
+  explicit JsonlSink(std::ostream& os, bool emit_counters = false);
   /// Open `path` for writing — truncated by default, appended to with
   /// `append == true` (JSONL accretes across runs). Throws
   /// PreconditionError when the file cannot be opened.
-  explicit JsonlSink(const std::string& path, bool append = false);
+  explicit JsonlSink(const std::string& path, bool append = false,
+                     bool emit_counters = false);
 
   void consume(const ScenarioResult& row) override;
   void flush() override;
@@ -70,6 +76,7 @@ class JsonlSink : public ResultSink {
  private:
   std::unique_ptr<std::ostream> owned_;
   std::ostream* os_;
+  bool emit_counters_ = false;
   mutable std::mutex mu_;
   std::size_t rows_ = 0;
 };
@@ -104,6 +111,14 @@ struct BenchEntry {
   std::size_t runs = 0;
   double mean_wall_ms = 0;
   double mean_schedule_length = 0;
+  /// Wall-time percentiles across the runs (0 when not collected; the
+  /// mean fields above are kept so older BENCH_*.json consumers keep
+  /// working).
+  double p50_wall_ms = 0;
+  double p99_wall_ms = 0;
+  /// Summed deterministic algorithm counters over the runs (empty when
+  /// not collected); emitted as a nested "counters" object.
+  obs::CounterSnapshot counters = {};
 };
 
 /// Write the repo's BENCH_*.json perf-trajectory format: a single JSON

@@ -1,5 +1,7 @@
 #include "runtime/scenario.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "exp/experiment.hpp"
@@ -117,6 +119,11 @@ ScenarioSet ScenarioSet::from_grid(const ScenarioGrid& grid) {
 }
 
 ScenarioResult evaluate_scenario(const ScenarioSpec& spec) {
+  return evaluate_scenario(spec, obs::Hooks{});
+}
+
+ScenarioResult evaluate_scenario(const ScenarioSpec& spec,
+                                 const obs::Hooks& hooks) {
   BSA_REQUIRE(spec.workload != kExternalWorkload,
               "evaluate_scenario: external graphs are not reconstructible "
               "from a spec");
@@ -130,13 +137,14 @@ ScenarioResult evaluate_scenario(const ScenarioSpec& spec) {
       exp::make_cost_model(g, topo, spec.het_lo, spec.het_hi,
                            spec.link_het_lo, spec.link_het_hi, spec.per_pair,
                            derive_seed(spec.instance_seed, 17));
-  const exp::RunOutcome outcome =
-      exp::run_algorithm(spec.algo, g, topo, cm, spec.algo_seed);
+  exp::RunOutcome outcome =
+      exp::run_algorithm(spec.algo, g, topo, cm, spec.algo_seed, hooks);
   ScenarioResult r;
   r.spec = spec;
   r.schedule_length = outcome.schedule_length;
   r.wall_ms = outcome.wall_ms;
   r.valid = outcome.valid;
+  r.counters = std::move(outcome.counters);
   return r;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/counters.hpp"
+#include "obs/hooks.hpp"
 
 /// \file scenario.hpp
 /// Scenario enumeration for experiment sweeps.
@@ -78,6 +80,9 @@ struct ScenarioResult {
   Time schedule_length = 0;
   double wall_ms = 0;  ///< algorithm wall-clock time (non-deterministic)
   bool valid = false;  ///< full invariant validation result
+  /// Deterministic algorithm counters (SchedulerResult::counters passed
+  /// through) — like schedule_length, a pure function of the spec.
+  obs::CounterSnapshot counters;
 };
 
 /// How per-scenario instance seeds are derived from the grid.
@@ -153,7 +158,11 @@ class ScenarioSet {
 /// Evaluate one scenario: resolve the workload spec against the global
 /// WorkloadRegistry, build the graph, topology and cost model from the
 /// spec's seeds, run the algorithm and validate the schedule.
-/// Deterministic in the spec (except the wall_ms timing field).
+/// Deterministic in the spec (except the wall_ms timing field). The
+/// hooks overload threads tracer/decision-log hooks into the scheduler;
+/// hooks only observe, so the result is the same for any hooks.
 [[nodiscard]] ScenarioResult evaluate_scenario(const ScenarioSpec& spec);
+[[nodiscard]] ScenarioResult evaluate_scenario(const ScenarioSpec& spec,
+                                               const obs::Hooks& hooks);
 
 }  // namespace bsa::runtime

@@ -1,25 +1,53 @@
 #include "runtime/sweep_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace bsa::runtime {
 
+namespace {
+
+/// Trace track of the calling thread: 0 for the main thread, w+1 for
+/// pool worker w — stable across chunks, so every worker gets one named
+/// row in the trace viewer.
+std::uint32_t worker_track() {
+  return static_cast<std::uint32_t>(current_worker_id() + 1);
+}
+
+}  // namespace
+
 SweepRunner::SweepRunner(SweepOptions options)
     : threads_(options.threads <= 0 ? default_thread_count()
                                     : options.threads),
-      chunk_size_(options.chunk_size) {}
+      chunk_size_(options.chunk_size),
+      tracer_(options.tracer),
+      progress_(std::move(options.progress)) {}
 
 std::vector<ScenarioResult> SweepRunner::run(const ScenarioSet& set,
                                              ResultSink* sink) const {
   std::vector<ScenarioResult> results(set.size());
   if (!set.empty()) {
-    const auto evaluate = [&set, &results](std::size_t i) {
-      results[i] = evaluate_scenario(set[i]);
+    const std::size_t total = set.size();
+    std::atomic<std::size_t> done{0};
+    const auto evaluate = [this, &set, &results, &done, total](std::size_t i) {
+      obs::Hooks hooks;
+      hooks.tracer = tracer_;
+      hooks.trace_tid = worker_track();
+      obs::Span span(tracer_, "scenario", "sweep", hooks.trace_tid);
+      span.arg("index", static_cast<double>(i));
+      results[i] = evaluate_scenario(set[i], hooks);
+      span.close();
+      if (progress_) progress_(done.fetch_add(1) + 1, total);
     };
     if (threads_ == 1) {
       // Inline fast path: no pool startup for serial runs.
+      if (tracer_ != nullptr) tracer_->set_thread_name(0, "main");
       for (std::size_t i = 0; i < set.size(); ++i) evaluate(i);
     } else {
       // Several chunks per thread so long scenarios (500-task graphs)
@@ -29,11 +57,32 @@ std::vector<ScenarioResult> SweepRunner::run(const ScenarioSet& set,
               ? chunk_size_
               : std::max<std::size_t>(
                     1, set.size() / (static_cast<std::size_t>(threads_) * 8));
+      if (tracer_ != nullptr) {
+        tracer_->set_thread_name(0, "main");
+        for (int w = 0; w < threads_; ++w) {
+          tracer_->set_thread_name(static_cast<std::uint32_t>(w + 1),
+                                   "worker " + std::to_string(w));
+        }
+      }
       ThreadPool pool(threads_);
-      pool.parallel_for(set.size(), chunk, evaluate);
+      if (tracer_ != nullptr) {
+        // Chunk-granular path so each dynamically-claimed chunk shows up
+        // as one span on its worker's track.
+        pool.parallel_for_chunked(
+            set.size(), chunk,
+            [&evaluate, this](std::size_t begin, std::size_t end) {
+              obs::Span span(tracer_, "chunk", "sweep", worker_track());
+              span.arg("begin", static_cast<double>(begin));
+              span.arg("end", static_cast<double>(end));
+              for (std::size_t i = begin; i < end; ++i) evaluate(i);
+            });
+      } else {
+        pool.parallel_for(set.size(), chunk, evaluate);
+      }
     }
   }
   if (sink != nullptr) {
+    obs::Span span(tracer_, "sink_flush", "sweep", 0);
     for (const ScenarioResult& r : results) sink->consume(r);
     sink->flush();
   }

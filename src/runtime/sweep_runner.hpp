@@ -1,10 +1,15 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "runtime/result_sink.hpp"
 #include "runtime/scenario.hpp"
+
+namespace bsa::obs {
+class Tracer;
+}  // namespace bsa::obs
 
 /// \file sweep_runner.hpp
 /// Parallel scenario-sweep executor.
@@ -24,6 +29,16 @@ struct SweepOptions {
   /// Scenarios per dynamically-claimed chunk; 0 picks a size that gives
   /// each thread several chunks to balance uneven scenario costs.
   std::size_t chunk_size = 0;
+  /// Optional trace collector (not owned; must outlive run()). When set,
+  /// the runner emits chunk-claim and per-scenario spans on per-worker
+  /// tracks (tid 0 = main thread, tid w+1 = pool worker w) and threads
+  /// the tracer into each scheduler run. Null costs nothing.
+  obs::Tracer* tracer = nullptr;
+  /// Optional progress callback, invoked as (done, total) after every
+  /// scenario completes — from worker threads, so it must be
+  /// thread-safe (obs::ProgressMeter::callback() qualifies). Purely
+  /// observational: results and sink output are unaffected.
+  std::function<void(std::size_t, std::size_t)> progress = nullptr;
 };
 
 class SweepRunner {
@@ -43,6 +58,8 @@ class SweepRunner {
  private:
   int threads_;
   std::size_t chunk_size_;
+  obs::Tracer* tracer_;
+  std::function<void(std::size_t, std::size_t)> progress_;
 };
 
 }  // namespace bsa::runtime

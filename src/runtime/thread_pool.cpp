@@ -13,11 +13,19 @@ int default_thread_count() noexcept {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+namespace {
+/// Worker index within the owning pool; -1 on threads not started by a
+/// ThreadPool (set once at worker startup, before any task runs).
+thread_local int t_worker_id = -1;
+}  // namespace
+
+int current_worker_id() noexcept { return t_worker_id; }
+
 ThreadPool::ThreadPool(int threads) {
   const int n = threads <= 0 ? default_thread_count() : threads;
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -53,6 +61,14 @@ void ThreadPool::wait() {
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(n, chunk, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) {
   if (n == 0) return;
   BSA_REQUIRE(chunk > 0, "ThreadPool::parallel_for: chunk must be positive");
   // One claim ticket per chunk; workers grab the next unclaimed chunk.
@@ -63,20 +79,21 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   const std::size_t num_tasks =
       std::min<std::size_t>(num_chunks, static_cast<std::size_t>(size()));
   for (std::size_t t = 0; t < num_tasks; ++t) {
-    submit([next, n, chunk, &body] {
+    submit([next, n, chunk, &chunk_body] {
       for (;;) {
         const std::size_t c = next->fetch_add(1);
         const std::size_t begin = c * chunk;
         if (begin >= n) return;
         const std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        chunk_body(begin, end);
       }
     });
   }
   wait();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_id) {
+  t_worker_id = worker_id;
   for (;;) {
     std::function<void()> task;
     {

@@ -25,6 +25,11 @@ namespace bsa::runtime {
 /// the hardware concurrency, with a floor of 1.
 [[nodiscard]] int default_thread_count() noexcept;
 
+/// Index of the calling thread within its owning ThreadPool (0-based),
+/// or -1 when called off-pool (e.g. from the main thread). Used by
+/// observability to assign stable per-worker trace tracks.
+[[nodiscard]] int current_worker_id() noexcept;
+
 class ThreadPool {
  public:
   /// Start `threads` workers (<= 0 selects default_thread_count()).
@@ -56,8 +61,17 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t chunk,
                     const std::function<void(std::size_t)>& body);
 
+  /// Chunk-granular variant: `chunk_body(begin, end)` is invoked once per
+  /// claimed chunk with its half-open index range. parallel_for is this
+  /// with a per-index inner loop; callers that want per-chunk work (e.g.
+  /// a trace span around each chunk) use this directly. Same sharding,
+  /// blocking and exception contract as parallel_for.
+  void parallel_for_chunked(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& chunk_body);
+
  private:
-  void worker_loop();
+  void worker_loop(int worker_id);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

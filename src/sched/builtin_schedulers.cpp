@@ -10,6 +10,8 @@
 #include "baselines/eft.hpp"
 #include "baselines/mh.hpp"
 #include "core/bsa.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 
 /// \file builtin_schedulers.cpp
@@ -101,27 +103,61 @@ class BsaScheduler final : public Scheduler {
                                     const net::Topology& topo,
                                     const net::HeterogeneousCostModel& costs,
                                     std::uint64_t seed) const override {
+    return run_impl(g, topo, costs, seed, obs::Hooks{});
+  }
+
+  [[nodiscard]] SchedulerResult run_observed(
+      const graph::TaskGraph& g, const net::Topology& topo,
+      const net::HeterogeneousCostModel& costs, std::uint64_t seed,
+      const obs::Hooks& hooks) const override {
+    obs::Span span(hooks.tracer, spec(), "sched", hooks.trace_tid);
+    return run_impl(g, topo, costs, seed, hooks);
+  }
+
+ private:
+  [[nodiscard]] SchedulerResult run_impl(
+      const graph::TaskGraph& g, const net::Topology& topo,
+      const net::HeterogeneousCostModel& costs, std::uint64_t seed,
+      const obs::Hooks& hooks) const {
     core::BsaOptions opt = options_;
     opt.seed = pinned_seed_.value_or(seed);
+    opt.obs = hooks;
     const auto t0 = Clock::now();
     core::BsaResult r = core::schedule_bsa(g, topo, costs, opt);
     const double ms = ms_since(t0);
     SchedulerResult out(std::move(r.schedule));
     out.phase_ms = {{"schedule", ms}};
-    out.diagnostics = {
-        {"migrations", static_cast<double>(r.trace.migrations.size())},
-        {"rejected_migrations",
-         static_cast<double>(r.trace.rejected_migrations)},
-        {"pivots", static_cast<double>(r.trace.pivot_sequence.size())},
-        {"initial_serial_length",
-         static_cast<double>(r.trace.initial_serial_length)},
-        {"retime_nodes_recomputed",
-         static_cast<double>(r.trace.retime.nodes_recomputed)},
-    };
+
+    const core::BsaTrace& t = r.trace;
+    std::int64_t vip = 0;
+    for (const core::Migration& m : t.migrations) vip += m.via_vip_rule;
+    obs::Registry reg;
+    reg.add("bsa.migrations", static_cast<std::int64_t>(t.migrations.size()));
+    reg.add("bsa.migrations_vip", vip);
+    reg.add("bsa.pivots", static_cast<std::int64_t>(t.pivot_sequence.size()));
+    reg.add("bsa.considered", t.considered);
+    reg.add("bsa.gate_skips", t.gate_skips);
+    reg.add("bsa.rejected.makespan_guard", t.rejected_migrations);
+    reg.add("bsa.rejected.no_gain", t.rejected_no_gain);
+    reg.add("bsa.replay_fallbacks", t.replay_fallbacks);
+    // Serial lengths are integral by the cost model's construction
+    // (integer factor x integer nominal cost), so the counter is exact.
+    reg.add("bsa.initial_serial_length",
+            static_cast<std::int64_t>(t.initial_serial_length));
+    reg.add("bsa.retime.nodes_recomputed", t.retime.nodes_recomputed);
+    reg.add("bsa.retime.migrations", t.retime.migrations);
+    reg.add("bsa.retime.resyncs", t.retime.resyncs);
+    reg.add("bsa.retime.undos", t.retime.undos);
+    reg.add("bsa.retime.full_rebuilds", t.retime.full_rebuilds);
+    reg.add("bsa.txn.journal_hwm", t.txn_journal_hwm);
+    reg.add("bsa.txn.journal_records", t.txn_journal_records);
+    reg.add("bsa.slot_index_builds", t.slot_index_builds);
+    reg.add("bsa.eval.edge_epochs", t.eval_edge_epochs);
+    reg.add("bsa.eval.link_epochs", t.eval_link_epochs);
+    out.counters = reg.snapshot();
     return out;
   }
 
- private:
   core::BsaOptions options_;
   std::optional<std::uint64_t> pinned_seed_;
   std::string spec_;
@@ -157,7 +193,9 @@ class DlsScheduler final : public Scheduler {
     for (const Cost sl : r.static_levels) max_sl = std::max(max_sl, sl);
     SchedulerResult out(std::move(r.schedule));
     out.phase_ms = {{"schedule", ms}};
-    out.diagnostics = {{"max_static_level", static_cast<double>(max_sl)}};
+    // Static levels are integral sums of integral costs — exact as a
+    // counter.
+    out.counters = {{"dls.max_static_level", static_cast<std::int64_t>(max_sl)}};
     return out;
   }
 

@@ -263,6 +263,7 @@ Time Schedule::earliest_task_slot(ProcId p, Time ready, Time duration) const {
     if (idx.note_unbuilt_query() <= kLinearSlotQueries) {
       return earliest_fit(slot_scratch_, ready, duration);
     }
+    ++slot_index_builds_;
     idx.build(slot_scratch_);
   }
   return idx.query(ready, duration);
@@ -279,6 +280,7 @@ Time Schedule::earliest_link_slot(LinkId l, Time ready, Time duration) const {
     if (idx.note_unbuilt_query() <= kLinearSlotQueries) {
       return earliest_fit(slot_scratch_, ready, duration);
     }
+    ++slot_index_builds_;
     idx.build(slot_scratch_);
   }
   return idx.query(ready, duration);

@@ -180,6 +180,14 @@ class Schedule {
   /// (same lazily-indexed scheme as earliest_task_slot).
   [[nodiscard]] Time earliest_link_slot(LinkId l, Time ready,
                                         Time duration) const;
+  /// SlotIndex builds this schedule object has performed — an
+  /// observability counter (docs/DESIGN_OBS.md). Deterministic: builds
+  /// depend only on the query/mutation sequence. Copies start at 0 and
+  /// copy-assignment keeps the destination's count, so the total is
+  /// exact even under snapshot-rollback restores.
+  [[nodiscard]] std::int64_t slot_index_builds() const noexcept {
+    return slot_index_builds_;
+  }
   /// Busy intervals of a processor / link in time order (for overlay
   /// computations by algorithms).
   [[nodiscard]] std::vector<Interval> busy_of_proc(ProcId p) const;
@@ -243,6 +251,9 @@ class Schedule {
   /// Reused buffer for slot queries on unbuilt indexes (no allocation on
   /// the query hot path).
   mutable std::vector<Interval> slot_scratch_;
+  /// Builds performed by this object (see slot_index_builds()); not
+  /// copied with the schedule content.
+  mutable std::int64_t slot_index_builds_ = 0;
   /// Active transaction journal; mutators record inverses while set.
   Transaction* txn_ = nullptr;
 };

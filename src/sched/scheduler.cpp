@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/spec.hpp"
+#include "obs/trace.hpp"
 
 namespace bsa::sched {
 
@@ -9,6 +10,15 @@ std::string Scheduler::display_label() const {
   const std::string canonical = spec();
   return canonical.find(':') == std::string::npos ? display_name()
                                                   : canonical;
+}
+
+SchedulerResult Scheduler::run_observed(const graph::TaskGraph& g,
+                                        const net::Topology& topo,
+                                        const net::HeterogeneousCostModel& costs,
+                                        std::uint64_t seed,
+                                        const obs::Hooks& hooks) const {
+  obs::Span span(hooks.tracer, spec(), "sched", hooks.trace_tid);
+  return run(g, topo, costs, seed);
 }
 
 // --- SchedulerRegistry ------------------------------------------------------

@@ -12,6 +12,8 @@
 #include "graph/task_graph.hpp"
 #include "network/cost_model.hpp"
 #include "network/topology.hpp"
+#include "obs/counters.hpp"
+#include "obs/hooks.hpp"
 #include "sched/schedule.hpp"
 
 /// \file scheduler.hpp
@@ -57,9 +59,12 @@ struct SchedulerResult {
   /// Wall-clock time per algorithm phase, in execution order. Every
   /// scheduler reports at least {"schedule", <total ms>}.
   std::vector<std::pair<std::string, double>> phase_ms;
-  /// Algorithm-specific diagnostics (e.g. BSA migration counts) as
-  /// key/value pairs — uniform to log, no per-algorithm result types.
-  std::vector<std::pair<std::string, double>> diagnostics;
+  /// Deterministic algorithm counters (e.g. "bsa.migrations"), sorted by
+  /// name — an obs::Registry snapshot, uniform to log and to aggregate,
+  /// no per-algorithm result types. Counters are a pure function of the
+  /// run's inputs, never of timing, so they are bit-identical at any
+  /// thread count (counter taxonomy: docs/DESIGN_OBS.md).
+  obs::CounterSnapshot counters;
 
   [[nodiscard]] Time makespan() const { return schedule.makespan(); }
   [[nodiscard]] double total_ms() const {
@@ -94,6 +99,17 @@ class Scheduler {
       const graph::TaskGraph& g, const net::Topology& topo,
       const net::HeterogeneousCostModel& costs,
       std::uint64_t seed = 0) const = 0;
+
+  /// run() with observability hooks attached. The default implementation
+  /// wraps run() in one whole-run span named after the algorithm;
+  /// schedulers with internal instrumentation (BSA) override it to
+  /// thread the hooks into their phases and decision points. Hooks only
+  /// observe: for any hooks, run_observed computes the same result as
+  /// run(), and with default (null) hooks it costs one branch.
+  [[nodiscard]] virtual SchedulerResult run_observed(
+      const graph::TaskGraph& g, const net::Topology& topo,
+      const net::HeterogeneousCostModel& costs, std::uint64_t seed,
+      const obs::Hooks& hooks) const;
 };
 
 /// The spec grammar (ParsedSpec, SpecOptions, canonicalisation helpers)

@@ -234,7 +234,7 @@ TEST(Registry, DefaultSpecsMatchLegacyDispatchBitIdentically) {
   }
 }
 
-TEST(Registry, ResultCarriesPhaseTimesAndDiagnostics) {
+TEST(Registry, ResultCarriesPhaseTimesAndCounters) {
   const Instance in = make_instance("ring", 7);
   const SchedulerResult r = reg().resolve("bsa")->run(in.g, in.topo, in.cm, 7);
   ASSERT_FALSE(r.phase_ms.empty());
@@ -242,10 +242,14 @@ TEST(Registry, ResultCarriesPhaseTimesAndDiagnostics) {
   EXPECT_GE(r.total_ms(), 0.0);
   EXPECT_EQ(r.makespan(), r.schedule.makespan());
   bool has_migrations = false;
-  for (const auto& [key, _] : r.diagnostics) {
-    has_migrations = has_migrations || key == "migrations";
+  for (const auto& [key, _] : r.counters) {
+    has_migrations = has_migrations || key == "bsa.migrations";
   }
   EXPECT_TRUE(has_migrations);
+  // Counter snapshots are sorted by name — the deterministic flush order.
+  EXPECT_TRUE(std::is_sorted(
+      r.counters.begin(), r.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
 }
 
 TEST(Registry, VariantOptionsReachTheAlgorithm) {
