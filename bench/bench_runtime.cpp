@@ -139,8 +139,8 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(cli.get_int("seed", 42));
         struct Mode {
           const char* label;
-          bool snapshot;
-          bool pooled;
+          bool snapshot = false;
+          bool pooled = false;
         };
         const Mode modes[] = {
             {"bsa-guarded-snapshot-fresh", true, false},  // legacy reference

@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""Determinism linter: statically guard the bit-identical-results contract.
+
+The repo's schedules, JSONL rows and BENCH tables are pinned bit-identical
+at any thread count. That property dies silently the moment
+result-producing code iterates a hash container, reads a wall clock, or
+draws from a nondeterministically seeded RNG. This linter bans those
+constructs in `src/` (stdlib only, no third-party deps):
+
+  unordered-container  std::unordered_{map,set,multimap,multiset} —
+                       iteration order depends on hashing/libstdc++
+                       internals, not on inputs.
+  wall-clock           ::now(), time(), gettimeofday(), clock() — results
+                       must be a function of inputs, never of timing.
+                       (Measuring *reported* wall time is fine where
+                       waived: obs/ and scheduler phase timing.)
+  random               std::rand/srand (hidden global state),
+                       std::random_device (nondeterministic by design).
+                       Seeded <random> engines are allowed.
+  pointer-key          std::map/std::set keyed by a pointer type —
+                       ordered, but by allocation address, which varies
+                       run to run.
+
+Waivers are explicit and must be justified:
+
+    foo();  // lint:allow(wall-clock): progress meter, not a result path
+
+A waiver suppresses its rule on the same line, or — when the line holds
+only the comment — on the next line. Waivers with an unknown rule or an
+empty reason, and waivers that suppress nothing, are themselves errors
+(waiver-syntax / waiver-unused), so the waiver list cannot rot.
+
+clang-tidy suppressions are held to the same standard wherever this
+linter scans (rule `nolint`): `NOLINT`/`NOLINTNEXTLINE` must name the
+suppressed check and carry a reason (`// NOLINT(check): why`); blanket
+`NOLINT` and block `NOLINTBEGIN/END` are banned.
+
+Usage:
+  lint_determinism.py [ROOT...]          lint roots (default: src/ next to
+                                         this script's parent directory)
+  --nolint-scan ROOT...                  extra roots checked only for the
+                                         `nolint` rule (benches/tests may
+                                         read clocks, but may not carry
+                                         unexplained suppressions)
+  --self-test                            run the fixture corpus in
+                                         scripts/lint_fixtures/
+  --inject-test FILE                     guard the guard: FILE must lint
+                                         clean, and seeded violations
+                                         (an unordered_map iteration and a
+                                         now() call) must fail
+
+Exit status: 0 clean / self-test passed, 1 findings, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+EXTENSIONS = {".cpp", ".hpp", ".cc", ".h"}
+
+RULES = {
+    "unordered-container": (
+        re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
+        "hash-container iteration order is not deterministic",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"::now\s*\(|\b(?:std::)?time\s*\(|\bgettimeofday\s*\(|"
+            r"\bclock\s*\(\s*\)|\blocaltime\b|\bgmtime\b"
+        ),
+        "wall-clock read in result-producing code",
+    ),
+    "random": (
+        re.compile(r"\bstd::rand\b|\brand\s*\(\s*\)|\bsrand\s*\(|\brandom_device\b"),
+        "nondeterministic or global-state randomness",
+    ),
+    "pointer-key": (
+        re.compile(
+            r"\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+            r"[A-Za-z_][\w:]*\s*\*"
+        ),
+        "ordered container keyed by pointer value (allocation-order dependent)",
+    ),
+}
+
+# NOLINT hygiene: named check(s) + ': reason'. NOLINTBEGIN/END and blanket
+# NOLINT are rejected outright.
+NOLINT_TOKEN = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?")
+NOLINT_OK = re.compile(r"NOLINT(?:NEXTLINE)?\([\w.\-,* ]+\)\s*:\s*\S")
+
+WAIVER = re.compile(r"//\s*lint:allow\(([^)]*)\)\s*(?::\s*(.*))?$")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def split_code_comment(line, in_block):
+    """Split a source line into (code, comment) honouring /* */ state.
+
+    String literals are blanked from the code half so a banned token inside
+    a message ("no time() here") cannot trigger; comment text is returned
+    verbatim because waivers and NOLINTs live there.
+    """
+    code, comment = [], []
+    i, n = 0, len(line)
+    in_string = None
+    while i < n:
+        ch = line[i]
+        if in_block:
+            if line.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                comment.append(ch)
+                i += 1
+            continue
+        if in_string:
+            code.append(" ")
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_string:
+                in_string = None
+            i += 1
+            continue
+        if ch in "\"'":
+            in_string = ch
+            code.append(" ")
+            i += 1
+            continue
+        if line.startswith("//", i):
+            comment.append(line[i:])
+            break
+        if line.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        code.append(ch)
+        i += 1
+    return "".join(code), "".join(comment), in_block
+
+
+class Waiver:
+    def __init__(self, path, line, rules, reason, own_line):
+        self.path = path
+        self.line = line          # line the waiver comment sits on
+        self.rules = rules
+        self.reason = reason
+        self.own_line = own_line  # comment-only line: applies to line + 1
+        self.used = False
+
+    @property
+    def target_line(self):
+        return self.line + 1 if self.own_line else self.line
+
+
+def lint_file(path, findings, nolint_only=False):
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        findings.append(Finding(path, 0, "io", f"unreadable: {err}"))
+        return
+
+    waivers = []
+    raw = []  # (lineno, code, comment)
+    in_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code, comment, in_block = split_code_comment(line, in_block)
+        raw.append((lineno, code, comment))
+
+        m = WAIVER.search(comment)
+        if m:
+            rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+            reason = (m.group(2) or "").strip()
+            unknown = [r for r in rules if r not in RULES]
+            if not rules or unknown:
+                findings.append(Finding(
+                    path, lineno, "waiver-syntax",
+                    f"waiver names unknown rule(s) {unknown or '(none)'}; "
+                    f"known: {', '.join(sorted(RULES))}"))
+            elif not reason:
+                findings.append(Finding(
+                    path, lineno, "waiver-syntax",
+                    "waiver without a written reason "
+                    "(// lint:allow(rule): reason)"))
+            else:
+                waivers.append(Waiver(path, lineno, rules, reason,
+                                      own_line=code.strip() == ""))
+
+        for tok in NOLINT_TOKEN.finditer(comment):
+            if tok.group(0) in ("NOLINTBEGIN", "NOLINTEND"):
+                findings.append(Finding(
+                    path, lineno, "nolint",
+                    f"{tok.group(0)} block suppression is banned; suppress "
+                    "single lines with NOLINT(check): reason"))
+            elif not NOLINT_OK.match(comment[tok.start():]):
+                findings.append(Finding(
+                    path, lineno, "nolint",
+                    "NOLINT must name the suppressed check and carry a "
+                    "reason: // NOLINT(check-name): why"))
+
+    if nolint_only:
+        return
+
+    waived = {}  # (line, rule) -> Waiver
+    for w in waivers:
+        for r in w.rules:
+            waived[(w.target_line, r)] = w
+
+    for lineno, code, _ in raw:
+        for rule, (pattern, message) in RULES.items():
+            if pattern.search(code):
+                w = waived.get((lineno, rule))
+                if w is not None:
+                    w.used = True
+                else:
+                    findings.append(Finding(path, lineno, rule, message))
+
+    for w in waivers:
+        if not w.used:
+            findings.append(Finding(
+                w.path, w.line, "waiver-unused",
+                f"waiver for {','.join(w.rules)} suppresses nothing "
+                "(stale waivers are removed, not kept)"))
+
+
+def iter_sources(roots):
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            yield from sorted(p for p in root.rglob("*")
+                              if p.suffix in EXTENSIONS and p.is_file())
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+
+
+def lint_roots(roots, nolint_roots=()):
+    findings = []
+    for path in iter_sources(roots):
+        lint_file(path, findings)
+    for path in iter_sources(nolint_roots):
+        lint_file(path, findings, nolint_only=True)
+    return findings
+
+
+# --- self-test over the fixture corpus --------------------------------------
+
+EXPECT = re.compile(r"//\s*lint-fixture expect:\s*(.*)$")
+
+
+def self_test(fixtures_dir):
+    """Every fixture's first line declares its expected findings:
+
+        // lint-fixture expect: clean
+        // lint-fixture expect: wall-clock@6 random@9
+
+    The self-test fails on any mismatch in either direction, so both the
+    detectors and the waiver machinery are pinned.
+    """
+    fixtures = sorted(fixtures_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"self-test: no fixtures under {fixtures_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    for fixture in fixtures:
+        first = fixture.read_text(encoding="utf-8").splitlines()[0]
+        m = EXPECT.search(first)
+        if not m:
+            print(f"self-test: {fixture} lacks a '// lint-fixture expect:' "
+                  "header", file=sys.stderr)
+            failures += 1
+            continue
+        spec = m.group(1).strip()
+        expected = set()
+        if spec != "clean":
+            for item in spec.split():
+                rule, _, line = item.partition("@")
+                expected.add((rule, int(line)))
+        findings = []
+        lint_file(fixture, findings)
+        actual = {(f.rule, f.line) for f in findings}
+        if actual != expected:
+            failures += 1
+            print(f"self-test FAIL: {fixture.name}", file=sys.stderr)
+            for rule, line in sorted(expected - actual):
+                print(f"  missing: [{rule}] at line {line}", file=sys.stderr)
+            for rule, line in sorted(actual - expected):
+                print(f"  unexpected: [{rule}] at line {line}", file=sys.stderr)
+    print(f"self-test: {len(fixtures)} fixtures, {failures} failures")
+    return 1 if failures else 0
+
+
+# --- guard the guard --------------------------------------------------------
+
+INJECTIONS = [
+    ("wall-clock",
+     "\nstatic const long lint_probe_ns = "
+     "std::chrono::steady_clock::now().time_since_epoch().count();\n"),
+    ("unordered-container",
+     "\nstatic int lint_probe_sum(const std::unordered_map<int, int>& m) {\n"
+     "  int s = 0;\n"
+     "  for (const auto& [k, v] : m) s += k * v;\n"
+     "  return s;\n"
+     "}\n"),
+]
+
+
+def inject_test(target):
+    """Prove the linter still bites: `target` must be clean as checked in,
+    and appending each seeded violation must produce that rule."""
+    target = Path(target)
+    findings = []
+    lint_file(target, findings)
+    if findings:
+        print(f"inject-test: {target} is expected to be clean but is not:",
+              file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    original = target.read_text(encoding="utf-8")
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="lint_inject_") as tmp:
+        for rule, snippet in INJECTIONS:
+            probe = Path(tmp) / target.name
+            probe.write_text(original + snippet, encoding="utf-8")
+            probe_findings = []
+            lint_file(probe, probe_findings)
+            if not any(f.rule == rule for f in probe_findings):
+                failures += 1
+                print(f"inject-test FAIL: seeded {rule} violation in "
+                      f"{target.name} was not detected", file=sys.stderr)
+    if not failures:
+        print(f"inject-test: {target.name} clean; "
+              f"{len(INJECTIONS)} seeded violations all detected")
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("roots", nargs="*", help="files/directories to lint "
+                        "(default: src/ relative to the repo root)")
+    parser.add_argument("--nolint-scan", nargs="*", default=[],
+                        metavar="ROOT", help="extra roots checked only for "
+                        "NOLINT hygiene")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--inject-test", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.self_test:
+        return self_test(Path(__file__).resolve().parent / "lint_fixtures")
+    if args.inject_test:
+        return inject_test(args.inject_test)
+
+    roots = args.roots or [repo_root / "src"]
+    try:
+        findings = lint_roots(roots, args.nolint_scan)
+    except FileNotFoundError as err:
+        print(f"lint_determinism: {err}", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,13 @@
+// lint-fixture expect: nolint@6 nolint@8 nolint@10 nolint@12 nolint@13
+// clang-tidy suppression hygiene: every suppression names its check and
+// carries a reason; blanket and block suppressions are banned.
+
+int ok() { return 1; }  // NOLINT(readability-magic-numbers): fixture example
+int blanket() { return 2; }  // NOLINT
+
+int unreasoned() { return 3; }  // NOLINT(bugprone-branch-clone)
+
+// NOLINTNEXTLINE
+int next_blanket() { return 4; }
+// NOLINTBEGIN(bugprone-branch-clone)
+// NOLINTEND(bugprone-branch-clone)

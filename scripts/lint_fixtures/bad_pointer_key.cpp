@@ -1,0 +1,12 @@
+// lint-fixture expect: pointer-key@8 pointer-key@10 pointer-key@12
+// Ordered containers keyed by pointer: iteration order follows the
+// allocator's addresses, which vary run to run and under ASLR.
+#include <map>
+#include <set>
+
+struct Node;
+static std::map<Node*, int> g_rank;
+
+std::set<const Node*> visited();
+
+using EdgeWeights = std::multimap<Node *, double>;

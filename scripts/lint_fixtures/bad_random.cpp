@@ -1,0 +1,18 @@
+// lint-fixture expect: random@9 random@10 random@11 random@14
+// Global-state and hardware randomness: tie-breaks must come from the
+// scenario's derived seed, never from process-global or entropy sources.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+void seed_it(unsigned s) { srand(s); }
+int draw() { return std::rand() % 7; }
+int draw2() { return rand(); }
+
+unsigned entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

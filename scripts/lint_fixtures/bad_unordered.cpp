@@ -1,0 +1,18 @@
+// lint-fixture expect: unordered-container@5 unordered-container@7 unordered-container@11 unordered-container@12
+// Hash containers: iteration order is a function of the hasher and the
+// library, not of the inputs — banned in result-producing code.
+#include <string>
+#include <unordered_map>
+
+static std::unordered_map<int, double> g_slack;
+
+namespace fixture {
+
+std::unordered_set<std::string> names();
+int count(const std::unordered_multimap<int, int>& m) {
+  int n = 0;
+  for (const auto& kv : m) n += kv.second;
+  return n;
+}
+
+}  // namespace fixture

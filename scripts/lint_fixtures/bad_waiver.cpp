@@ -1,0 +1,16 @@
+// lint-fixture expect: waiver-syntax@8 wall-clock@8 waiver-syntax@10 wall-clock@10 waiver-unused@13
+// Waiver hygiene: unknown rules, missing reasons, and waivers that
+// suppress nothing are all errors — the waiver list cannot rot.
+#include <chrono>
+
+namespace fixture {
+
+long a() { return clock(); }  // lint:allow(wallclock): typo'd rule name
+
+long b() { return clock(); }  // lint:allow(wall-clock)
+
+// The next line is clean, so this waiver is stale and must be removed.
+// lint:allow(unordered-container): left over from a deleted cache
+int c() { return 3; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// lint-fixture expect: wall-clock@8 wall-clock@9 wall-clock@10 wall-clock@11
+// Wall-clock reads: schedules must be a function of inputs, not timing.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double a() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long b() { return std::time(nullptr); }
+long c() { return time(nullptr); }
+long d() { return clock(); }
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// lint-fixture expect: clean
+// Deterministic code the linter must accept: ordered containers with
+// value keys, seeded <random> engines, arithmetic on named times.
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+int deterministic(int seed) {
+  std::map<int, int> by_id;          // ordered, value-keyed: fine
+  std::set<long> finish_times;       // fine
+  std::mt19937_64 rng(seed);         // seeded engine: fine
+  std::vector<int> xs(4);
+  // Mentioning unordered_map or time() in a comment is not a finding,
+  // and neither is a string: const char* s = "call time() later";
+  int total_time = 0;                // identifier containing 'time': fine
+  for (int x : xs) total_time += x + static_cast<int>(rng() % 7);
+  by_id[seed] = total_time;
+  finish_times.insert(total_time);
+  return by_id.begin()->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// lint-fixture expect: clean
+// Both waiver placements: trailing on the flagged line, and on a
+// comment-only line immediately above it.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double progress_eta() {
+  // lint:allow(wall-clock): progress meter display only, never a result
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+long span_open() {
+  return std::clock();  // lint:allow(wall-clock): trace timestamp, display only
+}
+
+}  // namespace fixture

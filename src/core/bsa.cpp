@@ -634,7 +634,7 @@ class BsaRunner {
 
     // Bubble up: earliest times under the new orders; replay on the rare
     // order cycle introduced by re-issued outgoing routes.
-    bool retimed;
+    bool retimed = false;
     {
       obs::Span span(opt_.obs.tracer, "retime", "bsa", opt_.obs.trace_tid);
       retimed = retime_ctx_.has_value()

@@ -150,6 +150,8 @@ net::HeterogeneousCostModel make_cost_model(const graph::TaskGraph& g,
 }
 
 bool full_benchmarks_requested() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at driver
+  // startup; nothing in this process calls setenv.
   const char* v = std::getenv("BSA_BENCH_FULL");
   return v != nullptr && v[0] == '1';
 }

@@ -27,6 +27,7 @@ ProgressMeter::ProgressMeter(std::size_t total, std::string label,
       total_(total),
       label_(std::move(label)),
       min_interval_(min_interval),
+      // lint:allow(wall-clock): progress meter display only, never a result
       start_(std::chrono::steady_clock::now()),
       last_render_(start_ - min_interval) {}
 
@@ -37,6 +38,7 @@ void ProgressMeter::update(std::size_t done) {
   if (finished_) return;
   if (done <= best_done_) return;
   best_done_ = done;
+  // lint:allow(wall-clock): progress meter display only, never a result
   const auto now = std::chrono::steady_clock::now();
   if (done < total_ && now - last_render_ < min_interval_) return;
   last_render_ = now;
@@ -53,6 +55,7 @@ void ProgressMeter::finish() {
 
 void ProgressMeter::render(std::size_t done, bool final_line) {
   const double elapsed_s =
+      // lint:allow(wall-clock): progress meter display only, never a result
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0;

@@ -34,8 +34,10 @@ void write_event(std::ostream& os, const TraceEvent& e) {
 
 }  // namespace
 
+// lint:allow(wall-clock): trace timestamps are observability output only
 Tracer::Tracer() : epoch_(Clock::now()) {}
 
+// lint:allow(wall-clock): trace timestamps are observability output only
 double Tracer::now_us() const { return us_between(epoch_, Clock::now()); }
 
 double Tracer::to_us(std::chrono::steady_clock::time_point tp) const {
@@ -121,6 +123,7 @@ Span::Span(Tracer* tracer, const char* name, const char* cat,
   name_ = name;
   cat_ = cat;
   tid_ = tid;
+  // lint:allow(wall-clock): span timestamps are observability output only
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -131,6 +134,7 @@ Span::Span(Tracer* tracer, std::string name, const char* cat,
   name_ = std::move(name);
   cat_ = cat;
   tid_ = tid;
+  // lint:allow(wall-clock): span timestamps are observability output only
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -141,6 +145,7 @@ void Span::arg(const char* key, double value) {
 
 void Span::close() {
   if (tracer_ == nullptr) return;
+  // lint:allow(wall-clock): span timestamps are observability output only
   const auto end = std::chrono::steady_clock::now();
   const double dur =
       std::chrono::duration<double, std::micro>(end - start_).count();

@@ -28,6 +28,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 double ms_since(const Clock::time_point& t0) {
+  // lint:allow(wall-clock): phase wall-time reporting only, never a result
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
@@ -122,6 +123,7 @@ class BsaScheduler final : public Scheduler {
     core::BsaOptions opt = options_;
     opt.seed = pinned_seed_.value_or(seed);
     opt.obs = hooks;
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
     const auto t0 = Clock::now();
     core::BsaResult r = core::schedule_bsa(g, topo, costs, opt);
     const double ms = ms_since(t0);
@@ -155,6 +157,7 @@ class BsaScheduler final : public Scheduler {
     reg.add("bsa.eval.edge_epochs", t.eval_edge_epochs);
     reg.add("bsa.eval.link_epochs", t.eval_link_epochs);
     out.counters = reg.snapshot();
+    audit_result(out.schedule, costs, spec());
     return out;
   }
 
@@ -186,6 +189,7 @@ class DlsScheduler final : public Scheduler {
     // dispatch); randomised tie-breaking is opted into by pinning seed=.
     baselines::DlsOptions opt;
     opt.seed = seed_;
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
     const auto t0 = Clock::now();
     baselines::DlsResult r = baselines::schedule_dls(g, topo, costs, opt);
     const double ms = ms_since(t0);
@@ -196,6 +200,7 @@ class DlsScheduler final : public Scheduler {
     // Static levels are integral sums of integral costs — exact as a
     // counter.
     out.counters = {{"dls.max_static_level", static_cast<std::int64_t>(max_sl)}};
+    audit_result(out.schedule, costs, spec());
     return out;
   }
 
@@ -217,11 +222,13 @@ class EftScheduler final : public Scheduler {
                                     const net::Topology& topo,
                                     const net::HeterogeneousCostModel& costs,
                                     std::uint64_t /*seed*/) const override {
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
     const auto t0 = Clock::now();
     baselines::EftResult r = baselines::schedule_eft_oblivious(g, topo, costs);
     const double ms = ms_since(t0);
     SchedulerResult out(std::move(r.schedule));
     out.phase_ms = {{"schedule", ms}};
+    audit_result(out.schedule, costs, spec());
     return out;
   }
 };
@@ -235,11 +242,13 @@ class MhScheduler final : public Scheduler {
                                     const net::Topology& topo,
                                     const net::HeterogeneousCostModel& costs,
                                     std::uint64_t /*seed*/) const override {
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
     const auto t0 = Clock::now();
     baselines::MhResult r = baselines::schedule_mh(g, topo, costs);
     const double ms = ms_since(t0);
     SchedulerResult out(std::move(r.schedule));
     out.phase_ms = {{"schedule", ms}};
+    audit_result(out.schedule, costs, spec());
     return out;
   }
 };

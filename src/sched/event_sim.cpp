@@ -89,7 +89,7 @@ SimulationResult simulate_execution(const Schedule& s,
         const LinkBooking& b = queue[head];
         // Payload availability: previous hop of the same route, or the
         // source task's completion for the first hop.
-        Time avail;
+        Time avail = kUnsetTime;
         if (b.hop_index == 0) {
           avail = result.task_finish[static_cast<std::size_t>(
               g.edge_src(b.edge))];

@@ -69,7 +69,7 @@ void RetimeContext::ensure_node_capacity(int v) {
 }
 
 int RetimeContext::alloc_hop_node(EdgeId e, int k, LinkId link) {
-  int v;
+  int v = 0;
   if (!free_.empty()) {
     v = free_.back();
     free_.pop_back();

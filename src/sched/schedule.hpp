@@ -256,6 +256,13 @@ class Schedule {
   mutable std::int64_t slot_index_builds_ = 0;
   /// Active transaction journal; mutators record inverses while set.
   Transaction* txn_ = nullptr;
+
+  /// Testing aid (tests/validate_mutation_test.cpp): the public mutators
+  /// keep routes and link bookings in sync by construction, so the
+  /// validator's booking/route-mismatch checks are unreachable through
+  /// them. The peer corrupts the private state directly to prove those
+  /// checks fire.
+  friend struct ScheduleTestPeer;
 };
 
 }  // namespace bsa::sched

@@ -112,6 +112,24 @@ class Scheduler {
       const obs::Hooks& hooks) const;
 };
 
+/// --- post-run auditing (the dynamic backstop of the static wall) -------
+///
+/// When auditing is enabled, every built-in Scheduler adapter passes its
+/// finished schedule through sched::validate() and throws InvariantError
+/// on any violation — so a scheduling bug fails the run that produced it
+/// instead of poisoning downstream tables. The default is the BSA_AUDIT
+/// compile option (on in the CI audit job, off in release builds, where
+/// validation would roughly double small-run cost); tests flip it at
+/// runtime. Reading the flag is one relaxed atomic load per run.
+void set_audit(bool on) noexcept;
+[[nodiscard]] bool audit_enabled() noexcept;
+
+/// Validate `s` and throw InvariantError listing every violation when
+/// auditing is enabled; no-op otherwise. `label` names the producing
+/// algorithm in the message (adapters pass their canonical spec).
+void audit_result(const Schedule& s, const net::HeterogeneousCostModel& costs,
+                  const std::string& label);
+
 /// The spec grammar (ParsedSpec, SpecOptions, canonicalisation helpers)
 /// is shared with the workload registry — see common/spec.hpp. The sched
 /// aliases keep existing call sites (`sched::parse_spec`, ...) working.

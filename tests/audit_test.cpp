@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/workload_registry.hpp"
+
+/// \file audit_test.cpp
+/// The BSA_AUDIT backstop: when auditing is on, every built-in scheduler
+/// adapter feeds its result through sched::validate() via audit_result()
+/// and throws InvariantError on any violation. The compile option only
+/// flips the default; these tests drive the runtime switch so the
+/// behaviour is covered in every build configuration.
+
+namespace bsa::sched {
+namespace {
+
+/// Restores the process-wide audit flag on scope exit.
+class AuditGuard {
+ public:
+  explicit AuditGuard(bool on) : previous_(audit_enabled()) { set_audit(on); }
+  ~AuditGuard() { set_audit(previous_); }
+  AuditGuard(const AuditGuard&) = delete;
+  AuditGuard& operator=(const AuditGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+struct AuditTest : ::testing::Test {
+  graph::TaskGraph g = workloads::WorkloadRegistry::global()
+                           .resolve("forkjoin:width=4,depth=3")
+                           ->generate(/*target_tasks=*/40, 1.0, 11);
+  net::Topology topo = net::Topology::ring(3);
+  net::HeterogeneousCostModel cm =
+      net::HeterogeneousCostModel::homogeneous(g, topo);
+
+  /// A schedule violating task-duration and placement invariants.
+  Schedule corrupted() const {
+    Schedule s(g, topo);
+    s.place_task(0, 0, 0, 1);  // wrong duration, successors unplaced
+    return s;
+  }
+};
+
+TEST_F(AuditTest, EveryAdapterPassesWhenAuditIsOn) {
+  AuditGuard guard(true);
+  for (const std::string& name : SchedulerRegistry::global().names()) {
+    EXPECT_NO_THROW({
+      const auto result =
+          SchedulerRegistry::global().resolve(name)->run(g, topo, cm, 3);
+      (void)result;
+    }) << name;
+  }
+}
+
+TEST_F(AuditTest, AuditResultThrowsOnInvalidSchedule) {
+  AuditGuard guard(true);
+  const Schedule bad = corrupted();
+  try {
+    audit_result(bad, cm, "bsa:test");
+    FAIL() << "audit_result accepted an invalid schedule";
+  } catch (const InvariantError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("audit"), std::string::npos) << what;
+    EXPECT_NE(what.find("bsa:test"), std::string::npos) << what;
+    EXPECT_NE(what.find("not placed"), std::string::npos) << what;
+  }
+}
+
+TEST_F(AuditTest, AuditResultIsANoOpWhenDisabled) {
+  AuditGuard guard(false);
+  const Schedule bad = corrupted();
+  EXPECT_NO_THROW(audit_result(bad, cm, "bsa:test"));
+}
+
+TEST_F(AuditTest, RuntimeSwitchRoundTrips) {
+  const bool before = audit_enabled();
+  {
+    AuditGuard guard(!before);
+    EXPECT_EQ(audit_enabled(), !before);
+  }
+  EXPECT_EQ(audit_enabled(), before);
+}
+
+}  // namespace
+}  // namespace bsa::sched

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/cost_model.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/validate.hpp"
+#include "workloads/workload_registry.hpp"
+
+/// \file validate_mutation_test.cpp
+/// Mutation tests for sched::validate(): take a *known-good* schedule
+/// produced by a real algorithm on a real workload, corrupt exactly one
+/// invariant at a time, and assert the validator reports that corruption.
+/// validate() is the dynamic backstop of the static-analysis wall (the
+/// BSA_AUDIT option routes every scheduler run through it), so the
+/// validator itself needs negative-path proof against realistic
+/// schedules, not just hand-built two-task examples (validate_test.cpp).
+
+namespace bsa::sched {
+
+/// Reaches the private route/booking state the public mutators keep
+/// consistent by construction (declared friend in schedule.hpp).
+struct ScheduleTestPeer {
+  static std::vector<LinkBooking>& bookings(Schedule& s, LinkId l) {
+    return s.link_bookings_[static_cast<std::size_t>(l)];
+  }
+  static std::vector<Hop>& route(Schedule& s, EdgeId e) {
+    return s.routes_[static_cast<std::size_t>(e)];
+  }
+};
+
+namespace {
+
+class ValidateMutationTest : public ::testing::Test {
+ protected:
+  // A communication-heavy FFT on a small ring: every invariant class
+  // (multi-task processors, multi-booking links, multi-hop routes) is
+  // exercised by the resulting schedule.
+  ValidateMutationTest()
+      : g_(workloads::WorkloadRegistry::global()
+               .resolve("fft:points=16,ccr=2")
+               ->generate(/*target_tasks=*/40, /*granularity=*/1.0,
+                          /*seed=*/7)),
+        topo_(net::Topology::ring(3)),
+        cm_(net::HeterogeneousCostModel::homogeneous(g_, topo_)),
+        good_(SchedulerRegistry::global().resolve("bsa")
+                  ->run(g_, topo_, cm_, /*seed=*/7)
+                  .schedule) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(validate(good_, cm_).ok())
+        << validate(good_, cm_).to_string();
+  }
+
+  /// Asserts the corrupted schedule fails validation with an issue
+  /// containing `needle`.
+  void expect_issue(const Schedule& s, const std::string& needle) {
+    const ValidationReport report = validate(s, cm_);
+    EXPECT_FALSE(report.ok())
+        << "corruption went undetected (expected: " << needle << ")";
+    EXPECT_NE(report.to_string().find(needle), std::string::npos)
+        << "expected an issue containing '" << needle << "', got:\n"
+        << report.to_string();
+  }
+
+  /// First processor hosting at least two tasks.
+  ProcId busy_proc() const {
+    for (ProcId p = 0; p < topo_.num_processors(); ++p) {
+      if (good_.tasks_on(p).size() >= 2) return p;
+    }
+    ADD_FAILURE() << "fixture schedule has no processor with two tasks";
+    return 0;
+  }
+
+  /// First link carrying at least two bookings.
+  LinkId busy_link() const {
+    for (LinkId l = 0; l < topo_.num_links(); ++l) {
+      if (good_.bookings_on(l).size() >= 2) return l;
+    }
+    ADD_FAILURE() << "fixture schedule has no link with two bookings";
+    return 0;
+  }
+
+  /// First message with a non-empty route.
+  EdgeId routed_edge() const {
+    for (EdgeId e = 0; e < g_.num_edges(); ++e) {
+      if (!good_.route_of(e).empty()) return e;
+    }
+    ADD_FAILURE() << "fixture schedule has no routed message";
+    return 0;
+  }
+
+  graph::TaskGraph g_;
+  net::Topology topo_;
+  net::HeterogeneousCostModel cm_;
+  Schedule good_;
+};
+
+TEST_F(ValidateMutationTest, DetectsProcessorOverlap) {
+  Schedule s = good_;
+  const ProcId p = busy_proc();
+  const TaskId a = s.tasks_on(p)[0];
+  const TaskId b = s.tasks_on(p)[1];
+  const Time dur = s.finish_of(b) - s.start_of(b);
+  // Slide b on top of a, keeping b's duration so only exclusivity breaks.
+  s.set_task_times(b, s.start_of(a), s.start_of(a) + dur);
+  expect_issue(s, "overlap");
+}
+
+TEST_F(ValidateMutationTest, DetectsLinkOverlap) {
+  Schedule s = good_;
+  const LinkId l = busy_link();
+  const LinkBooking first = s.bookings_on(l)[0];
+  const LinkBooking second = s.bookings_on(l)[1];
+  const Time dur = second.finish - second.start;
+  // Slide the second transmission on top of the first, duration kept.
+  s.set_hop_times(second.edge, second.hop_index, first.start,
+                  first.start + dur);
+  expect_issue(s, "contention");
+}
+
+TEST_F(ValidateMutationTest, DetectsBrokenRouteContiguity) {
+  Schedule s = good_;
+  const EdgeId e = routed_edge();
+  const ProcId ps = s.proc_of(s.task_graph().edge_src(e));
+  // A link not incident to the source processor breaks the walk.
+  LinkId stray = kInvalidLink;
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    const auto [a, b] = topo_.link_endpoints(l);
+    if (a != ps && b != ps) {
+      stray = l;
+      break;
+    }
+  }
+  ASSERT_NE(stray, kInvalidLink);
+  s.clear_route(e);
+  // Far past the makespan so the stray link's interval is free and the
+  // only new violation class is the broken walk (plus late arrival).
+  const Time start = s.makespan() + 100;
+  s.set_route(e, {Hop{stray, start, start + cm_.comm_cost(e, stray)}});
+  expect_issue(s, "route broken");
+}
+
+TEST_F(ValidateMutationTest, DetectsWrongFinishTime) {
+  Schedule s = good_;
+  const TaskId t = s.tasks_on(busy_proc())[0];
+  s.set_task_times(t, s.start_of(t), s.finish_of(t) + 3);
+  expect_issue(s, "duration");
+}
+
+TEST_F(ValidateMutationTest, DetectsMissingRoute) {
+  Schedule s = good_;
+  s.clear_route(routed_edge());
+  expect_issue(s, "no route");
+}
+
+TEST_F(ValidateMutationTest, DetectsBookingRouteTimeMismatch) {
+  Schedule s = good_;
+  const LinkId l = busy_link();
+  // Perturb the booking only; the route keeps the original times.
+  ScheduleTestPeer::bookings(s, l)[0].start += 1;
+  expect_issue(s, "disagrees");
+}
+
+TEST_F(ValidateMutationTest, DetectsBookingForMissingHop) {
+  Schedule s = good_;
+  const LinkId l = busy_link();
+  LinkBooking& b = ScheduleTestPeer::bookings(s, l)[0];
+  b.hop_index =
+      static_cast<int>(s.route_of(b.edge).size());  // one past the end
+  expect_issue(s, "missing hop");
+}
+
+TEST_F(ValidateMutationTest, DetectsBookingCountMismatch) {
+  Schedule s = good_;
+  const LinkId l = busy_link();
+  // Drop one booking; its hop stays in the route, so the global
+  // hop/booking reconciliation must flag the difference.
+  ScheduleTestPeer::bookings(s, l).pop_back();
+  expect_issue(s, "booking count");
+}
+
+TEST_F(ValidateMutationTest, DetectsRouteWithoutBooking) {
+  Schedule s = good_;
+  const EdgeId e = routed_edge();
+  // Grow the route behind the bookings' back: hop count disagrees.
+  std::vector<Hop>& route = ScheduleTestPeer::route(s, e);
+  const Hop last = route.back();
+  route.push_back(Hop{last.link, last.finish, last.finish + 1});
+  expect_issue(s, "booking count");
+}
+
+// The known-good fixture stays valid for every registered algorithm, so
+// the corruptions above are the only reason any of these tests can fail.
+TEST_F(ValidateMutationTest, AllRegisteredAlgorithmsProduceValidSchedules) {
+  for (const std::string& name : SchedulerRegistry::global().names()) {
+    const auto result =
+        SchedulerRegistry::global().resolve(name)->run(g_, topo_, cm_, 7);
+    const ValidationReport report = validate(result.schedule, cm_);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace bsa::sched
