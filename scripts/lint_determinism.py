@@ -30,6 +30,20 @@ only the comment — on the next line. Waivers with an unknown rule or an
 empty reason, and waivers that suppress nothing, are themselves errors
 (waiver-syntax / waiver-unused), so the waiver list cannot rot.
 
+Some subsystems legitimately read clocks throughout one translation unit
+(the scheduling service measures request latency for its response
+envelope). For those, a *file-scoped* waiver at the top of the file
+covers every occurrence of one rule:
+
+    // lint:allow-file(wall-clock): request-latency envelope only
+
+File waivers are deliberately harder to earn than line waivers: each
+rule carries an explicit path allowlist (SCOPED_FILE_WAIVERS below —
+currently wall-clock under src/serve/ only), and an allow-file outside
+its rule's scope is a `waiver-scope` error. Unknown rules, missing
+reasons and allow-files that suppress nothing are errors exactly like
+line waivers.
+
 clang-tidy suppressions are held to the same standard wherever this
 linter scans (rule `nolint`): `NOLINT`/`NOLINTNEXTLINE` must name the
 suppressed check and carry a reason (`// NOLINT(check): why`); blanket
@@ -91,6 +105,16 @@ NOLINT_TOKEN = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?")
 NOLINT_OK = re.compile(r"NOLINT(?:NEXTLINE)?\([\w.\-,* ]+\)\s*:\s*\S")
 
 WAIVER = re.compile(r"//\s*lint:allow\(([^)]*)\)\s*(?::\s*(.*))?$")
+FILE_WAIVER = re.compile(r"//\s*lint:allow-file\(([^)]*)\)\s*(?::\s*(.*))?")
+
+# Scoped file-waiver policy: which rules may be waived for a whole file,
+# and under which path fragments. Everything else must use per-line
+# waivers, so a blanket opt-out cannot quietly spread to result-producing
+# code. src/serve/ measures request latency (a reported envelope field,
+# never a schedule input), hence the wall-clock scope.
+SCOPED_FILE_WAIVERS = {
+    "wall-clock": ("src/serve/",),
+}
 
 
 class Finding:
@@ -172,11 +196,48 @@ def lint_file(path, findings, nolint_only=False):
         return
 
     waivers = []
+    file_waivers = []
     raw = []  # (lineno, code, comment)
     in_block = False
     for lineno, line in enumerate(text.splitlines(), start=1):
         code, comment, in_block = split_code_comment(line, in_block)
         raw.append((lineno, code, comment))
+
+        fm = FILE_WAIVER.search(comment)
+        if fm:
+            rules = [r.strip() for r in fm.group(1).split(",") if r.strip()]
+            reason = (fm.group(2) or "").strip()
+            unknown = [r for r in rules if r not in RULES]
+            if not rules or unknown:
+                findings.append(Finding(
+                    path, lineno, "waiver-syntax",
+                    f"allow-file names unknown rule(s) {unknown or '(none)'}; "
+                    f"known: {', '.join(sorted(RULES))}"))
+            elif not reason:
+                findings.append(Finding(
+                    path, lineno, "waiver-syntax",
+                    "allow-file without a written reason "
+                    "(// lint:allow-file(rule): reason)"))
+            else:
+                posix = Path(path).as_posix()
+                out_of_scope = [
+                    r for r in rules
+                    if not any(frag in posix
+                               for frag in SCOPED_FILE_WAIVERS.get(r, ()))]
+                if out_of_scope:
+                    scopes = "; ".join(
+                        f"{r}: {', '.join(SCOPED_FILE_WAIVERS[r]) or '(nowhere)'}"
+                        if r in SCOPED_FILE_WAIVERS else f"{r}: (nowhere)"
+                        for r in out_of_scope)
+                    findings.append(Finding(
+                        path, lineno, "waiver-scope",
+                        f"allow-file({','.join(out_of_scope)}) is not "
+                        f"honoured for this path — scoped policy allows {scopes}; "
+                        "use per-line lint:allow waivers here"))
+                else:
+                    file_waivers.append(
+                        Waiver(path, lineno, rules, reason, own_line=False))
+            continue  # an allow-file line is not also a line waiver
 
         m = WAIVER.search(comment)
         if m:
@@ -216,17 +277,23 @@ def lint_file(path, findings, nolint_only=False):
     for w in waivers:
         for r in w.rules:
             waived[(w.target_line, r)] = w
+    file_waived = {}  # rule -> Waiver, whole file
+    for w in file_waivers:
+        for r in w.rules:
+            file_waived[r] = w
 
     for lineno, code, _ in raw:
         for rule, (pattern, message) in RULES.items():
             if pattern.search(code):
                 w = waived.get((lineno, rule))
+                if w is None:
+                    w = file_waived.get(rule)
                 if w is not None:
                     w.used = True
                 else:
                     findings.append(Finding(path, lineno, rule, message))
 
-    for w in waivers:
+    for w in waivers + file_waivers:
         if not w.used:
             findings.append(Finding(
                 w.path, w.line, "waiver-unused",
@@ -269,7 +336,10 @@ def self_test(fixtures_dir):
     The self-test fails on any mismatch in either direction, so both the
     detectors and the waiver machinery are pinned.
     """
-    fixtures = sorted(fixtures_dir.glob("*.cpp"))
+    # rglob: scoped allow-file fixtures live in path-shaped subdirectories
+    # (e.g. lint_fixtures/src/serve/) so the policy's path matching is
+    # exercised by real relative paths.
+    fixtures = sorted(fixtures_dir.rglob("*.cpp"))
     if not fixtures:
         print(f"self-test: no fixtures under {fixtures_dir}", file=sys.stderr)
         return 1

@@ -1,0 +1,18 @@
+// lint-fixture expect: waiver-scope@7 wall-clock@12 waiver-syntax@14 waiver-syntax@16 waiver-scope@18
+// File-scoped waiver hygiene: allow-file is only honoured where the
+// scoped policy lists the (rule, path) pair. This fixture is outside
+// src/serve/, so the wall-clock allow-file is rejected, the clock read
+// below still counts, and malformed allow-files are errors like any
+// other waiver.
+// lint:allow-file(wall-clock): out of scope here, must not suppress
+#include <chrono>
+
+double read_clock() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+// lint:allow-file(no-such-rule): unknown rules are waiver-syntax errors
+
+// lint:allow-file(unordered-container)
+
+// lint:allow-file(pointer-key): no scope lists pointer-key, so waiver-scope

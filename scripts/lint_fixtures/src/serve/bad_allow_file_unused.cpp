@@ -1,0 +1,6 @@
+// lint-fixture expect: waiver-unused@4
+// In scope (src/serve/ path) and well-formed, but the file never reads a
+// clock — a file waiver that suppresses nothing is stale and must go.
+// lint:allow-file(wall-clock): nothing here actually reads a clock
+
+int pure() { return 42; }

@@ -1,0 +1,23 @@
+// lint-fixture expect: clean
+// File-scoped waiver inside its allowed scope: this fixture lives under a
+// src/serve/ path fragment, where the scoped policy honours a wall-clock
+// allow-file for the whole translation unit — the serve daemon reports
+// request latency in its response envelope, which is measured wall time
+// by definition and never feeds a schedule.
+// lint:allow-file(wall-clock): latency envelope fields, not schedule inputs
+#include <chrono>
+
+namespace fixture {
+
+double first_read() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+double second_read() {
+  // Covered by the same file waiver — no per-line waiver needed.
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

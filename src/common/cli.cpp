@@ -126,6 +126,18 @@ std::int64_t CliParser::get_int(const std::string& name,
   return *v;
 }
 
+std::uint64_t CliParser::get_uint64(const std::string& name,
+                                    std::uint64_t fallback) const {
+  const std::string* text = last_value(name);
+  if (text == nullptr) return fallback;
+  const std::optional<std::uint64_t> v = parse_uint64_literal(*text);
+  BSA_REQUIRE(v.has_value(),
+              "flag --" << name
+                        << " expects an in-range unsigned integer, got '"
+                        << *text << "'");
+  return *v;
+}
+
 double CliParser::get_double(const std::string& name, double fallback) const {
   const std::string* text = last_value(name);
   if (text == nullptr) return fallback;

@@ -44,6 +44,11 @@ class CliParser {
       const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// Unsigned 64-bit variant for counts that outgrow int64 (e.g. a load
+  /// generator's request total). Rejects negatives and out-of-range
+  /// values instead of clamping, like get_int.
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& name,
+                                         std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

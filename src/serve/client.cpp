@@ -1,0 +1,121 @@
+#include "serve/client.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace bsa::serve {
+
+Client Client::connect(const std::string& socket_path, int timeout_ms) {
+  return Client(connect_unix(socket_path, timeout_ms));
+}
+
+std::uint64_t Client::send(const Request& req) {
+  Request out = req;
+  if (out.id == 0) out.id = next_id_++;
+  BSA_REQUIRE(write_all(fd_, request_to_json(out) + "\n"),
+              "serve::Client::send: connection lost");
+  return out.id;
+}
+
+Response Client::recv() {
+  std::string line;
+  BSA_REQUIRE(reader_.read_line(line, kMaxRequestBytes),
+              "serve::Client::recv: connection closed by server");
+  return parse_response(line);
+}
+
+Response Client::call(const Request& req) {
+  const std::uint64_t id = send(req);
+  for (;;) {
+    Response resp = recv();
+    if (resp.id == id) return resp;
+    // A response for an id this Client never matched up (e.g. after an
+    // interleaved send/recv pipeline was abandoned) is dropped.
+  }
+}
+
+Response Client::ping() {
+  Request req;
+  req.op = "ping";
+  return call(req);
+}
+
+Response Client::stats() {
+  Request req;
+  req.op = "stats";
+  return call(req);
+}
+
+Response Client::shutdown_server() {
+  Request req;
+  req.op = "shutdown";
+  return call(req);
+}
+
+AsyncClient::AsyncClient(const std::string& socket_path, int timeout_ms)
+    : fd_(connect_unix(socket_path, timeout_ms)) {
+  reader_thread_ = std::thread([this] { reader_loop(); });
+}
+
+AsyncClient::~AsyncClient() {
+  fd_.shutdown_both();
+  if (reader_thread_.joinable()) reader_thread_.join();
+  // Promises still pending at destruction break naturally: their
+  // std::future ends with std::future_error(broken_promise).
+}
+
+std::future<Response> AsyncClient::submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  std::string wire;
+  {
+    const std::lock_guard<std::mutex> lock(send_mu_);
+    if (req.id == 0) req.id = next_id_++;
+    wire = request_to_json(req) + "\n";
+    {
+      const std::lock_guard<std::mutex> plock(pending_mu_);
+      pending_.emplace(req.id, std::move(promise));
+    }
+    if (!write_all(fd_, wire)) {
+      const std::lock_guard<std::mutex> plock(pending_mu_);
+      const auto it = pending_.find(req.id);
+      if (it != pending_.end()) {
+        it->second.set_exception(std::make_exception_ptr(
+            PreconditionError("serve::AsyncClient: connection lost")));
+        pending_.erase(it);
+      }
+    }
+  }
+  return future;
+}
+
+std::size_t AsyncClient::in_flight() const {
+  const std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.size();
+}
+
+void AsyncClient::reader_loop() {
+  LineReader reader(fd_);
+  std::string line;
+  while (reader.read_line(line, kMaxRequestBytes)) {
+    Response resp;
+    try {
+      resp = parse_response(line);
+    } catch (const std::exception&) {
+      continue;  // garbled line: the matching future breaks at teardown
+    }
+    std::promise<Response> promise;
+    {
+      const std::lock_guard<std::mutex> lock(pending_mu_);
+      const auto it = pending_.find(resp.id);
+      if (it == pending_.end()) continue;  // unmatched id
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    promise.set_value(std::move(resp));
+  }
+}
+
+}  // namespace bsa::serve

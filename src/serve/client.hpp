@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+/// \file client.hpp
+/// Client library for the scheduling service (serve::Server / the
+/// bsa_served daemon): a blocking Client speaking the newline-delimited
+/// JSON protocol over one connection, and an AsyncClient layering
+/// future-based completion and pipelining on top of it.
+///
+/// The server may answer out of request order (batching reorders), so
+/// both clients match responses to requests by id. Client assigns ids
+/// itself when the caller leaves Request::id at 0.
+
+namespace bsa::serve {
+
+/// One blocking connection. Not thread-safe: one thread drives call(),
+/// or send()/recv() as a pipelining pair (send W requests, then recv W
+/// responses, matching by id). Use AsyncClient — or one Client per
+/// thread — for concurrent callers.
+class Client {
+ public:
+  /// Connect, retrying until `timeout_ms` elapses (covers a daemon that
+  /// is still starting). Throws PreconditionError on timeout.
+  static Client connect(const std::string& socket_path,
+                        int timeout_ms = 5000);
+
+  /// Send one request (assigning an id when req.id == 0) and return the
+  /// id it went out with. Throws PreconditionError when the connection
+  /// is gone.
+  std::uint64_t send(const Request& req);
+
+  /// Block for the next response line. Throws PreconditionError on EOF
+  /// (server gone) or malformed response.
+  [[nodiscard]] Response recv();
+
+  /// send() + recv-until-matching-id — the simple RPC form.
+  [[nodiscard]] Response call(const Request& req);
+
+  /// Convenience ops.
+  [[nodiscard]] Response ping();
+  [[nodiscard]] Response stats();
+  /// Ask the daemon to shut down (acknowledged before it stops).
+  [[nodiscard]] Response shutdown_server();
+
+  void close() { fd_.reset(); }
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)), reader_(fd_) {}
+
+  Fd fd_;
+  LineReader reader_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Future-based asynchronous facade: submit() returns immediately with a
+/// std::future<Response>; a reader thread completes futures as response
+/// lines arrive, in whatever order the server produced them. submit()
+/// is thread-safe. Outstanding futures are failed (broken promise ->
+/// std::future_error) when the connection drops or the client is
+/// destroyed.
+class AsyncClient {
+ public:
+  explicit AsyncClient(const std::string& socket_path, int timeout_ms = 5000);
+  ~AsyncClient();
+
+  AsyncClient(const AsyncClient&) = delete;
+  AsyncClient& operator=(const AsyncClient&) = delete;
+
+  /// Enqueue one request (id assigned when 0); the future completes when
+  /// the server answers it.
+  std::future<Response> submit(Request req);
+
+  /// Number of submitted-but-unanswered requests.
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  void reader_loop();
+
+  Fd fd_;
+  std::mutex send_mu_;
+  std::uint64_t next_id_ = 1;
+  mutable std::mutex pending_mu_;
+  std::map<std::uint64_t, std::promise<Response>> pending_;
+  std::thread reader_thread_;
+};
+
+}  // namespace bsa::serve

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "obs/hooks.hpp"
+#include "serve/protocol.hpp"
+
+/// \file eval.hpp
+/// The deterministic heart of the scheduling service: evaluate one
+/// canonicalised request into its response payload.
+///
+/// The construction path is *exactly* bsa_tool's single-run path —
+/// graph = workload.generate(size, gran, seed), topology =
+/// exp::make_topology (with the linear/star extras), cost model =
+/// HeterogeneousCostModel::uniform[_processor_speeds](g, topo, 1, het,
+/// 1, link_het, seed), scheduler run with the same seed — so a served
+/// schedule is byte-identical to `bsa_tool --workload W --algo A
+/// --topology T --procs P --size N --seed S --export`, which is what the
+/// CI byte-identity gate diffs.
+///
+/// The payload is a pure function of the canonical request key: it
+/// contains no timestamps, no request ids and no daemon state, which is
+/// the whole cache-exactness argument (docs/DESIGN_SERVE.md).
+
+namespace bsa::serve {
+
+/// Evaluate a schedule request (already canonicalised — see
+/// serve::canonicalize) and return the response payload fragment:
+/// comma-separated "key":value JSON text without surrounding braces,
+/// ready for format_response. Deterministic: equal canonical keys yield
+/// byte-identical payloads. Throws (PreconditionError and friends) on
+/// unresolvable specs; the server turns that into an error response.
+/// `hooks` only observe (tracer spans around the scheduler run).
+[[nodiscard]] std::string evaluate_request(const Request& req,
+                                           const obs::Hooks& hooks);
+[[nodiscard]] std::string evaluate_request(const Request& req);
+
+}  // namespace bsa::serve

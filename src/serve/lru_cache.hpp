@@ -1,0 +1,166 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// \file lru_cache.hpp
+/// A sharded, thread-safe LRU cache — the schedule cache behind the
+/// scheduling service (serve::Server), written as a standalone template
+/// so future subsystems (e.g. the online-arrival simulator) can reuse it.
+///
+/// Keys are hashed onto `shards` independent shards, each holding its own
+/// lock, recency list and capacity slice, so concurrent get/put traffic
+/// on distinct keys rarely contends on one mutex. Within a shard the
+/// implementation is the classic list + ordered-index pair: an intrusive
+/// recency list of (key, value) nodes and a std::map from key to list
+/// iterator (std::map, not unordered_map — the determinism linter bans
+/// hash containers in src/, and O(log n) lookups are far below the cost
+/// of the scheduler runs the cache memoises).
+///
+/// Determinism note: *which* entries survive eviction depends on arrival
+/// order and therefore on timing, but a cache can only ever change
+/// whether a result is recomputed, never what it is — callers store
+/// values that are pure functions of the key (the serve cache stores
+/// canonically-keyed response payloads), so hit and miss paths return
+/// bit-identical bytes.
+///
+/// Capacity semantics: `capacity` is the total entry budget, split evenly
+/// across shards (each shard gets at least 1 when capacity > 0).
+/// capacity == 0 disables the cache entirely: every get misses, put is a
+/// no-op. Eviction is strict per-shard LRU: get and put both refresh
+/// recency; put of an existing key overwrites its value in place.
+
+namespace bsa::serve {
+
+/// Monotonic hit/miss/eviction tallies, readable while the cache is live.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t size = 0;  ///< current entry count across shards
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// `capacity` total entries across all shards (0 disables the cache);
+  /// `shards` lock shards (clamped to >= 1; more shards than capacity
+  /// collapse to `capacity` shards so every shard can hold an entry).
+  explicit LruCache(std::size_t capacity, std::size_t shards = 1)
+      : capacity_(capacity) {
+    if (shards == 0) shards = 1;
+    if (capacity > 0 && shards > capacity) shards = capacity;
+    const std::size_t per_shard =
+        capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Look up `key`; a hit refreshes its recency and copies the value out.
+  [[nodiscard]] std::optional<Value> get(const Key& key) {
+    if (capacity_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    s.order.splice(s.order.begin(), s.order, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Insert or overwrite `key`, refreshing its recency; evicts the
+  /// shard's least-recently-used entry when the shard is full.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(value);
+      s.order.splice(s.order.begin(), s.order, it->second);
+      return;
+    }
+    if (s.order.size() >= s.capacity) {
+      const auto& victim = s.order.back();
+      s.index.erase(victim.first);
+      s.order.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.order.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.order.begin());
+  }
+
+  /// True when `key` is resident (no recency refresh, no stats bump).
+  [[nodiscard]] bool contains(const Key& key) const {
+    if (capacity_ == 0) return false;
+    const Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    return s.index.find(key) != s.index.end();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s->mu);
+      n += s->order.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.size = static_cast<std::int64_t>(size());
+    return st;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+    std::size_t capacity;
+    mutable std::mutex mu;
+    /// Most-recently-used first.
+    std::list<std::pair<Key, Value>> order;
+    std::map<Key, typename std::list<std::pair<Key, Value>>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+  [[nodiscard]] const Shard& shard_for(const Key& key) const {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  // unique_ptr so Shard (with its mutex) never moves after construction.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace bsa::serve

@@ -1,0 +1,311 @@
+// lint:allow-file(wall-clock): request-latency envelope field (server_us)
+// is measured wall time; every response payload stays a pure function of
+// the canonical request key.
+#include "serve/server.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/trace.hpp"
+#include "serve/eval.hpp"
+
+namespace bsa::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+/// One live client connection. Sessions read from it; any thread may
+/// respond on it (cache hits from the session thread, batch results from
+/// the dispatcher), serialised by `write_mu`.
+struct Server::Connection {
+  explicit Connection(Fd f) : fd(std::move(f)) {}
+  Fd fd;
+  std::mutex write_mu;
+};
+
+/// One queued schedule request awaiting batch dispatch.
+struct Server::Pending {
+  Request req;
+  std::string key;  ///< canonical cache key
+  std::shared_ptr<Connection> conn;
+  Clock::time_point t0;  ///< arrival instant, for the server_us envelope
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  BSA_REQUIRE(!accept_thread_.joinable(), "Server::start called twice");
+  listener_ = listen_unix(options_.socket_path);
+  pool_ = std::make_unique<runtime::ThreadPool>(options_.threads);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatcher_thread_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void Server::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  listener_.shutdown_both();  // wake the accept loop
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The dispatcher drains the queue before exiting, so every request
+  // that made it in still gets its response.
+  if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& conn : sessions_) conn->fd.shutdown_both();
+  }
+  for (std::thread& t : session_threads_) {
+    if (t.joinable()) t.join();
+  }
+  listener_.reset();
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Fd fd = accept_unix(listener_);
+    if (!fd.valid()) return;  // listener shut down: server stopping
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.tracer != nullptr) {
+      options_.tracer->add_instant("serve.accept", "serve", 0);
+    }
+    auto conn = std::make_shared<Connection>(std::move(fd));
+    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.push_back(conn);
+    session_threads_.emplace_back([this, conn] { session_loop(conn); });
+  }
+}
+
+void Server::session_loop(const std::shared_ptr<Connection>& conn) {
+  LineReader reader(conn->fd);
+  std::string line;
+  while (reader.read_line(line, kMaxRequestBytes)) {
+    handle_line(conn, line);
+  }
+  if (reader.overflowed()) {
+    // Answer, then drop the connection: a line this long is a protocol
+    // violation and the reader has lost framing.
+    std::ostringstream msg;
+    msg << "request exceeds " << kMaxRequestBytes << " bytes";
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    respond(*conn, format_error(0, msg.str()));
+  }
+  conn->fd.shutdown_both();
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  const Clock::time_point t0 = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  std::string key;
+  try {
+    obs::Span parse_span(options_.tracer, "serve.parse", "serve", 0);
+    req = parse_request(line);
+    if (req.op == "schedule") key = canonicalize(req);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    respond(*conn, format_error(req.id, e.what()));
+    return;
+  }
+
+  if (req.op == "ping") {
+    respond(*conn, format_response(req.id, false, us_since(t0),
+                                   "\"op\":\"ping\""));
+    return;
+  }
+  if (req.op == "stats") {
+    respond(*conn,
+            format_response(req.id, false, us_since(t0), stats_payload()));
+    return;
+  }
+  if (req.op == "shutdown") {
+    respond(*conn, format_response(req.id, false, us_since(t0),
+                                   "\"op\":\"shutdown\""));
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    return;
+  }
+
+  // op == "schedule": serve repeats straight from the cache on the
+  // session thread — the hot path never waits for a batch slot.
+  if (req.use_cache) {
+    if (const auto payload = cache_.get(key)) {
+      respond(*conn,
+              format_response(req.id, true, us_since(t0), *payload));
+      return;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!stopping_) {
+      queue_.push_back(Pending{std::move(req), std::move(key), conn, t0});
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  respond(*conn, format_error(req.id, "server is shutting down"));
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      if (!stopping_ && options_.batch_wait_us > 0 &&
+          queue_.size() < options_.max_batch) {
+        // One bounded wait for stragglers: concurrent clients land in
+        // the same batch instead of one dispatch round each.
+        queue_cv_.wait_for(lock,
+                           std::chrono::microseconds(options_.batch_wait_us));
+      }
+      const std::size_t n = std::min(queue_.size(), options_.max_batch);
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.begin() +
+                                           static_cast<std::ptrdiff_t>(n)));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    run_batch(batch);
+  }
+}
+
+void Server::run_batch(std::vector<Pending>& batch) {
+  obs::Span batch_span(options_.tracer, "serve.batch", "serve", 0);
+  batch_span.arg("size", static_cast<double>(batch.size()));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t hwm = batch_size_hwm_.load(std::memory_order_relaxed);
+  while (static_cast<std::int64_t>(batch.size()) > hwm &&
+         !batch_size_hwm_.compare_exchange_weak(
+             hwm, static_cast<std::int64_t>(batch.size()),
+             std::memory_order_relaxed)) {
+  }
+
+  // Identical canonical keys inside one round evaluate once — the batch
+  // is a miniature ScenarioGrid sweep over its unique cells.
+  struct Cell {
+    const Request* req = nullptr;
+    std::string payload;
+    bool failed = false;
+  };
+  std::map<std::string, Cell> cells;
+  for (const Pending& p : batch) {
+    const auto [it, inserted] = cells.try_emplace(p.key);
+    if (inserted) {
+      it->second.req = &p.req;
+    } else {
+      batch_dedup_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::vector<Cell*> order;
+  order.reserve(cells.size());
+  for (auto& [_, cell] : cells) order.push_back(&cell);
+
+  pool_->parallel_for(order.size(), 1, [&](std::size_t i) {
+    Cell& cell = *order[i];
+    obs::Hooks hooks;
+    hooks.tracer = options_.tracer;
+    hooks.trace_tid =
+        static_cast<std::uint32_t>(runtime::current_worker_id() + 1);
+    obs::Span span(options_.tracer, "serve.schedule", "serve",
+                   hooks.trace_tid);
+    try {
+      cell.payload = evaluate_request(*cell.req, hooks);
+    } catch (const std::exception& e) {
+      cell.failed = true;
+      cell.payload = e.what();
+    }
+  });
+
+  for (const auto& [cell_key, cell] : cells) {
+    if (!cell.failed && cell.req->use_cache) {
+      cache_.put(cell_key, cell.payload);
+    }
+  }
+  obs::Span respond_span(options_.tracer, "serve.respond", "serve", 0);
+  for (const Pending& p : batch) {
+    const Cell& cell = cells.at(p.key);
+    if (cell.failed) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      respond(*p.conn, format_error(p.req.id, cell.payload));
+    } else {
+      respond(*p.conn,
+              format_response(p.req.id, false, us_since(p.t0), cell.payload));
+    }
+  }
+}
+
+void Server::respond(Connection& conn, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(conn.write_mu);
+  // A false return means the client vanished; the daemon shrugs.
+  (void)write_all(conn.fd, line + "\n");
+}
+
+obs::CounterSnapshot Server::counters() const {
+  const CacheStats cs = cache_.stats();
+  obs::Registry reg;
+  reg.add("serve.requests", requests_.load(std::memory_order_relaxed));
+  reg.add("serve.errors", errors_.load(std::memory_order_relaxed));
+  reg.add("serve.connections", connections_.load(std::memory_order_relaxed));
+  reg.add("serve.batches", batches_.load(std::memory_order_relaxed));
+  reg.add("serve.batch_size_hwm",
+          batch_size_hwm_.load(std::memory_order_relaxed));
+  reg.add("serve.batch_dedup", batch_dedup_.load(std::memory_order_relaxed));
+  reg.add("serve.cache.hits", cs.hits);
+  reg.add("serve.cache.misses", cs.misses);
+  reg.add("serve.cache.evictions", cs.evictions);
+  reg.add("serve.cache.size", cs.size);
+  return reg.snapshot();
+}
+
+std::string Server::stats_payload() const {
+  std::ostringstream os;
+  os << "\"op\":\"stats\"";
+  for (const auto& [name, value] : counters()) {
+    os << ",\"ctr:" << name << "\":" << value;
+  }
+  return os.str();
+}
+
+}  // namespace bsa::serve

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace bsa::obs {
+class Tracer;
+}  // namespace bsa::obs
+
+/// \file server.hpp
+/// The scheduling-as-a-service daemon core: a Server listens on a local
+/// AF_UNIX socket, speaks the newline-delimited JSON protocol
+/// (serve/protocol.hpp), batches concurrent in-flight schedule requests
+/// into ScenarioGrid-style sweeps dispatched on a runtime::ThreadPool,
+/// and answers repeat requests from a sharded LRU cache keyed by the
+/// exact canonical request key — cache hits return byte-identical
+/// payloads to fresh runs (serve/eval.hpp has the exactness argument).
+///
+/// Thread model: one accept thread, one session thread per connection,
+/// one batch-dispatcher thread, plus the evaluation pool. Sessions parse
+/// and answer cache hits / pings inline; misses are queued for the
+/// dispatcher, which drains up to `max_batch` requests per round,
+/// deduplicates identical keys within the round, evaluates the unique
+/// keys on the pool and writes every response. Observability: the
+/// serve.* counters below and accept/parse/batch/schedule/respond
+/// tracer spans through the standard obs:: hooks.
+
+namespace bsa::serve {
+
+struct ServerOptions {
+  std::string socket_path = "bsa_served.sock";
+  /// Evaluation pool workers; <= 0 selects all hardware threads.
+  int threads = 0;
+  /// Total schedule-cache entries (0 disables caching).
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+  /// Most requests drained per dispatcher round.
+  std::size_t max_batch = 64;
+  /// How long a nonempty round waits for stragglers before dispatching,
+  /// in microseconds (0 dispatches immediately).
+  int batch_wait_us = 100;
+  /// Optional span sink (not owned; must outlive the server). Null is
+  /// observability-off and costs one branch per site.
+  obs::Tracer* tracer = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Stops and joins everything (idempotent with stop()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and start the accept/dispatcher threads. Throws
+  /// PreconditionError when the socket cannot be bound.
+  void start();
+
+  /// Block until a client's shutdown op (or a stop() from another
+  /// thread) ends the serving loop.
+  void wait();
+
+  /// Tear down: stop accepting, drain queued requests (each still gets
+  /// its response), close every connection, join all threads. Safe to
+  /// call from any thread except a session's own; idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+
+  /// Deterministic-format snapshot of the serve.* counters
+  /// (serve.requests, serve.cache.{hits,misses,evictions},
+  /// serve.batches, serve.batch_size_hwm, ...), sorted by name.
+  [[nodiscard]] obs::CounterSnapshot counters() const;
+
+ private:
+  struct Connection;
+  struct Pending;
+
+  void accept_loop();
+  void session_loop(const std::shared_ptr<Connection>& conn);
+  void dispatcher_loop();
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void run_batch(std::vector<Pending>& batch);
+  void respond(Connection& conn, const std::string& line);
+  [[nodiscard]] std::string stats_payload() const;
+
+  ServerOptions options_;
+  Fd listener_;
+  LruCache<std::string, std::string> cache_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+
+  std::thread accept_thread_;
+  std::thread dispatcher_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Connection>> sessions_;
+  std::vector<std::thread> session_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<Pending> queue_;
+  bool stopping_ = false;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+
+  /// serve.* tallies (cache hit/miss/eviction live in cache_.stats()).
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> batch_size_hwm_{0};
+  std::atomic<std::int64_t> batch_dedup_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> connections_{0};
+};
+
+}  // namespace bsa::serve

@@ -1,0 +1,135 @@
+// lint:allow-file(wall-clock): connect-retry deadline only, never a result
+#include "serve/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace bsa::serve {
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BSA_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "unix socket path too long (" << path.size() << " bytes, max "
+                                            << sizeof(addr.sun_path) - 1
+                                            << "): " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Fd make_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  BSA_REQUIRE(fd >= 0, "socket(AF_UNIX): " << std::strerror(errno));
+  return Fd(fd);
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  ::unlink(path.c_str());  // stale socket file from a crashed daemon
+  Fd fd = make_socket();
+  BSA_REQUIRE(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind('" << path << "'): " << std::strerror(errno));
+  BSA_REQUIRE(::listen(fd.get(), backlog) == 0,
+              "listen('" << path << "'): " << std::strerror(errno));
+  return fd;
+}
+
+Fd accept_unix(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after the listener was shut down or closed: the
+    // server is stopping. Anything else also ends the accept loop; the
+    // daemon logs it.
+    return Fd();
+  }
+}
+
+Fd connect_unix(const std::string& path, int timeout_ms) {
+  const sockaddr_un addr = make_addr(path);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    Fd fd = make_socket();
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    BSA_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                "connect('" << path << "'): " << std::strerror(err)
+                            << " (gave up after " << timeout_ms << "ms)");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+bool write_all(const Fd& fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a vanished client must surface as EPIPE here, not
+    // kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd.get(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::read_line(std::string& line, std::size_t max_line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (buffer_.size() > max_line) {
+      overflowed_ = true;
+      return false;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF or error; any partial line is dropped
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace bsa::serve

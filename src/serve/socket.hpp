@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+/// \file socket.hpp
+/// Minimal RAII plumbing over POSIX AF_UNIX stream sockets — just what
+/// the scheduling service needs: listen/accept/connect, full-line reads
+/// and full-buffer writes. No third-party dependencies; everything is
+/// plain <sys/socket.h>. Errors are reported by throwing
+/// bsa::PreconditionError (setup) or by boolean/size returns (per-peer
+/// I/O, where a vanished client is normal, not exceptional).
+
+namespace bsa::serve {
+
+/// Owning socket file descriptor. Movable, closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Close the descriptor now (idempotent).
+  void reset() noexcept;
+  /// shutdown(2) both directions — wakes any thread blocked in read on
+  /// this descriptor without racing the close itself.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a filesystem AF_UNIX socket path. Any stale socket
+/// file at `path` is removed first. Throws PreconditionError on failure
+/// (path too long for sockaddr_un, bind/listen errors).
+[[nodiscard]] Fd listen_unix(const std::string& path, int backlog = 128);
+
+/// Accept one connection; invalid Fd when the listener was shut down.
+[[nodiscard]] Fd accept_unix(const Fd& listener);
+
+/// Connect to a unix socket, retrying (10ms apart) until `timeout_ms`
+/// elapses — covers the daemon still starting up. Throws
+/// PreconditionError when the deadline passes without a connection.
+[[nodiscard]] Fd connect_unix(const std::string& path, int timeout_ms = 5000);
+
+/// Write all of `data`; false when the peer is gone (EPIPE/reset —
+/// reported, not raised, and never via SIGPIPE).
+[[nodiscard]] bool write_all(const Fd& fd, const std::string& data);
+
+/// Buffered newline-delimited reader over one socket.
+class LineReader {
+ public:
+  explicit LineReader(const Fd& fd) : fd_(fd) {}
+
+  /// Read the next '\n'-terminated line (terminator stripped) into
+  /// `line`. Returns false on orderly EOF *between* lines; a connection
+  /// that dies mid-line also returns false (the partial line is
+  /// dropped — the peer never finished the request). Lines longer than
+  /// `max_line` set `overflowed()` and return false.
+  [[nodiscard]] bool read_line(std::string& line, std::size_t max_line);
+
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+ private:
+  const Fd& fd_;
+  std::string buffer_;
+  bool overflowed_ = false;
+};
+
+}  // namespace bsa::serve

@@ -277,6 +277,35 @@ TEST(Cli, IntRejectsOutOfRangeInsteadOfClamping) {
   EXPECT_EQ(cli.get_int("ok", 0), std::numeric_limits<std::int64_t>::max());
 }
 
+TEST(Cli, Uint64ParsesFullRangeAndFallsBack) {
+  const char* argv[] = {"prog", "--max=18446744073709551615", "--zero=0"};
+  CliParser cli(3, argv);
+  EXPECT_EQ(cli.get_uint64("max", 0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(cli.get_uint64("zero", 7), 0u);
+  EXPECT_EQ(cli.get_uint64("absent", 42), 42u);
+}
+
+TEST(Cli, Uint64RejectsOutOfRangeInsteadOfClamping) {
+  // One past UINT64_MAX and far past: strtoull would clamp both to
+  // ULLONG_MAX. Negatives also reject — strtoull's silent wraparound
+  // ("-1" -> UINT64_MAX) is exactly the bug parse_uint64_literal blocks.
+  const char* argv[] = {"prog", "--a=18446744073709551616",
+                        "--b=999999999999999999999999999999", "--c=-1"};
+  CliParser cli(4, argv);
+  EXPECT_THROW((void)cli.get_uint64("a", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_uint64("b", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_uint64("c", 0), PreconditionError);
+}
+
+TEST(Cli, Uint64RejectsTrailingJunkAndEmpty) {
+  const char* argv[] = {"prog", "--a=12x", "--b=", "--c=0x10"};
+  CliParser cli(4, argv);
+  EXPECT_THROW((void)cli.get_uint64("a", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_uint64("b", 0), PreconditionError);
+  EXPECT_THROW((void)cli.get_uint64("c", 0), PreconditionError);
+}
+
 TEST(Cli, DoubleRejectsOverflowAndJunk) {
   const char* argv[] = {"prog", "--a=1e999", "--b=-1e999", "--c=1.5ms",
                         "--tiny=1e-999"};

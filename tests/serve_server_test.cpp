@@ -1,0 +1,291 @@
+// End-to-end tests of the scheduling-service daemon core: a real
+// serve::Server on a unique temp AF_UNIX socket per test, driven through
+// real client connections. Protocol-robustness cases (malformed JSON,
+// unknown names, oversized lines, mid-request disconnects) assert the
+// daemon answers with errors and keeps serving — it must never crash.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/client.hpp"
+#include "serve/eval.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace bsa::serve {
+namespace {
+
+std::string unique_socket(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/bsa_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+ServerOptions small_options(const std::string& tag) {
+  ServerOptions options;
+  options.socket_path = unique_socket(tag);
+  options.threads = 2;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  options.batch_wait_us = 0;
+  return options;
+}
+
+Request small_request() {
+  Request req;
+  req.size = 20;
+  req.procs = 4;
+  req.seed = 3;
+  return req;
+}
+
+TEST(ServeServer, PingStatsAndCounters) {
+  Server server(small_options("ping"));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+
+  const Response pong = client.ping();
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.text("op"), "ping");
+
+  const Response stats = client.stats();
+  EXPECT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("ctr:serve.requests", -1), 1);
+  EXPECT_GE(stats.number("ctr:serve.connections", -1), 1);
+  server.stop();
+}
+
+TEST(ServeServer, ScheduleMatchesLocalEvaluationBitForBit) {
+  Server server(small_options("sched"));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+
+  Request req = small_request();
+  const Response resp = client.call(req);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_FALSE(resp.cached);
+  EXPECT_GT(resp.makespan(), 0);
+
+  // The daemon's payload must match an in-process evaluation of the same
+  // canonical request — same schedule text, same makespan, same counters.
+  Request local = small_request();
+  (void)canonicalize(local);
+  const Response fresh =
+      parse_response(format_response(resp.id, false, 0, evaluate_request(local)));
+  EXPECT_EQ(resp.schedule_text(), fresh.schedule_text());
+  EXPECT_EQ(resp.makespan(), fresh.makespan());
+  EXPECT_EQ(resp.payload.size(), fresh.payload.size());
+  server.stop();
+}
+
+TEST(ServeServer, RepeatRequestIsCachedAndPayloadIdentical) {
+  Server server(small_options("cache"));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+
+  const Response first = client.call(small_request());
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cached);
+
+  const Response second = client.call(small_request());
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.cached);
+  // The payload (everything outside the envelope) is byte-derived from
+  // the same cached string, so every field matches exactly.
+  EXPECT_EQ(first.payload, second.payload);
+
+  // cache:false bypasses the cache even when the entry is resident.
+  Request uncached = small_request();
+  uncached.use_cache = false;
+  const Response third = client.call(uncached);
+  ASSERT_TRUE(third.ok) << third.error;
+  EXPECT_FALSE(third.cached);
+  EXPECT_EQ(third.payload, first.payload);
+  server.stop();
+}
+
+TEST(ServeServer, MalformedJsonGetsErrorAndConnectionSurvives) {
+  Server server(small_options("badjson"));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+
+  Fd raw = connect_unix(server.socket_path());
+  ASSERT_TRUE(write_all(raw, "this is not json\n"));
+  LineReader reader(raw);
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line, kMaxRequestBytes));
+  const Response err = parse_response(line);
+  EXPECT_FALSE(err.ok);
+  EXPECT_FALSE(err.error.empty());
+
+  // Same connection still serves valid requests afterwards.
+  ASSERT_TRUE(write_all(raw, "{\"op\":\"ping\",\"id\":9}\n"));
+  ASSERT_TRUE(reader.read_line(line, kMaxRequestBytes));
+  const Response pong = parse_response(line);
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.id, 9u);
+  server.stop();
+}
+
+TEST(ServeServer, UnknownSpecNamesListValidChoices) {
+  Server server(small_options("unknown"));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+
+  Request bad_algo = small_request();
+  bad_algo.algo = "nosuch";
+  const Response r1 = client.call(bad_algo);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("nosuch"), std::string::npos) << r1.error;
+  EXPECT_NE(r1.error.find("bsa"), std::string::npos) << r1.error;
+
+  Request bad_workload = small_request();
+  bad_workload.workload = "nosuchload";
+  const Response r2 = client.call(bad_workload);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("nosuchload"), std::string::npos) << r2.error;
+  EXPECT_NE(r2.error.find("fft"), std::string::npos) << r2.error;
+
+  Request bad_topo = small_request();
+  bad_topo.topology = "torus";
+  const Response r3 = client.call(bad_topo);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_NE(r3.error.find("torus"), std::string::npos) << r3.error;
+  EXPECT_NE(r3.error.find("hypercube"), std::string::npos) << r3.error;
+
+  // The daemon kept serving through all three rejections.
+  EXPECT_TRUE(client.ping().ok);
+  server.stop();
+}
+
+TEST(ServeServer, OversizedRequestAnsweredThenDropped) {
+  Server server(small_options("oversize"));
+  server.start();
+
+  Fd raw = connect_unix(server.socket_path());
+  // Exceed kMaxRequestBytes without ever sending a newline: the server
+  // must answer with an error and close, not buffer forever or crash.
+  const std::string chunk(1 << 16, 'x');
+  for (int i = 0; i < 20; ++i) {
+    if (!write_all(raw, chunk)) break;  // server may already have closed
+  }
+  LineReader reader(raw);
+  std::string line;
+  if (reader.read_line(line, kMaxRequestBytes)) {
+    const Response err = parse_response(line);
+    EXPECT_FALSE(err.ok);
+    EXPECT_NE(err.error.find("exceeds"), std::string::npos) << err.error;
+  }
+
+  // Daemon still alive for new connections.
+  auto client = Client::connect(server.socket_path());
+  EXPECT_TRUE(client.ping().ok);
+  server.stop();
+}
+
+TEST(ServeServer, MidRequestDisconnectLeavesServerServing) {
+  Server server(small_options("disconnect"));
+  server.start();
+  {
+    Fd raw = connect_unix(server.socket_path());
+    // Half a request, no newline — then vanish.
+    ASSERT_TRUE(write_all(raw, "{\"op\":\"sched"));
+  }
+  {
+    // A full request whose response is never read — then vanish; the
+    // daemon's write must not kill it (SIGPIPE) or wedge the batch.
+    Fd raw = connect_unix(server.socket_path());
+    ASSERT_TRUE(write_all(raw, request_to_json(small_request()) + "\n"));
+  }
+  auto client = Client::connect(server.socket_path());
+  const Response resp = client.call(small_request());
+  EXPECT_TRUE(resp.ok) << resp.error;
+  server.stop();
+}
+
+TEST(ServeServer, AsyncClientPipelinesAndBatchDedupes) {
+  ServerOptions options = small_options("async");
+  options.batch_wait_us = 2000;  // give concurrent submits a batch window
+  Server server(std::move(options));
+  server.start();
+
+  AsyncClient client(server.socket_path());
+  std::vector<std::future<Response>> futures;
+  futures.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    Request req = small_request();
+    req.seed = 100 + static_cast<std::uint64_t>(i % 4);  // 4 unique keys
+    req.use_cache = false;  // force evaluation so in-batch dedupe is the
+                            // only sharing mechanism
+    futures.push_back(client.submit(req));
+  }
+  std::string schedule_for_seed_100;
+  for (int i = 0; i < 16; ++i) {
+    const Response resp = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(resp.ok) << resp.error;
+    if (i % 4 == 0) {
+      if (schedule_for_seed_100.empty()) {
+        schedule_for_seed_100 = resp.schedule_text();
+      } else {
+        EXPECT_EQ(resp.schedule_text(), schedule_for_seed_100);
+      }
+    }
+  }
+  EXPECT_EQ(client.in_flight(), 0u);
+  server.stop();
+}
+
+TEST(ServeServer, ShutdownOpStopsWaitAndAnswersFirst) {
+  Server server(small_options("shutdown"));
+  server.start();
+  std::thread waiter([&server] {
+    server.wait();
+    server.stop();
+  });
+  auto client = Client::connect(server.socket_path());
+  const Response ack = client.shutdown_server();
+  EXPECT_TRUE(ack.ok);
+  EXPECT_EQ(ack.text("op"), "shutdown");
+  waiter.join();
+  // Socket file is gone after a clean stop.
+  EXPECT_NE(::access(server.socket_path().c_str(), F_OK), 0);
+}
+
+TEST(ServeServer, CountersReflectTraffic) {
+  Server server(small_options("counters"));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+  (void)client.call(small_request());
+  (void)client.call(small_request());
+  Request bad = small_request();
+  bad.algo = "nosuch";
+  (void)client.call(bad);
+  server.stop();
+
+  const obs::CounterSnapshot snapshot = server.counters();
+  const auto value = [&snapshot](const std::string& name) -> std::int64_t {
+    for (const auto& [n, v] : snapshot) {
+      if (n == name) return v;
+    }
+    return -1;
+  };
+  EXPECT_EQ(value("serve.requests"), 3);
+  EXPECT_EQ(value("serve.cache.hits"), 1);
+  EXPECT_GE(value("serve.cache.misses"), 1);
+  EXPECT_EQ(value("serve.errors"), 1);
+  EXPECT_GE(value("serve.batches"), 1);
+  EXPECT_GE(value("serve.batch_size_hwm"), 1);
+}
+
+}  // namespace
+}  // namespace bsa::serve
