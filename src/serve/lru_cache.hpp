@@ -33,11 +33,13 @@
 /// canonically-keyed response payloads), so hit and miss paths return
 /// bit-identical bytes.
 ///
-/// Capacity semantics: `capacity` is the total entry budget, split evenly
-/// across shards (each shard gets at least 1 when capacity > 0).
-/// capacity == 0 disables the cache entirely: every get misses, put is a
-/// no-op. Eviction is strict per-shard LRU: get and put both refresh
-/// recency; put of an existing key overwrites its value in place.
+/// Capacity semantics: `capacity` is the total entry budget, split so
+/// the per-shard slices sum to exactly `capacity` (the remainder shards
+/// get one extra slot; each shard gets at least 1 when capacity > 0), so
+/// resident entries never exceed the budget. capacity == 0 disables the
+/// cache entirely: every get misses, put is a no-op. Eviction is strict
+/// per-shard LRU: get and put both refresh recency; put of an existing
+/// key overwrites its value in place.
 
 namespace bsa::serve {
 
@@ -59,11 +61,14 @@ class LruCache {
       : capacity_(capacity) {
     if (shards == 0) shards = 1;
     if (capacity > 0 && shards > capacity) shards = capacity;
-    const std::size_t per_shard =
-        capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+    // Hand out floor(capacity/shards) everywhere plus one extra slot to
+    // the first capacity%shards shards: the slices sum to exactly
+    // `capacity`, never a ceil-rounded overshoot.
+    const std::size_t base = capacity / shards;
+    const std::size_t extra = capacity % shards;
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>(per_shard));
+      shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0)));
     }
   }
 

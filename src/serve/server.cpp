@@ -84,11 +84,12 @@ void Server::stop() {
   // that made it in still gets its response.
   if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
   {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    // Wake every live session (a shutdown unblocks both a recv-ing
+    // reader and a send blocked on a stuck client), then wait for the
+    // detached session threads to signal their exit.
+    std::unique_lock<std::mutex> lock(sessions_mu_);
     for (const auto& conn : sessions_) conn->fd.shutdown_both();
-  }
-  for (std::thread& t : session_threads_) {
-    if (t.joinable()) t.join();
+    sessions_cv_.wait(lock, [this] { return active_sessions_ == 0; });
   }
   listener_.reset();
   ::unlink(options_.socket_path.c_str());
@@ -107,9 +108,14 @@ void Server::accept_loop() {
       options_.tracer->add_instant("serve.accept", "serve", 0);
     }
     auto conn = std::make_shared<Connection>(std::move(fd));
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
-    sessions_.push_back(conn);
-    session_threads_.emplace_back([this, conn] { session_loop(conn); });
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(conn);
+      ++active_sessions_;
+    }
+    // Detached so finished sessions cost nothing: each one reaps itself
+    // (session_loop's exit path) and stop() waits on active_sessions_.
+    std::thread([this, conn] { session_loop(conn); }).detach();
   }
 }
 
@@ -127,7 +133,19 @@ void Server::session_loop(const std::shared_ptr<Connection>& conn) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     respond(*conn, format_error(0, msg.str()));
   }
+  // Self-reap: shut the socket down and drop this session's entry from
+  // the live set. The fd itself closes when the last Connection
+  // reference dies — usually right here, but an in-flight batch response
+  // may briefly keep it alive (its write then fails harmlessly), so a
+  // long-running daemon never accumulates dead fds or threads.
   conn->fd.shutdown_both();
+  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), conn),
+                  sessions_.end());
+  // Final touch of server state: once the count drops and stop() wakes,
+  // the Server may be destroyed.
+  --active_sessions_;
+  sessions_cv_.notify_all();
 }
 
 void Server::handle_line(const std::shared_ptr<Connection>& conn,
@@ -228,6 +246,7 @@ void Server::run_batch(std::vector<Pending>& batch) {
     const Request* req = nullptr;
     std::string payload;
     bool failed = false;
+    bool use_cache = false;  ///< OR over every deduplicated request
   };
   std::map<std::string, Cell> cells;
   for (const Pending& p : batch) {
@@ -237,6 +256,9 @@ void Server::run_batch(std::vector<Pending>& batch) {
     } else {
       batch_dedup_.fetch_add(1, std::memory_order_relaxed);
     }
+    // One cache:true duplicate is enough to populate the cache, even if
+    // a cache:false request for the same key happened to arrive first.
+    it->second.use_cache = it->second.use_cache || p.req.use_cache;
   }
   std::vector<Cell*> order;
   order.reserve(cells.size());
@@ -259,7 +281,7 @@ void Server::run_batch(std::vector<Pending>& batch) {
   });
 
   for (const auto& [cell_key, cell] : cells) {
-    if (!cell.failed && cell.req->use_cache) {
+    if (!cell.failed && cell.use_cache) {
       cache_.put(cell_key, cell.payload);
     }
   }

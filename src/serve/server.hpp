@@ -34,9 +34,15 @@ class Tracer;
 /// and answer cache hits / pings inline; misses are queued for the
 /// dispatcher, which drains up to `max_batch` requests per round,
 /// deduplicates identical keys within the round, evaluates the unique
-/// keys on the pool and writes every response. Observability: the
-/// serve.* counters below and accept/parse/batch/schedule/respond
-/// tracer spans through the standard obs:: hooks.
+/// keys on the pool and writes every response. Session threads are
+/// detached and self-reaping: on client disconnect a session removes
+/// itself from the live set and drops its Connection reference, so the
+/// socket fd closes as soon as the last in-flight response releases it —
+/// a long-running daemon holds resources only for live connections.
+/// stop() waits until every detached session has signalled exit.
+/// Observability: the serve.* counters below and
+/// accept/parse/batch/schedule/respond tracer spans through the
+/// standard obs:: hooks.
 
 namespace bsa::serve {
 
@@ -108,9 +114,12 @@ class Server {
 
   std::thread accept_thread_;
   std::thread dispatcher_thread_;
+  /// Guards the live-connection set and the detached-session count;
+  /// sessions_cv_ signals each session exit so stop() can wait them out.
   std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;
   std::vector<std::shared_ptr<Connection>> sessions_;
-  std::vector<std::thread> session_threads_;
+  std::size_t active_sessions_ = 0;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -67,13 +68,36 @@ Fd listen_unix(const std::string& path, int backlog) {
 }
 
 Fd accept_unix(const Fd& listener) {
+  bool logged_backoff = false;
   for (;;) {
     const int fd = ::accept(listener.get(), nullptr, nullptr);
     if (fd >= 0) return Fd(fd);
-    if (errno == EINTR) continue;
+    const int err = errno;
+    // Transient per-connection failures (a client aborted mid-handshake,
+    // a spurious wakeup) must not end the accept loop.
+    if (err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+        err == EWOULDBLOCK) {
+      continue;
+    }
+    // Resource exhaustion clears once sessions close their fds; back off
+    // briefly and retry instead of silently refusing service forever. A
+    // concurrent listener shutdown turns the retry into EINVAL below.
+    if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+      if (!logged_backoff) {
+        logged_backoff = true;
+        std::fprintf(stderr, "bsa_serve: accept: %s (backing off)\n",
+                     std::strerror(err));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
     // EBADF/EINVAL after the listener was shut down or closed: the
-    // server is stopping. Anything else also ends the accept loop; the
-    // daemon logs it.
+    // server is stopping, end the loop quietly. Anything else is
+    // unexpected — log it so the exit is diagnosable.
+    if (err != EBADF && err != EINVAL) {
+      std::fprintf(stderr, "bsa_serve: accept: %s (accept loop exiting)\n",
+                   std::strerror(err));
+    }
     return Fd();
   }
 }

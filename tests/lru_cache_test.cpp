@@ -74,6 +74,16 @@ TEST(LruCache, OverwriteRefreshesRecencyAndValue) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(LruCache, CapacitySplitsExactlyAcrossShards) {
+  // capacity 10 over 4 shards used to round up to 4 shards of 3 = 12
+  // resident entries; the slices must instead sum to exactly 10, so even
+  // a key mix that fills every shard can never exceed the total budget.
+  LruCache<int, int> cache(10, 4);
+  for (int k = 0; k < 1000; ++k) cache.put(k, k);
+  EXPECT_LE(cache.size(), 10u);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
 TEST(LruCache, MoreShardsThanCapacityCollapse) {
   IntCache cache(2, 64);
   EXPECT_EQ(cache.shard_count(), 2u);
@@ -121,7 +131,7 @@ TEST(LruCache, ShardedConcurrentHammerStaysConsistent) {
 
   const CacheStats st = cache.stats();
   EXPECT_EQ(st.hits + st.misses, observed_gets.load());
-  EXPECT_LE(cache.size(), kCapacity + cache.shard_count());
+  EXPECT_LE(cache.size(), kCapacity);
   EXPECT_GT(st.hits, 0);
   // Working set (96 keys) exceeds capacity, so eviction must have run.
   EXPECT_GT(st.evictions, 0);
