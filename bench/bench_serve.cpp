@@ -14,7 +14,11 @@
 /// serve.* counters.
 ///
 /// Flags: --requests N per phase, --hot-keys N, --conns N, --window N,
-/// --threads N (daemon pool), --size N, --out FILE.
+/// --threads N (daemon pool), --size N, --out FILE, --fault SPEC
+/// (arm failpoints — docs/DESIGN_FAULT.md; typed error responses are
+/// then tolerated and tallied instead of fatal). With no --fault the
+/// output is byte-identical to a build without the fault layer, which
+/// is how CI pins the zero-cost-when-off contract.
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +36,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "fault/failpoint.hpp"
 #include "runtime/result_sink.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -43,6 +48,7 @@ using Clock = std::chrono::steady_clock;
 struct PhaseResult {
   std::vector<double> latencies_us;
   std::uint64_t cache_hits = 0;
+  std::uint64_t errors = 0;  ///< typed error responses (chaos runs only)
   double wall_s = 0;
 };
 
@@ -58,6 +64,7 @@ PhaseResult run_phase(const std::string& socket, bool hot,
   PhaseResult result;
   std::vector<std::vector<double>> lat(static_cast<std::size_t>(conns));
   std::vector<std::uint64_t> hits(static_cast<std::size_t>(conns), 0);
+  std::vector<std::uint64_t> errs(static_cast<std::size_t>(conns), 0);
   std::vector<std::thread> workers;
   const Clock::time_point t0 = Clock::now();
   for (int w = 0; w < conns; ++w) {
@@ -84,7 +91,11 @@ PhaseResult run_phase(const std::string& socket, bool hot,
         const auto it = in_flight.find(resp.id);
         BSA_REQUIRE(it != in_flight.end(),
                     "response for unknown id " << resp.id);
-        BSA_REQUIRE(resp.ok, "server error: " << resp.error);
+        // Under an armed fault spec, typed errors are the experiment;
+        // without one they are a bench bug.
+        BSA_REQUIRE(resp.ok || bsa::fault::enabled(),
+                    "server error: " << resp.error);
+        if (!resp.ok) ++errs[static_cast<std::size_t>(w)];
         lat[static_cast<std::size_t>(w)].push_back(
             std::chrono::duration<double, std::micro>(Clock::now() -
                                                       it->second)
@@ -100,6 +111,7 @@ PhaseResult run_phase(const std::string& socket, bool hot,
     auto& v = lat[static_cast<std::size_t>(w)];
     result.latencies_us.insert(result.latencies_us.end(), v.begin(), v.end());
     result.cache_hits += hits[static_cast<std::size_t>(w)];
+    result.errors += errs[static_cast<std::size_t>(w)];
   }
   return result;
 }
@@ -117,6 +129,11 @@ int main(int argc, char** argv) {
     const int size = static_cast<int>(cli.get_int("size", 50));
     BSA_REQUIRE(requests > 0 && hot_keys > 0 && conns > 0 && window > 0,
                 "counts must be positive");
+
+    if (cli.has("fault")) {
+      fault::configure(cli.get_string("fault", ""));
+      std::cout << "failpoints armed: " << fault::active_spec() << "\n";
+    }
 
     const int threads = cli.threads(0);
     serve::ServerOptions options;
@@ -141,7 +158,8 @@ int main(int argc, char** argv) {
         req.size = size;
         req.seed = phase_seed(true, k, hot_keys);
         const serve::Response resp = client.call(req);
-        BSA_REQUIRE(resp.ok, "warmup failed: " << resp.error);
+        BSA_REQUIRE(resp.ok || fault::enabled(),
+                    "warmup failed: " << resp.error);
       }
     }
 
@@ -182,9 +200,14 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
+    if (fault::enabled()) {
+      std::cout << "\nchaos: cold errors=" << cold.errors
+                << " hot errors=" << hot.errors << "\n";
+    }
     const double cold_p50 = percentile_of(cold.latencies_us, 50);
     const double hot_p50 = percentile_of(hot.latencies_us, 50);
-    BSA_REQUIRE(hot.cache_hits > 0, "hot phase produced no cache hits");
+    BSA_REQUIRE(hot.cache_hits > 0 || fault::enabled(),
+                "hot phase produced no cache hits");
     std::cout << "\nhot-set p50 speedup: "
               << (hot_p50 > 0 ? cold_p50 / hot_p50 : 0) << "x ("
               << cold_p50 << "us cold vs " << hot_p50 << "us hot)\n";

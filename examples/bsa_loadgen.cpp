@@ -27,9 +27,11 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "fault/failpoint.hpp"
 #include "sched/scheduler.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "workloads/workload_registry.hpp"
 
 namespace {
@@ -40,6 +42,8 @@ Usage: bsa_loadgen [options]
 
 Connection:
   --socket PATH      daemon socket [bsa_served.sock]
+  --timeout-ms N     per-response read deadline, negative waits forever
+                     [30000]
 
 Load mode (default):
   --requests N       total requests to send [1000]
@@ -62,9 +66,20 @@ Single-shot mode:
   --validate         --no-cache (bypass the daemon's schedule cache)
   --export FILE      write the returned schedule text to FILE
 
+Chaos mode (compose with load mode):
+  --chaos SPEC       arm *client-process* failpoints (injected read/write
+                     errno, short I/O, disconnects — docs/DESIGN_FAULT.md)
+                     and switch workers from pipelining to one-at-a-time
+                     RPC through the retrying client
+  --retries N        retries per request in chaos mode [3]
+
 Control:
   --shutdown         ask the daemon to shut down and exit
   --help             show this message
+
+The summary line always reports unanswered= (requests that got no typed
+response at all) and retries=; a chaos run exits nonzero only when
+unanswered > 0.
 )";
 
 struct LoadOptions {
@@ -81,6 +96,9 @@ struct LoadOptions {
   int size = 50;
   int procs = 8;
   std::string topology = "ring";
+  int timeout_ms = 30000;
+  bool chaos = false;
+  int retries = 3;
 };
 
 struct WorkerResult {
@@ -88,6 +106,8 @@ struct WorkerResult {
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t unanswered = 0;
+  std::uint64_t retries = 0;
 };
 
 /// Draw the next request in a worker's stream: hot-set member with
@@ -117,7 +137,9 @@ WorkerResult run_worker(const LoadOptions& opt, int worker,
   using Clock = std::chrono::steady_clock;
   WorkerResult result;
   result.latencies_us.reserve(quota);
-  auto client = bsa::serve::Client::connect(opt.socket);
+  bsa::serve::ClientOptions copt;
+  copt.read_timeout_ms = opt.timeout_ms;
+  auto client = bsa::serve::Client::connect(opt.socket, copt);
   bsa::Rng rng(bsa::derive_seed(opt.seed, 1000 + worker));
 
   std::map<std::uint64_t, Clock::time_point> in_flight;
@@ -146,6 +168,51 @@ WorkerResult run_worker(const LoadOptions& opt, int worker,
   return result;
 }
 
+/// Chaos-mode traffic: one request at a time through the retrying
+/// client (pipelining cannot pair with per-request retries — a resend
+/// would reorder the window). Injected client-process faults surface as
+/// transport errors here; a request is `unanswered` only when every
+/// retry was spent without a typed response.
+WorkerResult run_worker_chaos(const LoadOptions& opt, int worker,
+                              std::uint64_t quota) {
+  using Clock = std::chrono::steady_clock;
+  WorkerResult result;
+  result.latencies_us.reserve(quota);
+  bsa::serve::ClientOptions copt;
+  copt.read_timeout_ms = opt.timeout_ms;
+  bsa::serve::RetryPolicy policy;
+  policy.max_attempts = opt.retries + 1;
+  // The per-call attempt cap is the governor here; the budget only
+  // guards against a fully dead daemon.
+  policy.retry_budget = static_cast<int>(
+      std::min<std::uint64_t>(quota * static_cast<std::uint64_t>(opt.retries),
+                              1u << 20));
+  policy.seed = bsa::derive_seed(opt.seed, 2000 + worker);
+  bsa::serve::RetryingClient client(opt.socket, copt, policy);
+  bsa::Rng rng(bsa::derive_seed(opt.seed, 1000 + worker));
+
+  for (std::uint64_t i = 0; i < quota; ++i) {
+    const bsa::serve::Request req = draw_request(opt, rng);
+    const Clock::time_point t0 = Clock::now();
+    try {
+      const bsa::serve::Response resp = client.call(req);
+      result.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+      if (resp.ok) {
+        ++result.ok;
+        if (resp.cached) ++result.cache_hits;
+      } else {
+        ++result.errors;
+      }
+    } catch (const std::exception&) {
+      ++result.unanswered;
+    }
+  }
+  result.retries = static_cast<std::uint64_t>(client.retries_used());
+  return result;
+}
+
 int run_load(const LoadOptions& opt) {
   using Clock = std::chrono::steady_clock;
   const int conns = std::max(1, opt.conns);
@@ -164,7 +231,9 @@ int run_load(const LoadOptions& opt) {
              ? 1
              : 0);
     workers.emplace_back([&opt, &results, w, quota] {
-      results[static_cast<std::size_t>(w)] = run_worker(opt, w, quota);
+      results[static_cast<std::size_t>(w)] =
+          opt.chaos ? run_worker_chaos(opt, w, quota)
+                    : run_worker(opt, w, quota);
     });
   }
   for (std::thread& t : workers) t.join();
@@ -175,12 +244,16 @@ int run_load(const LoadOptions& opt) {
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t unanswered = 0;
+  std::uint64_t retries = 0;
   for (WorkerResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
     ok += r.ok;
     errors += r.errors;
     cache_hits += r.cache_hits;
+    unanswered += r.unanswered;
+    retries += r.retries;
   }
   const double p50 =
       latencies.empty() ? 0 : bsa::percentile_of(latencies, 50);
@@ -189,11 +262,17 @@ int run_load(const LoadOptions& opt) {
   const double rps =
       wall_s > 0 ? static_cast<double>(ok + errors) / wall_s : 0;
 
-  // One greppable line — the CI serve-smoke step asserts on these fields.
+  // One greppable line — the CI serve-smoke and chaos-smoke steps assert
+  // on these fields (new fields go at the end to keep old greps working).
   std::cout << "LOADGEN ok=" << ok << " errors=" << errors
             << " cache_hits=" << cache_hits << " p50_us=" << p50
-            << " p99_us=" << p99 << " rps=" << rps << std::endl;
-  return errors == 0 ? 0 : 1;
+            << " p99_us=" << p99 << " rps=" << rps
+            << " unanswered=" << unanswered << " retries=" << retries
+            << std::endl;
+  // Under chaos, typed error responses are expected (overload shedding);
+  // the invariant is that nothing goes *unanswered*.
+  if (opt.chaos) return unanswered == 0 ? 0 : 1;
+  return errors == 0 && unanswered == 0 ? 0 : 1;
 }
 
 int run_one(const bsa::CliParser& cli, const std::string& socket) {
@@ -211,7 +290,10 @@ int run_one(const bsa::CliParser& cli, const std::string& socket) {
   req.validate = cli.get_bool("validate", req.validate);
   if (cli.has("no-cache")) req.use_cache = false;
 
-  auto client = bsa::serve::Client::connect(socket);
+  bsa::serve::ClientOptions copt;
+  copt.read_timeout_ms =
+      static_cast<int>(cli.get_int("timeout-ms", copt.read_timeout_ms));
+  auto client = bsa::serve::Client::connect(socket, copt);
   const bsa::serve::Response resp = client.call(req);
   if (!resp.ok) {
     std::cerr << "bsa_loadgen: server error: " << resp.error << "\n";
@@ -243,7 +325,10 @@ int main(int argc, char** argv) {
     const std::string socket = cli.get_string("socket", "bsa_served.sock");
 
     if (cli.has("shutdown")) {
-      auto client = bsa::serve::Client::connect(socket);
+      bsa::serve::ClientOptions copt;
+      copt.read_timeout_ms =
+          static_cast<int>(cli.get_int("timeout-ms", copt.read_timeout_ms));
+      auto client = bsa::serve::Client::connect(socket, copt);
       const bsa::serve::Response resp = client.shutdown_server();
       std::cout << "shutdown " << (resp.ok ? "acknowledged" : "failed")
                 << std::endl;
@@ -268,6 +353,15 @@ int main(int argc, char** argv) {
     opt.size = static_cast<int>(cli.get_int("size", opt.size));
     opt.procs = static_cast<int>(cli.get_int("procs", opt.procs));
     opt.topology = cli.get_string("topology", opt.topology);
+    opt.timeout_ms = static_cast<int>(cli.get_int("timeout-ms", opt.timeout_ms));
+    opt.retries = static_cast<int>(cli.get_int("retries", opt.retries));
+    BSA_REQUIRE(opt.retries >= 0, "--retries expects >= 0");
+    if (cli.has("chaos")) {
+      opt.chaos = true;
+      bsa::fault::configure(cli.get_string("chaos", ""));
+      std::cout << "client failpoints armed: " << bsa::fault::active_spec()
+                << std::endl;
+    }
 
     const auto& workload_registry = bsa::workloads::WorkloadRegistry::global();
     opt.workloads = workload_registry.split_spec_list(

@@ -22,6 +22,7 @@
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "fault/failpoint.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
 
@@ -38,6 +39,12 @@ Options:
   --shards N         cache lock shards [8]
   --max-batch N      most requests dispatched per batch round [64]
   --batch-wait-us N  straggler wait before dispatching a short batch [100]
+  --max-queue N      pending-queue bound; requests past it get a typed
+                     "overloaded" response, 0 sheds every miss [1024]
+  --write-timeout-ms N  slow-client send deadline, 0 = unbounded [0]
+  --fault SPEC       arm deterministic failpoints, e.g.
+                     "read:short=3,prob=0.1,seed=42;batch:delay_us=500"
+                     (grammar: docs/DESIGN_FAULT.md)
   --trace FILE       write a Chrome trace-event JSON of the serving spans
   --help             show this message
 
@@ -77,6 +84,19 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_uint64("max-batch", options.max_batch));
     options.batch_wait_us = static_cast<int>(
         cli.get_int("batch-wait-us", options.batch_wait_us));
+    options.max_queue = static_cast<std::size_t>(
+        cli.get_uint64("max-queue", options.max_queue));
+    options.write_timeout_ms = static_cast<int>(
+        cli.get_int("write-timeout-ms", options.write_timeout_ms));
+
+    // A client that vanishes mid-response must surface as a failed write
+    // (socket.cpp sends with MSG_NOSIGNAL, this covers any other fd).
+    std::signal(SIGPIPE, SIG_IGN);
+    if (cli.has("fault")) {
+      bsa::fault::configure(cli.get_string("fault", ""));
+      std::cout << "failpoints armed: " << bsa::fault::active_spec()
+                << std::endl;
+    }
 
     std::unique_ptr<bsa::obs::Tracer> tracer;
     if (cli.has("trace")) {

@@ -1,0 +1,388 @@
+#include "fault/failpoint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/spec.hpp"
+
+namespace bsa::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+constexpr int kSiteCount = static_cast<int>(SiteId::kCount);
+
+/// Errno spellings the spec grammar accepts (canonical form is the
+/// lowercase name; unknown numeric values stay numeric).
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+constexpr ErrnoName kErrnoNames[] = {
+    {"eagain", EAGAIN},   {"ebadf", EBADF},
+    {"econnaborted", ECONNABORTED}, {"econnreset", ECONNRESET},
+    {"eintr", EINTR},     {"einval", EINVAL},
+    {"eio", EIO},         {"emfile", EMFILE},
+    {"enfile", ENFILE},   {"enobufs", ENOBUFS},
+    {"enomem", ENOMEM},   {"epipe", EPIPE},
+};
+
+/// One site's immutable configuration. Snapshots are retired into a
+/// process-lifetime arena on reconfigure so concurrent evaluate() calls
+/// never race a destruction (configure is test/ops plumbing, bounded).
+struct SiteConfig {
+  Action::Kind kind = Action::Kind::kNone;
+  int err = 0;
+  int delay_us = 0;
+  int short_bytes = 1;
+  long long after = 0;
+  long long every = 1;
+  long long times = 0;
+  bool has_prob = false;
+  double prob = 1.0;
+  std::uint64_t seed = 1;
+  std::string canonical_entry;  ///< "site:action[,trigger...]"
+};
+
+struct State {
+  std::mutex mu;  ///< serialises configure/clear/counters, never evaluate
+  std::vector<std::unique_ptr<const SiteConfig>> arena;
+  std::atomic<const SiteConfig*> active[kSiteCount] = {};
+  std::atomic<std::int64_t> checks[kSiteCount] = {};
+  std::atomic<std::int64_t> fires[kSiteCount] = {};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+long long parse_count(const std::string& key, const std::string& value,
+                      long long min_value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  BSA_REQUIRE(errno == 0 && end != nullptr && *end == '\0' && v >= min_value,
+              "fault option '" << key << "' expects an integer >= "
+                               << min_value << ", got '" << value << "'");
+  return v;
+}
+
+double parse_prob(const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  BSA_REQUIRE(errno == 0 && end != nullptr && *end == '\0' && v >= 0.0 &&
+                  v <= 1.0,
+              "fault option 'prob' expects a probability in [0,1], got '"
+                  << value << "'");
+  return v;
+}
+
+int parse_errno(const std::string& value) {
+  for (const ErrnoName& e : kErrnoNames) {
+    if (value == e.name) return e.value;
+  }
+  // Unknown names fall through to numeric; anything else is an error
+  // listing the accepted spellings.
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0' && v > 0) {
+    return static_cast<int>(v);
+  }
+  std::vector<std::string> names;
+  names.reserve(std::size(kErrnoNames));
+  for (const ErrnoName& e : kErrnoNames) names.emplace_back(e.name);
+  BSA_REQUIRE(false, "fault option 'errno' expects a positive number or one "
+                     "of: " << join_list(names, ", ") << "; got '" << value
+                            << "'");
+  return 0;  // unreachable
+}
+
+std::string errno_canonical(int err) {
+  for (const ErrnoName& e : kErrnoNames) {
+    if (err == e.value) return e.name;
+  }
+  return std::to_string(err);
+}
+
+void set_action(SiteConfig& cfg, const std::string& entry, Action::Kind kind) {
+  BSA_REQUIRE(cfg.kind == Action::Kind::kNone,
+              "fault spec entry '" << entry
+                                   << "' names more than one action");
+  cfg.kind = kind;
+}
+
+std::string canonical_entry(const std::string& site, const SiteConfig& cfg) {
+  std::ostringstream os;
+  os << site << ':';
+  switch (cfg.kind) {
+    case Action::Kind::kErrno:
+      os << "errno=" << errno_canonical(cfg.err);
+      break;
+    case Action::Kind::kShortIo:
+      os << "short";
+      if (cfg.short_bytes != 1) os << '=' << cfg.short_bytes;
+      break;
+    case Action::Kind::kTorn:
+      os << "torn";
+      if (cfg.short_bytes != 1) os << '=' << cfg.short_bytes;
+      break;
+    case Action::Kind::kDisconnect:
+      os << "disconnect";
+      break;
+    case Action::Kind::kDelay:
+      os << "delay_us=" << cfg.delay_us;
+      break;
+    case Action::Kind::kFail:
+      os << "fail";
+      break;
+    case Action::Kind::kNone:
+      break;
+  }
+  if (cfg.after > 0) os << ",after=" << cfg.after;
+  if (cfg.every > 1) os << ",every=" << cfg.every;
+  if (cfg.has_prob) {
+    os << ",prob=" << canonical_double(cfg.prob);
+    if (cfg.seed != 1) os << ",seed=" << cfg.seed;
+  }
+  if (cfg.times > 0) os << ",times=" << cfg.times;
+  return os.str();
+}
+
+/// Parse one "site:action[,trigger...]" entry into (site index, config).
+std::pair<int, SiteConfig> parse_entry(const std::string& raw) {
+  const std::string entry = ascii_lower(trimmed(raw));
+  const std::size_t colon = entry.find(':');
+  BSA_REQUIRE(colon != std::string::npos && colon > 0,
+              "fault spec entry '" << raw
+                                   << "' expects site:action[,trigger...]");
+  const std::string site = trimmed(entry.substr(0, colon));
+  const auto& names = site_names();
+  int site_index = -1;
+  for (int i = 0; i < kSiteCount; ++i) {
+    if (names[static_cast<std::size_t>(i)] == site) site_index = i;
+  }
+  BSA_REQUIRE(site_index >= 0, "unknown failpoint site '"
+                                   << site << "'; registered: "
+                                   << join_list(names, ", "));
+
+  SiteConfig cfg;
+  std::string rest = entry.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    const std::size_t comma = rest.find(',', pos);
+    const std::string token = trimmed(
+        rest.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    pos = comma == std::string::npos ? rest.size() + 1 : comma + 1;
+    BSA_REQUIRE(!token.empty(), "fault spec entry '" << raw
+                                                     << "' has an empty item");
+    const std::size_t eq = token.find('=');
+    const std::string key = trimmed(token.substr(0, eq));
+    const std::string value =
+        eq == std::string::npos ? std::string() : trimmed(token.substr(eq + 1));
+    if (key == "errno") {
+      set_action(cfg, raw, Action::Kind::kErrno);
+      cfg.err = parse_errno(value);
+    } else if (key == "short") {
+      set_action(cfg, raw, Action::Kind::kShortIo);
+      if (eq != std::string::npos) {
+        cfg.short_bytes = static_cast<int>(parse_count("short", value, 1));
+      }
+    } else if (key == "torn") {
+      set_action(cfg, raw, Action::Kind::kTorn);
+      if (eq != std::string::npos) {
+        cfg.short_bytes = static_cast<int>(parse_count("torn", value, 1));
+      }
+    } else if (key == "disconnect") {
+      BSA_REQUIRE(eq == std::string::npos,
+                  "fault action 'disconnect' takes no value");
+      set_action(cfg, raw, Action::Kind::kDisconnect);
+    } else if (key == "delay_us") {
+      set_action(cfg, raw, Action::Kind::kDelay);
+      cfg.delay_us = static_cast<int>(parse_count("delay_us", value, 1));
+    } else if (key == "fail") {
+      BSA_REQUIRE(eq == std::string::npos, "fault action 'fail' takes no value");
+      set_action(cfg, raw, Action::Kind::kFail);
+    } else if (key == "after") {
+      cfg.after = parse_count("after", value, 0);
+    } else if (key == "every") {
+      cfg.every = parse_count("every", value, 1);
+    } else if (key == "prob") {
+      cfg.has_prob = true;
+      cfg.prob = parse_prob(value);
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_count("seed", value, 0));
+    } else if (key == "times") {
+      cfg.times = parse_count("times", value, 1);
+    } else {
+      BSA_REQUIRE(false,
+                  "unknown fault option '"
+                      << key << "'; actions: errno, short, torn, disconnect, "
+                                "delay_us, fail; triggers: after, every, "
+                                "prob, seed, times");
+    }
+  }
+  BSA_REQUIRE(cfg.kind != Action::Kind::kNone,
+              "fault spec entry '" << raw << "' names no action (one of "
+                                      "errno, short, torn, disconnect, "
+                                      "delay_us, fail)");
+  // `times` needs a firing schedule whose fire *index* is computable per
+  // ordinal; with `prob` the index would depend on evaluation
+  // interleaving across threads, breaking the determinism contract.
+  BSA_REQUIRE(!(cfg.times > 0 && cfg.has_prob),
+              "fault trigger 'times' cannot combine with 'prob' "
+              "(the fire count would depend on thread interleaving); "
+              "use after/every");
+  cfg.canonical_entry = canonical_entry(site, cfg);
+  return {site_index, std::move(cfg)};
+}
+
+/// Probability draw for arrival ordinal n: a pure function of
+/// (seed, site, n), uniform in [0,1).
+double hashed_unit(std::uint64_t seed, int site_index, long long n) {
+  const std::uint64_t h = splitmix64(
+      seed ^ splitmix64(static_cast<std::uint64_t>(n) +
+                        0x9E3779B97F4A7C15ULL *
+                            static_cast<std::uint64_t>(site_index + 1)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const std::vector<std::string>& site_names() {
+  static const std::vector<std::string> kNames = {
+      "accept", "read", "write", "batch", "eval", "cache", "pool"};
+  return kNames;
+}
+
+Action evaluate(SiteId site) {
+  State& s = state();
+  const int i = static_cast<int>(site);
+  const SiteConfig* cfg = s.active[i].load(std::memory_order_acquire);
+  if (cfg == nullptr) return {};
+  const long long n = s.checks[i].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n <= cfg->after) return {};
+  const long long m = n - cfg->after;
+  if (m % cfg->every != 0) return {};
+  if (cfg->has_prob && hashed_unit(cfg->seed, i, n) >= cfg->prob) return {};
+  if (cfg->times > 0 && m / cfg->every > cfg->times) return {};
+  s.fires[i].fetch_add(1, std::memory_order_relaxed);
+  Action action;
+  action.kind = cfg->kind;
+  action.err = cfg->err;
+  action.delay_us = cfg->delay_us;
+  action.short_bytes = cfg->short_bytes;
+  return action;
+}
+
+void maybe_delay(const Action& action) {
+  if (action.kind == Action::Kind::kDelay && action.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(action.delay_us));
+  }
+}
+
+void throw_if_fail(const Action& action, const char* site_label) {
+  if (action.kind == Action::Kind::kFail) {
+    std::ostringstream os;
+    os << "injected fault: spurious failure at site '" << site_label << "'";
+    throw InvariantError(os.str());
+  }
+}
+
+void configure(const std::string& spec) {
+  // Parse fully before touching any shared state so a bad spec leaves
+  // the previous configuration in place.
+  std::vector<std::unique_ptr<const SiteConfig>> parsed(kSiteCount);
+  std::size_t pos = 0;
+  const std::string text = trimmed(spec);
+  while (pos < text.size()) {
+    const std::size_t semi = text.find(';', pos);
+    const std::string raw = text.substr(
+        pos, semi == std::string::npos ? semi : semi - pos);
+    pos = semi == std::string::npos ? text.size() : semi + 1;
+    if (trimmed(raw).empty()) continue;
+    auto [site_index, cfg] = parse_entry(raw);
+    BSA_REQUIRE(parsed[static_cast<std::size_t>(site_index)] == nullptr,
+                "fault spec configures site '"
+                    << site_names()[static_cast<std::size_t>(site_index)]
+                    << "' twice");
+    parsed[static_cast<std::size_t>(site_index)] =
+        std::make_unique<const SiteConfig>(std::move(cfg));
+  }
+
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  bool any = false;
+  for (int i = 0; i < kSiteCount; ++i) {
+    const SiteConfig* next = parsed[static_cast<std::size_t>(i)].get();
+    any = any || next != nullptr;
+    if (parsed[static_cast<std::size_t>(i)] != nullptr) {
+      s.arena.push_back(std::move(parsed[static_cast<std::size_t>(i)]));
+    }
+    s.active[i].store(next, std::memory_order_release);
+    s.checks[i].store(0, std::memory_order_relaxed);
+    s.fires[i].store(0, std::memory_order_relaxed);
+  }
+  detail::g_armed.store(any, std::memory_order_relaxed);
+}
+
+void clear() { configure(""); }
+
+std::string active_spec() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<std::string> entries;
+  for (int i = 0; i < kSiteCount; ++i) {
+    const SiteConfig* cfg = s.active[i].load(std::memory_order_acquire);
+    if (cfg != nullptr) entries.push_back(cfg->canonical_entry);
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string joined;
+  for (const std::string& e : entries) {
+    if (!joined.empty()) joined += ';';
+    joined += e;
+  }
+  return joined;
+}
+
+obs::CounterSnapshot counters() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  obs::Registry reg;
+  for (int i = 0; i < kSiteCount; ++i) {
+    const SiteConfig* cfg = s.active[i].load(std::memory_order_acquire);
+    const std::int64_t checks = s.checks[i].load(std::memory_order_relaxed);
+    if (cfg == nullptr && checks == 0) continue;
+    const std::string& name = site_names()[static_cast<std::size_t>(i)];
+    reg.add("fault." + name + ".checks", checks);
+    reg.add("fault." + name + ".fires",
+            s.fires[i].load(std::memory_order_relaxed));
+  }
+  return reg.snapshot();
+}
+
+}  // namespace bsa::fault

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+/// \file failpoint.hpp
+/// Deterministic process-wide failpoint registry — the chaos layer that
+/// lets the scheduling service *prove* its robustness properties instead
+/// of hoping for them.
+///
+/// A *failpoint site* is a named place in the code (socket accept, line
+/// read, batch evaluation, ...) that asks the registry, each time it is
+/// reached, whether a fault should be injected there. Sites are
+/// configured with a spec string in the same house grammar as the
+/// scheduler/workload registries (full reference: docs/DESIGN_FAULT.md):
+///
+///   fault::configure(
+///       "accept:errno=emfile,every=7;"
+///       "read:short=3,prob=0.1,seed=42;"
+///       "batch:delay_us=500,after=100");
+///
+/// Each entry is `site ':' action [',' trigger]...`:
+///
+///   actions   errno=NAME|N  inject an errno (the site behaves as if the
+///                           syscall failed with it)
+///             short[=N]     short I/O: the next read/write moves at most
+///                           N bytes (default 1)
+///             torn[=N]      write at most N bytes of the frame, then
+///                           fail the write (mid-response disconnect)
+///             disconnect    fail as if the peer vanished
+///             delay_us=N    sleep N microseconds, then proceed normally
+///             fail          generic failure (the site throws a typed
+///                           injected-fault error)
+///   triggers  after=N       skip the first N arrivals at the site
+///             every=N       fire on every Nth arrival after that
+///                           (default 1 = every arrival)
+///             prob=P        fire with probability P per arrival,
+///                           decided by a seeded hash of the arrival
+///                           ordinal (default 1)
+///             seed=S        seed for prob's hash (default 1)
+///             times=N       fire at most N times (requires a
+///                           deterministic trigger, i.e. no prob)
+///
+/// Determinism contract: whether arrival number n at a site fires is a
+/// *pure function* of (spec, n) — `after`/`every`/`times` are counter
+/// arithmetic and `prob` hashes (seed, site, n) through splitmix64, so a
+/// given spec produces the identical firing schedule on every run and at
+/// every thread count (no wall clock, no std::random_device; this is why
+/// the subsystem passes lint_determinism.py by construction). Arrival
+/// ordinals are assigned by one relaxed fetch_add per site.
+///
+/// Cost when unconfigured: `check()` is a single relaxed atomic load and
+/// a branch — safe to leave in release hot paths. Every firing is
+/// recorded in the `fault.<site>.{checks,fires}` counters exposed by
+/// `counters()` (merged into the daemon's stats/exit dump).
+///
+/// Thread-safety: configure/clear swap an immutable config snapshot;
+/// sites only ever read it. Configuration is test/ops plumbing, not a
+/// hot path — each configure() retires the previous snapshot into a
+/// process-lifetime arena (bounded by the number of configure calls).
+
+namespace bsa::fault {
+
+/// The fixed catalog of failpoint sites. Call sites index this enum
+/// directly so a check is array lookup, never a string search.
+enum class SiteId : int {
+  kAccept = 0,  ///< serve/socket.cpp accept_unix: injected accept errno
+  kRead,        ///< serve/socket.cpp LineReader: short/errno/disconnect
+  kWrite,       ///< serve/socket.cpp write_all: short/torn/errno
+  kBatch,       ///< serve/server.cpp run_batch: per-round delay
+  kEval,        ///< serve/eval.cpp evaluate_request: fail/delay per cell
+  kCache,       ///< serve/server.cpp cache population: fail skips the put
+  kPool,        ///< runtime/thread_pool.cpp: per-task scheduling jitter
+  kCount
+};
+
+/// What a fired failpoint asks its site to do. kNone means "proceed
+/// normally" (site unconfigured, or this arrival did not fire).
+struct Action {
+  enum class Kind {
+    kNone = 0,
+    kErrno,
+    kShortIo,
+    kTorn,
+    kDisconnect,
+    kDelay,
+    kFail
+  };
+  Kind kind = Kind::kNone;
+  int err = 0;          ///< kErrno: the errno to inject
+  int delay_us = 0;     ///< kDelay: how long to sleep
+  int short_bytes = 1;  ///< kShortIo / kTorn: byte cap for the next I/O
+
+  [[nodiscard]] bool fired() const noexcept { return kind != Kind::kNone; }
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True iff any failpoint is currently configured. One relaxed load —
+/// this is the whole cost of an unconfigured site.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Evaluate one arrival at `site` against the active configuration:
+/// assigns the next arrival ordinal and returns the action to apply
+/// (kNone when the site is unconfigured or this ordinal does not fire).
+/// The slow path of check() — callers normally go through check().
+[[nodiscard]] Action evaluate(SiteId site);
+
+/// The hot-path entry: free when nothing is configured.
+[[nodiscard]] inline Action check(SiteId site) {
+  return enabled() ? evaluate(site) : Action{};
+}
+
+/// Apply a kDelay action (sleep); every other kind is a no-op here —
+/// sites handle errno/short/fail themselves.
+void maybe_delay(const Action& action);
+
+/// Throw bsa::InvariantError when `action` is kFail — the uniform way an
+/// evaluation-style site surfaces an injected spurious failure. The
+/// message names the site so typed error responses are attributable.
+void throw_if_fail(const Action& action, const char* site_label);
+
+/// Replace the active configuration from a spec string ("" clears).
+/// Throws PreconditionError on unknown sites/actions/triggers, listing
+/// the valid choices. Resets all fault counters.
+void configure(const std::string& spec);
+
+/// Remove every failpoint (check() returns to its one-load fast path).
+void clear();
+
+/// Canonical form of the active configuration: entries sorted by site
+/// name, options in fixed order — configure(active_spec()) reproduces
+/// the configuration exactly. Empty when nothing is configured.
+[[nodiscard]] std::string active_spec();
+
+/// The site catalog in enum order ("accept", "read", ...).
+[[nodiscard]] const std::vector<std::string>& site_names();
+
+/// Deterministic snapshot: fault.<site>.checks / fault.<site>.fires for
+/// every site touched since the last configure(), sorted by name.
+[[nodiscard]] obs::CounterSnapshot counters();
+
+}  // namespace bsa::fault

@@ -4,6 +4,14 @@
 
 namespace bsa::obs {
 
+std::int64_t snapshot_value(const CounterSnapshot& snap,
+                            const std::string& name, std::int64_t fallback) {
+  const auto it = std::lower_bound(
+      snap.begin(), snap.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  return it != snap.end() && it->first == name ? it->second : fallback;
+}
+
 Registry::Slot& Registry::intern(const std::string& name) {
   for (Slot& s : slots_) {
     if (s.name == name) return s;

@@ -29,6 +29,12 @@ namespace bsa::obs {
 /// One flushed registry: (name, value) pairs sorted by name.
 using CounterSnapshot = std::vector<std::pair<std::string, std::int64_t>>;
 
+/// Look up one counter in a snapshot (binary search — snapshots are
+/// sorted by name); `fallback` when the name was never interned.
+[[nodiscard]] std::int64_t snapshot_value(const CounterSnapshot& snap,
+                                          const std::string& name,
+                                          std::int64_t fallback = 0);
+
 /// Handle to one registry slot. Copyable, trivially cheap; an empty
 /// handle (default-constructed) ignores every operation, so hot paths
 /// can bump unconditionally-held handles without null checks of their

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "fault/failpoint.hpp"
 
 namespace bsa::runtime {
 
@@ -105,6 +106,9 @@ void ThreadPool::worker_loop(int worker_id) {
       queue_.pop_front();
     }
     try {
+      // Scheduling-jitter failpoint: a configured delay perturbs task
+      // interleavings (TSan food); other action kinds are no-ops here.
+      fault::maybe_delay(fault::check(fault::SiteId::kPool));
       task();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mu_);

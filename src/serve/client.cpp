@@ -1,14 +1,43 @@
+// lint:allow-file(wall-clock): client-side read/request deadlines only,
+// never a result
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 
 namespace bsa::serve {
 
-Client Client::connect(const std::string& socket_path, int timeout_ms) {
-  return Client(connect_unix(socket_path, timeout_ms));
+namespace {
+
+/// How often the async reader wakes to check per-request deadlines even
+/// when no response line arrives (a stalled server must not stall
+/// expiry of futures submitted after the reader blocked).
+constexpr int kReaderTickMs = 50;
+
+}  // namespace
+
+Client Client::connect(const std::string& socket_path,
+                       int connect_timeout_ms) {
+  ClientOptions options;
+  options.connect_timeout_ms = connect_timeout_ms;
+  return connect(socket_path, options);
+}
+
+Client Client::connect(const std::string& socket_path,
+                       const ClientOptions& options) {
+  return Client(connect_unix(socket_path, options.connect_timeout_ms),
+                options);
+}
+
+std::unique_ptr<Client> Client::connect_ptr(const std::string& socket_path,
+                                            const ClientOptions& options) {
+  return std::unique_ptr<Client>(new Client(
+      connect_unix(socket_path, options.connect_timeout_ms), options));
 }
 
 std::uint64_t Client::send(const Request& req) {
@@ -21,8 +50,15 @@ std::uint64_t Client::send(const Request& req) {
 
 Response Client::recv() {
   std::string line;
-  BSA_REQUIRE(reader_.read_line(line, kMaxRequestBytes),
-              "serve::Client::recv: connection closed by server");
+  if (!reader_.read_line(line, kMaxRequestBytes, options_.read_timeout_ms)) {
+    if (reader_.timed_out()) {
+      std::ostringstream os;
+      os << "serve::Client::recv: no response within "
+         << options_.read_timeout_ms << "ms";
+      throw TimeoutError(os.str());
+    }
+    BSA_REQUIRE(false, "serve::Client::recv: connection closed by server");
+  }
   return parse_response(line);
 }
 
@@ -54,10 +90,15 @@ Response Client::shutdown_server() {
   return call(req);
 }
 
-AsyncClient::AsyncClient(const std::string& socket_path, int timeout_ms)
-    : fd_(connect_unix(socket_path, timeout_ms)) {
+AsyncClient::AsyncClient(const std::string& socket_path,
+                         int connect_timeout_ms)
+    : fd_(connect_unix(socket_path, connect_timeout_ms)) {
   reader_thread_ = std::thread([this] { reader_loop(); });
 }
+
+AsyncClient::AsyncClient(const std::string& socket_path,
+                         const ClientOptions& options)
+    : AsyncClient(socket_path, options.connect_timeout_ms) {}
 
 AsyncClient::~AsyncClient() {
   fd_.shutdown_both();
@@ -66,7 +107,7 @@ AsyncClient::~AsyncClient() {
   // std::future ends with std::future_error(broken_promise).
 }
 
-std::future<Response> AsyncClient::submit(Request req) {
+std::future<Response> AsyncClient::submit(Request req, int deadline_ms) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   std::string wire;
@@ -76,13 +117,20 @@ std::future<Response> AsyncClient::submit(Request req) {
     wire = request_to_json(req) + "\n";
     {
       const std::lock_guard<std::mutex> plock(pending_mu_);
-      pending_.emplace(req.id, std::move(promise));
+      PendingEntry entry;
+      entry.promise = std::move(promise);
+      if (deadline_ms > 0) {
+        entry.has_deadline = true;
+        entry.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(deadline_ms);
+      }
+      pending_.emplace(req.id, std::move(entry));
     }
     if (!write_all(fd_, wire)) {
       const std::lock_guard<std::mutex> plock(pending_mu_);
       const auto it = pending_.find(req.id);
       if (it != pending_.end()) {
-        it->second.set_exception(std::make_exception_ptr(
+        it->second.promise.set_exception(std::make_exception_ptr(
             PreconditionError("serve::AsyncClient: connection lost")));
         pending_.erase(it);
       }
@@ -96,10 +144,37 @@ std::size_t AsyncClient::in_flight() const {
   return pending_.size();
 }
 
+void AsyncClient::expire_overdue() {
+  std::vector<std::promise<Response>> overdue;
+  {
+    const std::lock_guard<std::mutex> lock(pending_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.has_deadline && it->second.deadline <= now) {
+        overdue.push_back(std::move(it->second.promise));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::promise<Response>& p : overdue) {
+    p.set_exception(std::make_exception_ptr(
+        TimeoutError("serve::AsyncClient: request deadline exceeded")));
+  }
+}
+
 void AsyncClient::reader_loop() {
   LineReader reader(fd_);
   std::string line;
-  while (reader.read_line(line, kMaxRequestBytes)) {
+  for (;;) {
+    if (!reader.read_line(line, kMaxRequestBytes, kReaderTickMs)) {
+      if (reader.timed_out()) {
+        expire_overdue();
+        continue;
+      }
+      break;  // EOF or error: remaining promises break at teardown
+    }
     Response resp;
     try {
       resp = parse_response(line);
@@ -110,11 +185,12 @@ void AsyncClient::reader_loop() {
     {
       const std::lock_guard<std::mutex> lock(pending_mu_);
       const auto it = pending_.find(resp.id);
-      if (it == pending_.end()) continue;  // unmatched id
-      promise = std::move(it->second);
+      if (it == pending_.end()) continue;  // unmatched or already expired
+      promise = std::move(it->second.promise);
       pending_.erase(it);
     }
     promise.set_value(std::move(resp));
+    expire_overdue();
   }
 }
 

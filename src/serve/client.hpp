@@ -1,9 +1,12 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -14,32 +17,70 @@
 /// Client library for the scheduling service (serve::Server / the
 /// bsa_served daemon): a blocking Client speaking the newline-delimited
 /// JSON protocol over one connection, and an AsyncClient layering
-/// future-based completion and pipelining on top of it.
+/// future-based completion and pipelining on top of it. serve/retry.hpp
+/// adds the resilient RetryingClient wrapper.
 ///
 /// The server may answer out of request order (batching reorders), so
 /// both clients match responses to requests by id. Client assigns ids
 /// itself when the caller leaves Request::id at 0.
+///
+/// No call blocks forever by default: connects retry up to
+/// ClientOptions::connect_timeout_ms, and every read carries
+/// read_timeout_ms — a stalled daemon surfaces as TimeoutError instead
+/// of a hung client.
 
 namespace bsa::serve {
+
+/// Thrown when a response does not arrive within the configured
+/// deadline. Distinct from PreconditionError (connection gone /
+/// protocol violation) so retry policies can tell the two apart.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientOptions {
+  /// How long connect() keeps retrying a missing socket (daemon still
+  /// starting) before throwing PreconditionError.
+  int connect_timeout_ms = 5000;
+  /// Per-read deadline: recv()/call() throw TimeoutError when the
+  /// server goes silent longer than this. Negative waits forever.
+  int read_timeout_ms = 30000;
+};
 
 /// One blocking connection. Not thread-safe: one thread drives call(),
 /// or send()/recv() as a pipelining pair (send W requests, then recv W
 /// responses, matching by id). Use AsyncClient — or one Client per
 /// thread — for concurrent callers.
+///
+/// Not movable: the internal LineReader holds a reference to the owned
+/// fd. Build in place (`auto c = Client::connect(...)` — guaranteed
+/// elision) or on the heap via connect_ptr.
 class Client {
  public:
-  /// Connect, retrying until `timeout_ms` elapses (covers a daemon that
-  /// is still starting). Throws PreconditionError on timeout.
+  /// Connect, retrying until the connect timeout elapses (covers a
+  /// daemon that is still starting). Throws PreconditionError on
+  /// timeout.
   static Client connect(const std::string& socket_path,
-                        int timeout_ms = 5000);
+                        int connect_timeout_ms = 5000);
+  static Client connect(const std::string& socket_path,
+                        const ClientOptions& options);
+  /// Heap form for owners that need to drop and re-establish the
+  /// connection (RetryingClient).
+  static std::unique_ptr<Client> connect_ptr(const std::string& socket_path,
+                                             const ClientOptions& options);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   /// Send one request (assigning an id when req.id == 0) and return the
   /// id it went out with. Throws PreconditionError when the connection
   /// is gone.
   std::uint64_t send(const Request& req);
 
-  /// Block for the next response line. Throws PreconditionError on EOF
-  /// (server gone) or malformed response.
+  /// Block for the next response line. Throws TimeoutError when the
+  /// read deadline passes, PreconditionError on EOF (server gone) or a
+  /// malformed response.
   [[nodiscard]] Response recv();
 
   /// send() + recv-until-matching-id — the simple RPC form.
@@ -54,8 +95,10 @@ class Client {
   void close() { fd_.reset(); }
 
  private:
-  explicit Client(Fd fd) : fd_(std::move(fd)), reader_(fd_) {}
+  Client(Fd fd, const ClientOptions& options)
+      : options_(options), fd_(std::move(fd)), reader_(fd_) {}
 
+  ClientOptions options_;
   Fd fd_;
   LineReader reader_;
   std::uint64_t next_id_ = 1;
@@ -66,30 +109,42 @@ class Client {
 /// lines arrive, in whatever order the server produced them. submit()
 /// is thread-safe. Outstanding futures are failed (broken promise ->
 /// std::future_error) when the connection drops or the client is
-/// destroyed.
+/// destroyed; a future whose per-request deadline passes first fails
+/// with TimeoutError.
 class AsyncClient {
  public:
-  explicit AsyncClient(const std::string& socket_path, int timeout_ms = 5000);
+  explicit AsyncClient(const std::string& socket_path,
+                       int connect_timeout_ms = 5000);
+  AsyncClient(const std::string& socket_path, const ClientOptions& options);
   ~AsyncClient();
 
   AsyncClient(const AsyncClient&) = delete;
   AsyncClient& operator=(const AsyncClient&) = delete;
 
   /// Enqueue one request (id assigned when 0); the future completes when
-  /// the server answers it.
-  std::future<Response> submit(Request req);
+  /// the server answers it. `deadline_ms` > 0 bounds the wait: an
+  /// overdue future fails with TimeoutError (the response, should it
+  /// still arrive, is dropped as unmatched).
+  std::future<Response> submit(Request req, int deadline_ms = 0);
 
   /// Number of submitted-but-unanswered requests.
   [[nodiscard]] std::size_t in_flight() const;
 
  private:
+  struct PendingEntry {
+    std::promise<Response> promise;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
   void reader_loop();
+  void expire_overdue();
 
   Fd fd_;
   std::mutex send_mu_;
   std::uint64_t next_id_ = 1;
   mutable std::mutex pending_mu_;
-  std::map<std::uint64_t, std::promise<Response>> pending_;
+  std::map<std::uint64_t, PendingEntry> pending_;
   std::thread reader_thread_;
 };
 

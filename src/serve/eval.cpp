@@ -4,6 +4,7 @@
 
 #include "common/json.hpp"
 #include "exp/experiment.hpp"
+#include "fault/failpoint.hpp"
 #include "graph/task_graph.hpp"
 #include "network/cost_model.hpp"
 #include "network/topology.hpp"
@@ -19,6 +20,11 @@ std::string evaluate_request(const Request& req) {
 }
 
 std::string evaluate_request(const Request& req, const obs::Hooks& hooks) {
+  // Per-cell chaos: a fail here is caught by the dispatcher and errors
+  // only the requests deduplicated into this cell (isolation invariant).
+  const fault::Action fa = fault::check(fault::SiteId::kEval);
+  fault::maybe_delay(fa);
+  fault::throw_if_fail(fa, "eval");
   const graph::TaskGraph g = workloads::WorkloadRegistry::global()
                                  .resolve(req.workload)
                                  ->generate(req.size, req.gran, req.seed);

@@ -211,6 +211,14 @@ Response parse_response(const std::string& line) {
       std::holds_alternative<std::string>(err)) {
     resp.error = std::get<std::string>(err);
   }
+  if (const auto code = take("code");
+      std::holds_alternative<std::string>(code)) {
+    resp.code = std::get<std::string>(code);
+  }
+  if (const auto ra = take("retry_after_ms");
+      std::holds_alternative<double>(ra)) {
+    resp.retry_after_ms = static_cast<int>(std::get<double>(ra));
+  }
   resp.payload = std::move(fields);
   return resp;
 }
@@ -226,11 +234,18 @@ std::string format_response(std::uint64_t id, bool cached, double server_us,
   return os.str();
 }
 
-std::string format_error(std::uint64_t id, const std::string& message) {
+std::string format_error(std::uint64_t id, const std::string& code,
+                         const std::string& message, int retry_after_ms) {
   std::ostringstream os;
-  os << "{\"id\":" << id << ",\"ok\":false,\"error\":\""
-     << json_escape(message) << "\"}";
+  os << "{\"id\":" << id << ",\"ok\":false,\"code\":\"" << json_escape(code)
+     << "\",\"error\":\"" << json_escape(message) << '"';
+  if (retry_after_ms > 0) os << ",\"retry_after_ms\":" << retry_after_ms;
+  os << '}';
   return os.str();
+}
+
+std::string format_error(std::uint64_t id, const std::string& message) {
+  return format_error(id, error_code::kInternal, message, 0);
 }
 
 }  // namespace bsa::serve

@@ -89,6 +89,20 @@ struct Request {
 /// describe the same evaluation.
 [[nodiscard]] std::string canonicalize(Request& req);
 
+/// Typed error codes carried in the "code" field of error responses —
+/// the failure taxonomy clients dispatch on (docs/DESIGN_SERVE.md,
+/// "Failure semantics"). Retry guidance: `overloaded` and `internal`
+/// are retryable (the former with the server's retry_after_ms hint);
+/// `bad_request` and `oversized` never are; `shutting_down` is
+/// retryable only against a *different* server instance.
+namespace error_code {
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kInternal = "internal";
+inline constexpr const char* kOversized = "oversized";
+}  // namespace error_code
+
 /// A parsed response. `payload` holds every non-envelope field (see file
 /// comment); convenience accessors pull out the common ones.
 struct Response {
@@ -97,6 +111,9 @@ struct Response {
   bool cached = false;
   double server_us = 0;  ///< daemon-side accept->respond latency
   std::string error;     ///< set when !ok
+  std::string code;      ///< typed error code (error_code::*) when !ok
+  /// Server's backoff hint on `overloaded` responses (0 = none).
+  int retry_after_ms = 0;
   /// Raw payload fields (everything except the envelope), e.g.
   /// "makespan" -> 120, "schedule" -> "task 0 1 0 10\n...".
   std::map<std::string, runtime::JsonScalar> payload;
@@ -117,7 +134,14 @@ struct Response {
                                           double server_us,
                                           const std::string& payload);
 
-/// Assemble an error response line.
+/// Assemble a typed error response line; `retry_after_ms` > 0 adds the
+/// backoff hint (overloaded responses).
+[[nodiscard]] std::string format_error(std::uint64_t id,
+                                       const std::string& code,
+                                       const std::string& message,
+                                       int retry_after_ms = 0);
+
+/// Legacy untyped form: code defaults to error_code::kInternal.
 [[nodiscard]] std::string format_error(std::uint64_t id,
                                        const std::string& message);
 

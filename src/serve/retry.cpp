@@ -1,0 +1,77 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace bsa::serve {
+
+double Backoff::next_delay_ms() {
+  const double exact =
+      policy_.base_delay_ms * std::pow(policy_.multiplier, steps_);
+  ++steps_;
+  const double capped = std::min(exact, policy_.max_delay_ms);
+  const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+  // The rng draw happens even at j=0 so turning jitter on/off never
+  // shifts the draws backing later delays of the same schedule.
+  const double u = rng_.uniform_real(0.0, 1.0);
+  return capped * (1.0 - j + 2.0 * j * u);
+}
+
+bool idempotent_op(const std::string& op) { return op != "shutdown"; }
+
+RetryingClient::RetryingClient(std::string socket_path, ClientOptions options,
+                               RetryPolicy policy, SleepFn sleep)
+    : socket_path_(std::move(socket_path)),
+      options_(options),
+      policy_(policy),
+      sleep_(std::move(sleep)),
+      backoff_(policy) {}
+
+void RetryingClient::pause(double delay_ms) {
+  if (sleep_) {
+    sleep_(delay_ms);
+    return;
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+Response RetryingClient::call(const Request& req) {
+  for (int attempt = 1;; ++attempt) {
+    const bool may_retry = idempotent_op(req.op) &&
+                           attempt < policy_.max_attempts &&
+                           retries_used_ < policy_.retry_budget;
+    try {
+      if (client_ == nullptr) {
+        client_ = Client::connect_ptr(socket_path_, options_);
+      }
+      Response resp = client_->call(req);
+      if (resp.ok || resp.code != error_code::kOverloaded || !may_retry) {
+        return resp;
+      }
+      // Overloaded: the connection is healthy, only the dispatcher is
+      // behind — honour whichever is longer, our schedule or the
+      // server's hint.
+      pause(std::max(backoff_.next_delay_ms(),
+                     static_cast<double>(resp.retry_after_ms)));
+    } catch (const TimeoutError&) {
+      // The stream may still carry the late response; a retried id on
+      // the same connection could mismatch. Reconnect to start clean.
+      client_.reset();
+      if (!may_retry) throw;
+      pause(backoff_.next_delay_ms());
+    } catch (const PreconditionError&) {
+      client_.reset();
+      if (!may_retry) throw;
+      pause(backoff_.next_delay_ms());
+    }
+    ++retries_used_;
+  }
+}
+
+}  // namespace bsa::serve

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+
+/// \file retry.hpp
+/// Client-side resilience for the scheduling service: a deterministic
+/// jittered-exponential-backoff schedule (Backoff), the policy knobs
+/// around it (RetryPolicy), and a RetryingClient that wraps serve::Client
+/// with reconnect-and-retry on transport errors, timeouts and typed
+/// `overloaded` responses.
+///
+/// Determinism: the backoff sequence is a pure function of the policy —
+/// the jitter comes from a common::Rng seeded with RetryPolicy::seed, so
+/// a fixed policy replays the identical delay sequence on every run
+/// (the retry_backoff_test pins exact values). Sleeping is factored out
+/// through an injectable SleepFn so tests run the schedule against a
+/// fake clock in microseconds of real time.
+///
+/// Safety: only idempotent operations are ever retried. `schedule`,
+/// `ping` and `stats` are pure reads of a deterministic function — safe
+/// to repeat; `shutdown` is not (a retry after a lost ack could kill a
+/// freshly restarted daemon), so RetryingClient surfaces its failures
+/// instead of retrying (idempotent_op is the single source of truth).
+
+namespace bsa::serve {
+
+struct RetryPolicy {
+  /// Total tries per call including the first (1 = never retry).
+  int max_attempts = 4;
+  /// Total retries this client may spend across all calls — a budget,
+  /// so a dying server costs a bounded amount of extra load.
+  int retry_budget = 16;
+  double base_delay_ms = 10.0;
+  double multiplier = 2.0;
+  /// Cap applied to the un-jittered delay.
+  double max_delay_ms = 1000.0;
+  /// Jitter fraction j in [0,1]: each delay is scaled by a factor drawn
+  /// uniformly from [1-j, 1+j] (0 = fully deterministic spacing).
+  double jitter = 0.5;
+  /// Seed for the jitter draws (the whole schedule replays from it).
+  std::uint64_t seed = 1;
+};
+
+/// The delay schedule: next_delay_ms() yields
+///   min(base * multiplier^k, max_delay) * U[1-j, 1+j]
+/// for k = 0, 1, 2, ... — deterministic for a fixed policy.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.seed) {}
+
+  [[nodiscard]] double next_delay_ms();
+  /// Delays handed out so far.
+  [[nodiscard]] int steps() const noexcept { return steps_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int steps_ = 0;
+};
+
+/// True for ops that are safe to send twice (schedule/ping/stats);
+/// false for shutdown.
+[[nodiscard]] bool idempotent_op(const std::string& op);
+
+/// serve::Client wrapped in a RetryPolicy. call() retries idempotent
+/// requests on (a) transport errors and timeouts — dropping the
+/// connection first, so a late stale response can never be matched to
+/// the retried request — and (b) typed `overloaded` responses, waiting
+/// max(backoff, server retry_after_ms hint). Non-idempotent requests
+/// and exhausted budgets surface the original failure.
+///
+/// Not thread-safe (same contract as Client).
+class RetryingClient {
+ public:
+  /// Milliseconds to pause before a retry; injectable for tests.
+  using SleepFn = std::function<void(double delay_ms)>;
+
+  RetryingClient(std::string socket_path, ClientOptions options,
+                 RetryPolicy policy, SleepFn sleep = {});
+
+  /// The resilient RPC. Throws what the last attempt threw when retries
+  /// are exhausted (TimeoutError / PreconditionError).
+  [[nodiscard]] Response call(const Request& req);
+
+  /// Retries performed so far (spent from RetryPolicy::retry_budget).
+  [[nodiscard]] int retries_used() const noexcept { return retries_used_; }
+
+  /// Drop the connection; the next call() reconnects.
+  void disconnect() { client_.reset(); }
+
+ private:
+  void pause(double delay_ms);
+
+  std::string socket_path_;
+  ClientOptions options_;
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  Backoff backoff_;
+  std::unique_ptr<Client> client_;
+  int retries_used_ = 0;
+};
+
+}  // namespace bsa::serve

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "fault/failpoint.hpp"
 #include "obs/trace.hpp"
 #include "serve/eval.hpp"
 
@@ -107,6 +108,9 @@ void Server::accept_loop() {
     if (options_.tracer != nullptr) {
       options_.tracer->add_instant("serve.accept", "serve", 0);
     }
+    if (options_.write_timeout_ms > 0) {
+      set_send_timeout(fd, options_.write_timeout_ms);
+    }
     auto conn = std::make_shared<Connection>(std::move(fd));
     {
       const std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -131,7 +135,7 @@ void Server::session_loop(const std::shared_ptr<Connection>& conn) {
     std::ostringstream msg;
     msg << "request exceeds " << kMaxRequestBytes << " bytes";
     errors_.fetch_add(1, std::memory_order_relaxed);
-    respond(*conn, format_error(0, msg.str()));
+    respond(*conn, format_error(0, error_code::kOversized, msg.str()));
   }
   // Self-reap: shut the socket down and drop this session's entry from
   // the live set. The fd itself closes when the last Connection
@@ -160,7 +164,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     if (req.op == "schedule") key = canonicalize(req);
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    respond(*conn, format_error(req.id, e.what()));
+    respond(*conn, format_error(req.id, error_code::kBadRequest, e.what()));
     return;
   }
 
@@ -192,16 +196,34 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     }
   }
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(queue_mu_);
     if (!stopping_) {
-      queue_.push_back(Pending{std::move(req), std::move(key), conn, t0});
-      queue_cv_.notify_one();
+      depth = queue_.size();
+      if (depth < options_.max_queue) {
+        queue_.push_back(Pending{std::move(req), std::move(key), conn, t0});
+        queue_cv_.notify_one();
+        return;
+      }
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      respond(*conn, format_error(req.id, error_code::kShuttingDown,
+                                  "server is shutting down"));
       return;
     }
   }
+  // Admission control: shed instead of queueing unboundedly. The hint is
+  // a deterministic function of the queue state — how many dispatch
+  // rounds stand between this request and a free slot.
+  const std::size_t rounds =
+      depth / std::max<std::size_t>(1, options_.max_batch) + 1;
+  const int per_round_ms = std::max(1, options_.batch_wait_us / 1000);
   errors_.fetch_add(1, std::memory_order_relaxed);
-  respond(*conn, format_error(req.id, "server is shutting down"));
+  overloads_.fetch_add(1, std::memory_order_relaxed);
+  respond(*conn,
+          format_error(req.id, error_code::kOverloaded, "server overloaded",
+                       static_cast<int>(rounds) * per_round_ms));
 }
 
 void Server::dispatcher_loop() {
@@ -232,6 +254,12 @@ void Server::dispatcher_loop() {
 void Server::run_batch(std::vector<Pending>& batch) {
   obs::Span batch_span(options_.tracer, "serve.batch", "serve", 0);
   batch_span.arg("size", static_cast<double>(batch.size()));
+  // Batch-level chaos: a delay stalls the round (overload pressure); a
+  // spurious failure errors every request in the round — each still gets
+  // exactly one typed response.
+  const fault::Action fbatch = fault::check(fault::SiteId::kBatch);
+  fault::maybe_delay(fbatch);
+  const bool batch_poisoned = fbatch.kind == fault::Action::Kind::kFail;
   batches_.fetch_add(1, std::memory_order_relaxed);
   std::int64_t hwm = batch_size_hwm_.load(std::memory_order_relaxed);
   while (static_cast<std::int64_t>(batch.size()) > hwm &&
@@ -264,25 +292,39 @@ void Server::run_batch(std::vector<Pending>& batch) {
   order.reserve(cells.size());
   for (auto& [_, cell] : cells) order.push_back(&cell);
 
-  pool_->parallel_for(order.size(), 1, [&](std::size_t i) {
-    Cell& cell = *order[i];
-    obs::Hooks hooks;
-    hooks.tracer = options_.tracer;
-    hooks.trace_tid =
-        static_cast<std::uint32_t>(runtime::current_worker_id() + 1);
-    obs::Span span(options_.tracer, "serve.schedule", "serve",
-                   hooks.trace_tid);
-    try {
-      cell.payload = evaluate_request(*cell.req, hooks);
-    } catch (const std::exception& e) {
-      cell.failed = true;
-      cell.payload = e.what();
+  if (batch_poisoned) {
+    for (Cell* cell : order) {
+      cell->failed = true;
+      cell->payload = "injected fault: spurious failure at site 'batch'";
     }
-  });
+  } else {
+    pool_->parallel_for(order.size(), 1, [&](std::size_t i) {
+      Cell& cell = *order[i];
+      obs::Hooks hooks;
+      hooks.tracer = options_.tracer;
+      hooks.trace_tid =
+          static_cast<std::uint32_t>(runtime::current_worker_id() + 1);
+      obs::Span span(options_.tracer, "serve.schedule", "serve",
+                     hooks.trace_tid);
+      try {
+        cell.payload = evaluate_request(*cell.req, hooks);
+      } catch (const std::exception& e) {
+        // Poisoned-cell isolation: one failing evaluation errors only
+        // the requests deduplicated into this cell.
+        cell.failed = true;
+        cell.payload = e.what();
+      }
+    });
+  }
 
   for (const auto& [cell_key, cell] : cells) {
     if (!cell.failed && cell.use_cache) {
-      cache_.put(cell_key, cell.payload);
+      // A fired cache failpoint skips the put: the entry simply is not
+      // cached and the next identical request re-evaluates — population
+      // failure degrades throughput, never correctness.
+      if (!fault::check(fault::SiteId::kCache).fired()) {
+        cache_.put(cell_key, cell.payload);
+      }
     }
   }
   obs::Span respond_span(options_.tracer, "serve.respond", "serve", 0);
@@ -290,7 +332,8 @@ void Server::run_batch(std::vector<Pending>& batch) {
     const Cell& cell = cells.at(p.key);
     if (cell.failed) {
       errors_.fetch_add(1, std::memory_order_relaxed);
-      respond(*p.conn, format_error(p.req.id, cell.payload));
+      respond(*p.conn,
+              format_error(p.req.id, error_code::kInternal, cell.payload));
     } else {
       respond(*p.conn,
               format_response(p.req.id, false, us_since(p.t0), cell.payload));
@@ -300,8 +343,13 @@ void Server::run_batch(std::vector<Pending>& batch) {
 
 void Server::respond(Connection& conn, const std::string& line) {
   const std::lock_guard<std::mutex> lock(conn.write_mu);
-  // A false return means the client vanished; the daemon shrugs.
-  (void)write_all(conn.fd, line + "\n");
+  if (!write_all(conn.fd, line + "\n")) {
+    // A failed or torn write leaves the stream unframeable (the peer may
+    // have half a response buffered); shut the connection down so the
+    // client sees EOF instead of garbage. The session reaps itself.
+    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+    conn.fd.shutdown_both();
+  }
 }
 
 obs::CounterSnapshot Server::counters() const {
@@ -314,10 +362,21 @@ obs::CounterSnapshot Server::counters() const {
   reg.add("serve.batch_size_hwm",
           batch_size_hwm_.load(std::memory_order_relaxed));
   reg.add("serve.batch_dedup", batch_dedup_.load(std::memory_order_relaxed));
+  // Degradation tallies appear only once something degraded, keeping a
+  // clean run's counter dump byte-identical to pre-chaos builds (the
+  // same convention as the fault.* counters below).
+  const std::int64_t overloads = overloads_.load(std::memory_order_relaxed);
+  if (overloads > 0) reg.add("serve.overloads", overloads);
+  const std::int64_t dropped =
+      responses_dropped_.load(std::memory_order_relaxed);
+  if (dropped > 0) reg.add("serve.responses_dropped", dropped);
   reg.add("serve.cache.hits", cs.hits);
   reg.add("serve.cache.misses", cs.misses);
   reg.add("serve.cache.evictions", cs.evictions);
   reg.add("serve.cache.size", cs.size);
+  // fault.* firing tallies ride along so chaos runs are observable
+  // through the same stats op (empty when no failpoint is configured).
+  reg.merge(fault::counters());
   return reg.snapshot();
 }
 

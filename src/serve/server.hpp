@@ -58,6 +58,16 @@ struct ServerOptions {
   /// How long a nonempty round waits for stragglers before dispatching,
   /// in microseconds (0 dispatches immediately).
   int batch_wait_us = 100;
+  /// Admission control: most cache-miss requests queued for dispatch at
+  /// once. A request arriving past the bound is *shed* with a typed
+  /// `overloaded` error carrying a retry_after_ms hint instead of
+  /// queueing unboundedly. 0 sheds every miss (useful for overload and
+  /// retry-budget tests).
+  std::size_t max_queue = 1024;
+  /// Slow-client write deadline (SO_SNDTIMEO) per connection, in
+  /// milliseconds; a client that stalls a send longer than this has its
+  /// response dropped and connection closed. 0 = unbounded.
+  int write_timeout_ms = 0;
   /// Optional span sink (not owned; must outlive the server). Null is
   /// observability-off and costs one branch per site.
   obs::Tracer* tracer = nullptr;
@@ -138,6 +148,8 @@ class Server {
   std::atomic<std::int64_t> batch_dedup_{0};
   std::atomic<std::int64_t> errors_{0};
   std::atomic<std::int64_t> connections_{0};
+  std::atomic<std::int64_t> overloads_{0};
+  std::atomic<std::int64_t> responses_dropped_{0};
 };
 
 }  // namespace bsa::serve

@@ -1,10 +1,14 @@
-// lint:allow-file(wall-clock): connect-retry deadline only, never a result
+// lint:allow-file(wall-clock): connect-retry and read/write deadlines
+// only, never a result
 #include "serve/socket.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -12,6 +16,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "fault/failpoint.hpp"
 
 namespace bsa::serve {
 namespace {
@@ -70,9 +75,20 @@ Fd listen_unix(const std::string& path, int backlog) {
 Fd accept_unix(const Fd& listener) {
   bool logged_backoff = false;
   for (;;) {
-    const int fd = ::accept(listener.get(), nullptr, nullptr);
-    if (fd >= 0) return Fd(fd);
-    const int err = errno;
+    int err = 0;
+    // Re-checked every iteration so an every=N errno schedule only fails
+    // individual arrivals — the loop itself always makes progress.
+    const fault::Action fa = fault::check(fault::SiteId::kAccept);
+    fault::maybe_delay(fa);
+    if (fa.kind == fault::Action::Kind::kErrno) {
+      err = fa.err;
+    } else if (fa.kind == fault::Action::Kind::kDisconnect) {
+      err = ECONNABORTED;
+    } else {
+      const int fd = ::accept(listener.get(), nullptr, nullptr);
+      if (fd >= 0) return Fd(fd);
+      err = errno;
+    }
     // Transient per-connection failures (a client aborted mid-handshake,
     // a spurious wakeup) must not end the accept loop.
     if (err == EINTR || err == ECONNABORTED || err == EAGAIN ||
@@ -123,20 +139,48 @@ Fd connect_unix(const std::string& path, int timeout_ms) {
 bool write_all(const Fd& fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    // MSG_NOSIGNAL: a vanished client must surface as EPIPE here, not
-    // kill the daemon with SIGPIPE.
-    const ssize_t n = ::send(fd.get(), data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    const fault::Action fa = fault::check(fault::SiteId::kWrite);
+    fault::maybe_delay(fa);
+    if (fa.kind == fault::Action::Kind::kErrno) {
+      if (fa.err == EINTR) continue;  // callers must survive a retry loop
       return false;
     }
+    if (fa.kind == fault::Action::Kind::kDisconnect ||
+        fa.kind == fault::Action::Kind::kFail) {
+      return false;
+    }
+    std::size_t cap = data.size() - off;
+    if (fa.kind == fault::Action::Kind::kShortIo ||
+        fa.kind == fault::Action::Kind::kTorn) {
+      cap = std::min(cap, static_cast<std::size_t>(fa.short_bytes));
+    }
+    // MSG_NOSIGNAL: a vanished client must surface as EPIPE here, not
+    // kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd.get(), data.data() + off, cap, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // includes EAGAIN from an expired SO_SNDTIMEO
+    }
     off += static_cast<std::size_t>(n);
+    // A torn frame: part of the response went out, then the "connection
+    // died" — the caller must treat the stream as unframeable.
+    if (fa.kind == fault::Action::Kind::kTorn) return false;
   }
   return true;
 }
 
-bool LineReader::read_line(std::string& line, std::size_t max_line) {
+void set_send_timeout(const Fd& fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool LineReader::read_line(std::string& line, std::size_t max_line,
+                           int timeout_ms) {
+  timed_out_ = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -148,8 +192,42 @@ bool LineReader::read_line(std::string& line, std::size_t max_line) {
       overflowed_ = true;
       return false;
     }
+    const fault::Action fa = fault::check(fault::SiteId::kRead);
+    fault::maybe_delay(fa);
+    if (fa.kind == fault::Action::Kind::kErrno && fa.err != EINTR) {
+      return false;
+    }
+    if (fa.kind == fault::Action::Kind::kDisconnect ||
+        fa.kind == fault::Action::Kind::kFail) {
+      return false;
+    }
+    if (timeout_ms >= 0) {
+      // Poll with the remaining budget so the deadline bounds the whole
+      // line, not each chunk.
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      const int wait_ms =
+          static_cast<int>(std::max<std::int64_t>(0, remaining.count()));
+      pollfd pfd{};
+      pfd.fd = fd_.get();
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) {
+        timed_out_ = true;
+        return false;
+      }
+    }
     char chunk[16384];
-    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    std::size_t cap = sizeof(chunk);
+    if (fa.kind == fault::Action::Kind::kShortIo) {
+      // Short reads exercise line reassembly across many recv calls.
+      cap = std::min(cap, static_cast<std::size_t>(fa.short_bytes));
+    }
+    const ssize_t n = ::recv(fd_.get(), chunk, cap, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;  // EOF or error; any partial line is dropped
     buffer_.append(chunk, static_cast<std::size_t>(n));

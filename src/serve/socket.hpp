@@ -50,8 +50,14 @@ class Fd {
 [[nodiscard]] Fd connect_unix(const std::string& path, int timeout_ms = 5000);
 
 /// Write all of `data`; false when the peer is gone (EPIPE/reset —
-/// reported, not raised, and never via SIGPIPE).
+/// reported, not raised, and never via SIGPIPE) or a send deadline set
+/// with set_send_timeout expired.
 [[nodiscard]] bool write_all(const Fd& fd, const std::string& data);
+
+/// Arm a kernel send deadline (SO_SNDTIMEO): a send() that blocks
+/// longer than `timeout_ms` fails, so write_all returns false instead
+/// of hanging on a stalled peer. 0 disarms.
+void set_send_timeout(const Fd& fd, int timeout_ms);
 
 /// Buffered newline-delimited reader over one socket.
 class LineReader {
@@ -63,14 +69,24 @@ class LineReader {
   /// that dies mid-line also returns false (the partial line is
   /// dropped — the peer never finished the request). Lines longer than
   /// `max_line` set `overflowed()` and return false.
-  [[nodiscard]] bool read_line(std::string& line, std::size_t max_line);
+  ///
+  /// `timeout_ms` >= 0 is a poll(2)-based deadline for the *whole* line:
+  /// when it passes without one, `timed_out()` is set and the call
+  /// returns false (buffered partial input is kept — a later call may
+  /// still complete the line). Negative waits forever.
+  [[nodiscard]] bool read_line(std::string& line, std::size_t max_line,
+                               int timeout_ms = -1);
 
   [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+  /// True when the last read_line failed on its deadline (cleared at the
+  /// start of each call).
+  [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
 
  private:
   const Fd& fd_;
   std::string buffer_;
   bool overflowed_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace bsa::serve

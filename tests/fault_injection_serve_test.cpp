@@ -1,0 +1,277 @@
+// Chaos suite for the scheduling service: deterministic failpoints
+// (src/fault/) armed against a real in-process serve::Server, asserting
+// the robustness invariants of docs/DESIGN_FAULT.md — every accepted
+// request gets exactly one typed response, the daemon never crashes or
+// deadlocks, degraded paths stay byte-correct, and clients surface
+// failures as typed errors/timeouts instead of hanging.
+//
+// Failpoints are process-global, so read/write-site specs fire for BOTH
+// the server's sessions and the test's own client I/O; tests that need a
+// server-only fault use the accept/batch/eval/cache sites, which only
+// server code reaches.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fault/failpoint.hpp"
+#include "obs/counters.hpp"
+#include "serve/client.hpp"
+#include "serve/retry.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+namespace bsa::serve {
+namespace {
+
+/// Every test leaves the process-global registry cleared, pass or fail.
+struct FaultGuard {
+  FaultGuard() { fault::clear(); }
+  ~FaultGuard() { fault::clear(); }
+};
+
+std::string unique_socket(const std::string& tag) {
+  static int counter = 0;
+  return "/tmp/bsa_chaos_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter++) + ".sock";
+}
+
+ServerOptions small_options(const std::string& tag) {
+  ServerOptions options;
+  options.socket_path = unique_socket(tag);
+  options.threads = 2;
+  options.cache_capacity = 64;
+  options.cache_shards = 4;
+  options.batch_wait_us = 0;
+  return options;
+}
+
+Request small_request(std::uint64_t seed) {
+  Request req;
+  req.size = 20;
+  req.procs = 4;
+  req.seed = seed;
+  return req;
+}
+
+TEST(Chaos, EvalFaultsYieldExactlyOneTypedResponseEach) {
+  FaultGuard guard;
+  Server server(small_options("eval"));
+  server.start();
+  // One client, sequential calls: eval arrivals are ordinals 1..12, so
+  // every=3 fires on exactly 4 of them — the error count is exact, not
+  // statistical.
+  fault::configure("eval:fail,every=3");
+  auto client = Client::connect(server.socket_path());
+  int ok = 0;
+  int failed = 0;
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    const Response resp = client.call(small_request(100 + i));
+    if (resp.ok) {
+      ++ok;
+      EXPECT_GT(resp.makespan(), 0);
+    } else {
+      ++failed;
+      EXPECT_EQ(resp.code, error_code::kInternal);
+      EXPECT_NE(resp.error.find("injected fault"), std::string::npos);
+      EXPECT_NE(resp.error.find("eval"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ok, 8);
+  EXPECT_EQ(failed, 4);
+  const obs::CounterSnapshot snap = server.counters();
+  EXPECT_EQ(obs::snapshot_value(snap, "serve.errors", -1), 4);
+  EXPECT_EQ(obs::snapshot_value(snap, "fault.eval.fires", -1), 4);
+
+  // Clearing the spec restores full service on the same connection.
+  fault::clear();
+  const Response healthy = client.call(small_request(999));
+  EXPECT_TRUE(healthy.ok);
+  server.stop();
+}
+
+TEST(Chaos, PoisonedBatchRoundAnswersEveryRequest) {
+  FaultGuard guard;
+  Server server(small_options("batch"));
+  server.start();
+  fault::configure("batch:fail");  // every dispatcher round is poisoned
+  auto client = Client::connect(server.socket_path());
+
+  // Pipeline 6 distinct-seed requests; however the dispatcher groups
+  // them into rounds, every id must come back exactly once, typed.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    ids.push_back(client.send(small_request(200 + i)));
+  }
+  std::vector<std::uint64_t> answered;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Response resp = client.recv();
+    answered.push_back(resp.id);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, error_code::kInternal);
+    EXPECT_NE(resp.error.find("batch"), std::string::npos);
+  }
+  std::sort(answered.begin(), answered.end());
+  EXPECT_EQ(answered, ids);
+
+  fault::clear();
+  EXPECT_TRUE(client.call(small_request(201)).ok);  // same key, now fine
+  server.stop();
+}
+
+TEST(Chaos, CacheFaultDegradesToUncachedButIdenticalAnswers) {
+  FaultGuard guard;
+  Server server(small_options("cache"));
+  server.start();
+  fault::configure("cache:fail");  // every cache put is dropped
+  auto client = Client::connect(server.socket_path());
+
+  const Response first = client.call(small_request(7));
+  const Response second = client.call(small_request(7));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  // The put was suppressed, so the repeat is a miss...
+  EXPECT_FALSE(first.cached);
+  EXPECT_FALSE(second.cached);
+  // ...but determinism makes the recomputed payload byte-identical.
+  EXPECT_EQ(first.schedule_text(), second.schedule_text());
+  EXPECT_DOUBLE_EQ(first.makespan(), second.makespan());
+
+  fault::clear();
+  (void)client.call(small_request(7));  // now populates
+  const Response hit = client.call(small_request(7));
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.schedule_text(), first.schedule_text());
+  server.stop();
+}
+
+TEST(Chaos, OverloadShedIsTypedWithRetryAfterHint) {
+  ServerOptions options = small_options("shed");
+  options.max_queue = 0;  // shed every cache miss
+  Server server(std::move(options));
+  server.start();
+  auto client = Client::connect(server.socket_path());
+
+  const Response shed = client.call(small_request(1));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.code, error_code::kOverloaded);
+  EXPECT_GT(shed.retry_after_ms, 0);
+  // Pings bypass the dispatcher queue and still work under shedding.
+  EXPECT_TRUE(client.ping().ok);
+  EXPECT_GT(obs::snapshot_value(server.counters(), "serve.overloads", -1), 0);
+  server.stop();
+}
+
+// SIGPIPE regression: writing to a peer that already closed must report
+// false, not kill the process (socket.cpp sends with MSG_NOSIGNAL).
+TEST(Chaos, WriteAfterPeerCloseReturnsCleanError) {
+  const std::string path = unique_socket("sigpipe");
+  Fd listener = listen_unix(path);
+  Fd client_end = connect_unix(path, 1000);
+  Fd server_end = accept_unix(listener);
+  ASSERT_TRUE(server_end.valid());
+
+  client_end.reset();  // peer vanishes
+  // The first sends may land in the kernel buffer; keep pushing until
+  // the broken pipe surfaces. If SIGPIPE were not suppressed this loop
+  // would kill the test binary instead of returning false.
+  const std::string frame(64 * 1024, 'x');
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !write_all(server_end, frame);
+  }
+  EXPECT_TRUE(failed);
+  ::unlink(path.c_str());
+}
+
+TEST(Chaos, StalledServerSurfacesAsClientTimeout) {
+  FaultGuard guard;
+  Server server(small_options("stall"));
+  server.start();
+  // Every evaluation stalls 500ms; the client's read deadline is 100ms.
+  fault::configure("eval:delay_us=500000");
+  ClientOptions copts;
+  copts.read_timeout_ms = 100;
+  auto client = Client::connect(server.socket_path(), copts);
+  EXPECT_THROW((void)client.call(small_request(1)), TimeoutError);
+  fault::clear();
+  server.stop();  // drains the stalled round; must not deadlock
+}
+
+TEST(Chaos, AsyncClientDeadlineExpiresOverdueFuture) {
+  FaultGuard guard;
+  Server server(small_options("async"));
+  server.start();
+  fault::configure("eval:delay_us=400000");
+  AsyncClient client(server.socket_path());
+  std::future<Response> slow = client.submit(small_request(1), 50);
+  EXPECT_THROW((void)slow.get(), TimeoutError);
+  fault::clear();
+  // The connection is still usable for later requests.
+  std::future<Response> fine = client.submit(small_request(2), 5000);
+  EXPECT_TRUE(fine.get().ok);
+  server.stop();
+}
+
+TEST(Chaos, RetryingClientAbsorbsSocketChaos) {
+  FaultGuard guard;
+  Server server(small_options("socket"));
+  server.start();
+  // read/write sites fire for both sides of the in-process pair: short
+  // reads exercise reassembly everywhere, and every 13th read anywhere
+  // dies with ECONNRESET — sometimes killing the server's session,
+  // sometimes the client's own recv. RetryingClient must absorb both.
+  fault::configure("read:errno=econnreset,every=13;write:short=7,every=3");
+  ClientOptions copts;
+  copts.read_timeout_ms = 2000;
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.retry_budget = 1 << 20;
+  policy.base_delay_ms = 1;  // schedule is fake-slept anyway
+  RetryingClient client(server.socket_path(), copts, policy,
+                        [](double) { /* no real sleeping */ });
+  int answered = 0;
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    const Response resp = client.call(small_request(300 + i));
+    EXPECT_TRUE(resp.ok) << "request " << i << ": " << resp.error;
+    if (resp.ok) ++answered;
+  }
+  EXPECT_EQ(answered, 30);  // zero unanswered — the chaos invariant
+  fault::clear();
+  server.stop();
+}
+
+TEST(Chaos, ShutdownDrainsQueuedWorkUnderBatchDelay) {
+  FaultGuard guard;
+  Server server(small_options("drain"));
+  server.start();
+  fault::configure("batch:delay_us=100000");  // 100ms per round
+  AsyncClient client(server.socket_path());
+  // Queue real work, then ask for shutdown on the same session — the
+  // requests were sent first, so they are queued before stop begins and
+  // every one must still be answered (drain-then-answer).
+  std::vector<std::future<Response>> work;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    work.push_back(client.submit(small_request(400 + i)));
+  }
+  Request bye;
+  bye.op = "shutdown";
+  std::future<Response> ack = client.submit(bye);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const Response resp = work[i].get();
+    EXPECT_TRUE(resp.ok) << "queued request " << i << ": " << resp.error;
+  }
+  EXPECT_TRUE(ack.get().ok);
+  server.wait();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bsa::serve

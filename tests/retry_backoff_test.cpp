@@ -1,0 +1,184 @@
+// Client-resilience tests: the Backoff schedule's determinism and cap,
+// idempotency gating, and RetryingClient against a dead socket and a
+// deliberately overloaded server — all with an injected fake clock, so
+// the whole retry schedule runs in microseconds of real time.
+
+#include "serve/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace bsa::serve {
+namespace {
+
+std::string unique_socket(const std::string& tag) {
+  static int counter = 0;
+  return "/tmp/bsa_retry_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter++) + ".sock";
+}
+
+/// Fail connects to missing sockets fast — the defaults would spend 5s
+/// per attempt waiting for a daemon that will never appear.
+ClientOptions fast_fail_options() {
+  ClientOptions options;
+  options.connect_timeout_ms = 20;
+  return options;
+}
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 1000.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(Backoff, NoJitterIsExactGeometricWithCap) {
+  Backoff backoff(no_jitter_policy());
+  const std::vector<double> expect = {10,  20,  40,  80,   160,
+                                      320, 640, 1000, 1000, 1000};
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_DOUBLE_EQ(backoff.next_delay_ms(), expect[i]) << "step " << i;
+  }
+  EXPECT_EQ(backoff.steps(), 10);
+}
+
+TEST(Backoff, JitteredScheduleReplaysFromSeed) {
+  RetryPolicy policy;
+  policy.jitter = 0.5;
+  policy.seed = 99;
+  Backoff a(policy);
+  Backoff b(policy);
+  bool any_jittered = false;
+  for (int i = 0; i < 8; ++i) {
+    const double da = a.next_delay_ms();
+    EXPECT_DOUBLE_EQ(da, b.next_delay_ms()) << "step " << i;
+    const double nominal =
+        std::min(policy.base_delay_ms * std::pow(policy.multiplier, i),
+                 policy.max_delay_ms);
+    EXPECT_GE(da, nominal * (1.0 - policy.jitter));
+    EXPECT_LE(da, nominal * (1.0 + policy.jitter));
+    if (da != nominal) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered);
+
+  RetryPolicy other = policy;
+  other.seed = 100;
+  Backoff c(other);
+  Backoff fresh(policy);
+  bool any_differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (fresh.next_delay_ms() != c.next_delay_ms()) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Retry, IdempotencyTaxonomy) {
+  EXPECT_TRUE(idempotent_op("schedule"));
+  EXPECT_TRUE(idempotent_op("ping"));
+  EXPECT_TRUE(idempotent_op("stats"));
+  EXPECT_FALSE(idempotent_op("shutdown"));
+}
+
+TEST(Retry, DeadSocketRetriesThenSurfacesTheError) {
+  std::vector<double> sleeps;
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 4;
+  RetryingClient client(unique_socket("nosuch"), fast_fail_options(), policy,
+                        [&](double ms) { sleeps.push_back(ms); });
+  Request req;
+  req.op = "ping";
+  EXPECT_THROW((void)client.call(req), PreconditionError);
+  // 4 attempts = 3 retries, each preceded by one backoff pause.
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_DOUBLE_EQ(sleeps[0], 10);
+  EXPECT_DOUBLE_EQ(sleeps[1], 20);
+  EXPECT_DOUBLE_EQ(sleeps[2], 40);
+  EXPECT_EQ(client.retries_used(), 3);
+}
+
+TEST(Retry, BudgetBoundsRetriesAcrossCalls) {
+  std::vector<double> sleeps;
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 10;
+  policy.retry_budget = 2;
+  RetryingClient client(unique_socket("budget"), fast_fail_options(), policy,
+                        [&](double ms) { sleeps.push_back(ms); });
+  Request req;
+  req.op = "ping";
+  EXPECT_THROW((void)client.call(req), PreconditionError);
+  EXPECT_EQ(client.retries_used(), 2);
+  EXPECT_EQ(sleeps.size(), 2u);
+  // The budget is spent: the next call fails fast with no new pauses.
+  EXPECT_THROW((void)client.call(req), PreconditionError);
+  EXPECT_EQ(client.retries_used(), 2);
+  EXPECT_EQ(sleeps.size(), 2u);
+}
+
+TEST(Retry, ShutdownIsNeverRetried) {
+  std::vector<double> sleeps;
+  RetryingClient client(unique_socket("noshut"), fast_fail_options(),
+                        no_jitter_policy(),
+                        [&](double ms) { sleeps.push_back(ms); });
+  Request req;
+  req.op = "shutdown";
+  EXPECT_THROW((void)client.call(req), PreconditionError);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(client.retries_used(), 0);
+}
+
+TEST(Retry, OverloadedServerHintDrivesThePause) {
+  ServerOptions options;
+  options.socket_path = unique_socket("overload");
+  options.threads = 2;
+  options.cache_capacity = 0;  // every schedule request is a miss
+  options.max_queue = 0;       // ...and every miss is shed
+  options.batch_wait_us = 0;
+  Server server(std::move(options));
+  server.start();
+
+  std::vector<double> sleeps;
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 3;
+  RetryingClient client(server.socket_path(), ClientOptions{}, policy,
+                        [&](double ms) { sleeps.push_back(ms); });
+  Request req;
+  req.size = 20;
+  req.procs = 4;
+  const Response resp = client.call(req);
+
+  // Retries were attempted, then the typed overload surfaced to the
+  // caller once the attempts ran out — never an exception, never silence.
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, error_code::kOverloaded);
+  EXPECT_GT(resp.retry_after_ms, 0);
+  ASSERT_EQ(sleeps.size(), 2u);
+  for (const double ms : sleeps) {
+    EXPECT_GE(ms, static_cast<double>(resp.retry_after_ms));
+  }
+  EXPECT_EQ(client.retries_used(), 2);
+
+  // Pings bypass the dispatcher queue, so a shedding server still
+  // answers them first try.
+  Request ping;
+  ping.op = "ping";
+  const Response pong = client.call(ping);
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(client.retries_used(), 2);
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bsa::serve

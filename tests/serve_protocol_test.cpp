@@ -165,6 +165,27 @@ TEST(ServeProtocol, ErrorResponseRoundTrip) {
   EXPECT_EQ(resp.id, 3u);
   EXPECT_FALSE(resp.ok);
   EXPECT_EQ(resp.error, "unknown algorithm \"x\"");
+  // The legacy 2-arg form defaults to the `internal` code.
+  EXPECT_EQ(resp.code, error_code::kInternal);
+  EXPECT_EQ(resp.retry_after_ms, 0);
+}
+
+TEST(ServeProtocol, TypedErrorRoundTripCarriesCodeAndHint) {
+  const Response shed = parse_response(
+      format_error(9, error_code::kOverloaded, "server overloaded", 25));
+  EXPECT_EQ(shed.id, 9u);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.code, error_code::kOverloaded);
+  EXPECT_EQ(shed.error, "server overloaded");
+  EXPECT_EQ(shed.retry_after_ms, 25);
+
+  // retry_after_ms is only emitted when it carries information.
+  const std::string bad =
+      format_error(4, error_code::kBadRequest, "unknown key \"siez\"");
+  EXPECT_EQ(bad.find("retry_after_ms"), std::string::npos);
+  const Response resp = parse_response(bad);
+  EXPECT_EQ(resp.code, error_code::kBadRequest);
+  EXPECT_EQ(resp.retry_after_ms, 0);
 }
 
 }  // namespace
