@@ -1,9 +1,14 @@
-/// Workload-suite bench: every registered workload × every paper
-/// algorithm ({bsa, dls, mh, eft}) on mesh/hypercube/clique topologies,
-/// evaluated on the parallel experiment runtime.
+/// Workload-suite bench: every registered workload × the full scheduler
+/// portfolio ({bsa, dls, mh, eft, heft, peft, sa}) on
+/// mesh/hypercube/clique topologies, evaluated on the parallel
+/// experiment runtime.
 ///
 ///   $ ./bench_workloads [--threads 0] [--size 80] [--seeds 2]
-///                       [--full] [--out runs.jsonl] [--csv] [--progress]
+///                       [--full] [--quick] [--out runs.jsonl] [--csv]
+///                       [--progress]
+///
+/// --quick shrinks the grid (size 30, 1 seed/cell) for CI smoke runs
+/// that only assert the artefact shape.
 ///
 /// Prints one table per topology (rows = workloads, columns = algorithm
 /// mean schedule lengths plus the BSA/DLS ratio) and writes aggregate
@@ -32,22 +37,25 @@ namespace {
 
 using namespace bsa;
 
-constexpr const char* kAlgos[] = {"bsa", "dls", "mh", "eft"};
+constexpr const char* kAlgos[] = {"bsa",  "dls",  "mh", "eft",
+                                  "heft", "peft", "sa"};
 constexpr const char* kTopologies[] = {"mesh", "hypercube", "clique"};
 
 int run(const CliParser& cli) {
   const bool full =
       cli.get_bool("full", false) || exp::full_benchmarks_requested();
+  const bool quick = cli.get_bool("quick", false);
   runtime::ScenarioGrid grid;
   grid.workloads = workloads::WorkloadRegistry::global().names();
-  grid.sizes = {static_cast<int>(cli.get_int("size", full ? 200 : 80))};
+  grid.sizes = {static_cast<int>(
+      cli.get_int("size", quick ? 30 : (full ? 200 : 80)))};
   grid.granularities = {cli.get_double("gran", 1.0)};
   grid.topologies = {kTopologies, kTopologies + std::size(kTopologies)};
   grid.algos = {kAlgos, kAlgos + std::size(kAlgos)};
   grid.procs = static_cast<int>(cli.get_int("procs", 16));
   grid.het_highs = {static_cast<int>(cli.get_int("het", 50))};
-  grid.seeds_per_cell =
-      static_cast<int>(cli.get_int("seeds", full ? 5 : 2));
+  grid.seeds_per_cell = static_cast<int>(
+      cli.get_int("seeds", quick ? 1 : (full ? 5 : 2)));
   grid.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
 
   const runtime::ScenarioSet set = runtime::ScenarioSet::from_grid(grid);

@@ -1,0 +1,118 @@
+#include "core/move_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sched/retime.hpp"
+
+namespace bsa::core {
+
+MoveEngine::MoveEngine(sched::Schedule& s,
+                       const net::HeterogeneousCostModel& costs)
+    : s_(s), costs_(costs), table_(s.topology()), ctx_(s, costs) {
+  BSA_REQUIRE(s_.all_placed(), "MoveEngine requires a complete schedule");
+  // Pull the input to its earliest-time fixpoint so the context's
+  // incremental updates start from consistent ground.
+  if (!ctx_.retime_full(nullptr)) {
+    (void)sched::replay_retime(s_, costs_, true);
+    ctx_.invalidate();
+    ++stats_.replay_fallbacks;
+  }
+}
+
+/// Schedule mutations of moving `t` to `p` on the live schedule (no
+/// re-timing): clear its incident routes, re-route crossing messages
+/// along static shortest paths (deterministic source-finish order) and
+/// place `t` at its earliest slot. Outgoing messages re-route from the
+/// task's actual new finish rather than BSA's pre-retime estimate, so
+/// this defines the engine's own move semantics, not a mirror of BSA's
+/// static commit. Deterministic in the pre-move schedule state.
+void MoveEngine::apply_move_mutations(TaskId t, ProcId p) {
+  const auto& g = s_.task_graph();
+  ctx_.begin_migration(t);
+  s_.unplace_task(t);
+  for (const EdgeId e : g.in_edges(t)) s_.clear_route(e);
+  for (const EdgeId e : g.out_edges(t)) s_.clear_route(e);
+
+  std::vector<EdgeId> incoming;
+  for (const EdgeId e : g.in_edges(t)) {
+    if (s_.proc_of(g.edge_src(e)) != p) incoming.push_back(e);
+  }
+  std::sort(incoming.begin(), incoming.end(), [&](EdgeId a, EdgeId b) {
+    const Time fa = s_.finish_of(g.edge_src(a));
+    const Time fb = s_.finish_of(g.edge_src(b));
+    if (!time_eq(fa, fb)) return fa < fb;
+    return a < b;
+  });
+  Time drt = 0;
+  for (const EdgeId e : g.in_edges(t)) {
+    if (s_.proc_of(g.edge_src(e)) == p) {
+      drt = std::max(drt, s_.finish_of(g.edge_src(e)));
+    }
+  }
+  for (const EdgeId e : incoming) {
+    const TaskId src = g.edge_src(e);
+    Time ready = s_.finish_of(src);
+    for (const LinkId l : table_.route(s_.proc_of(src), p)) {
+      const Time dur = costs_.comm_cost(e, l);
+      const Time st = s_.earliest_link_slot(l, ready, dur);
+      s_.append_hop(e, sched::Hop{l, st, st + dur});
+      ready = st + dur;
+    }
+    drt = std::max(drt, ready);
+  }
+
+  const Time dur = costs_.exec_cost(t, p);
+  const Time st = s_.earliest_task_slot(p, drt, dur);
+  s_.place_task(t, p, st, st + dur);
+
+  for (const EdgeId e : g.out_edges(t)) {
+    const TaskId dst = g.edge_dst(e);
+    const ProcId pd = s_.proc_of(dst);
+    if (pd == p) continue;
+    Time ready = st + dur;
+    for (const LinkId l : table_.route(p, pd)) {
+      const Time hd = costs_.comm_cost(e, l);
+      const Time hs = s_.earliest_link_slot(l, ready, hd);
+      s_.append_hop(e, sched::Hop{l, hs, hs + hd});
+      ready = hs + hd;
+    }
+  }
+}
+
+Time MoveEngine::evaluate(TaskId t, ProcId p) {
+  ++stats_.evaluated;
+  s_.begin_transaction(txn_);
+  apply_move_mutations(t, p);
+  if (ctx_.retime_migration(t, nullptr)) {
+    const Time len = s_.makespan();
+    s_.rollback_transaction();
+    ctx_.undo_migration(t);
+    return len;
+  }
+  // Re-timing cycle: replay the whole schedule to measure, restore
+  // from a copy (the context is stale either way).
+  ++stats_.replay_fallbacks;
+  s_.rollback_transaction();
+  sched::Schedule snapshot = s_;
+  apply_move_mutations(t, p);
+  (void)sched::replay_retime(s_, costs_, true);
+  ctx_.invalidate();
+  const Time len = s_.makespan();
+  s_ = std::move(snapshot);
+  return len;
+}
+
+void MoveEngine::apply(TaskId t, ProcId p) {
+  ++stats_.applied;
+  apply_move_mutations(t, p);
+  if (!ctx_.retime_migration(t, nullptr)) {
+    ++stats_.replay_fallbacks;
+    (void)sched::replay_retime(s_, costs_, true);
+    ctx_.invalidate();
+  }
+}
+
+}  // namespace bsa::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "network/cost_model.hpp"
+#include "network/routing.hpp"
+#include "sched/retime_context.hpp"
+#include "sched/schedule.hpp"
+
+/// \file move_engine.hpp
+/// Transactional single-task move evaluation over a live schedule.
+///
+/// The engine owns the machinery that refine's kRetimeDelta mode and the
+/// simulated-annealing scheduler share: one bound Schedule, one persistent
+/// sched::RetimeContext, and one reusable Schedule::Transaction. A
+/// candidate move (migrate task t to processor p) is
+///
+///  * evaluated by journaling its mutations into the transaction,
+///    re-timing the affected region incrementally, reading the resulting
+///    makespan and rolling everything back — O(touched) per rejected
+///    move, never a schedule rebuild (docs/DESIGN_PERF.md);
+///  * applied by performing the same mutations for real and committing.
+///
+/// Move semantics (shared by both callers): the task's incident routes
+/// are cleared, crossing messages re-route along static shortest paths
+/// booking earliest free link slots (incoming messages in deterministic
+/// source-finish order), and the task lands in its earliest insertion
+/// slot. The rare re-timing-cycle fallback measures through a snapshot
+/// copy and replay_retime, exactly as before the extraction —
+/// deterministic either way.
+
+namespace bsa::core {
+
+class MoveEngine {
+ public:
+  /// Bind to `s` (complete; must outlive the engine) and pull it to its
+  /// earliest-time fixpoint so the incremental re-timing deltas start
+  /// from consistent ground.
+  MoveEngine(sched::Schedule& s, const net::HeterogeneousCostModel& costs);
+
+  MoveEngine(const MoveEngine&) = delete;
+  MoveEngine& operator=(const MoveEngine&) = delete;
+
+  /// Makespan the schedule would have after moving `t` to `p`; the
+  /// schedule is restored bit-exactly before returning.
+  [[nodiscard]] Time evaluate(TaskId t, ProcId p);
+
+  /// Move `t` to `p` for real and re-time.
+  void apply(TaskId t, ProcId p);
+
+  struct Stats {
+    std::int64_t evaluated = 0;         ///< trial moves measured + rolled back
+    std::int64_t applied = 0;           ///< moves committed
+    std::int64_t replay_fallbacks = 0;  ///< re-timing-cycle snapshot replays
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void apply_move_mutations(TaskId t, ProcId p);
+
+  sched::Schedule& s_;
+  const net::HeterogeneousCostModel& costs_;
+  net::RoutingTable table_;
+  sched::RetimeContext ctx_;
+  sched::Schedule::Transaction txn_;
+  Stats stats_;
+};
+
+}  // namespace bsa::core

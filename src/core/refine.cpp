@@ -5,9 +5,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/move_engine.hpp"
 #include "sched/assignment.hpp"
-#include "sched/retime.hpp"
-#include "sched/retime_context.hpp"
 
 namespace bsa::core {
 namespace {
@@ -32,125 +31,22 @@ std::vector<ProcId> move_candidates(TaskId t, const net::Topology& topo,
   return procs;
 }
 
-/// Schedule mutations of moving `t` to `p` on the live schedule (no
-/// re-timing): clear its incident routes, re-route crossing messages
-/// along static shortest paths (deterministic source-finish order) and
-/// place `t` at its earliest slot. Deliberately independent of BSA's
-/// static commit (core/bsa.cpp): outgoing messages here re-route from
-/// the task's actual new finish rather than BSA's pre-retime estimate,
-/// so this defines refine's own move semantics, not a mirror of BSA's.
-/// Deterministic in the pre-move schedule state.
-void apply_move_mutations(sched::Schedule& s,
-                          const net::HeterogeneousCostModel& costs,
-                          const net::RoutingTable& table,
-                          sched::RetimeContext& ctx, TaskId t, ProcId p) {
-  const auto& g = s.task_graph();
-  ctx.begin_migration(t);
-  s.unplace_task(t);
-  for (const EdgeId e : g.in_edges(t)) s.clear_route(e);
-  for (const EdgeId e : g.out_edges(t)) s.clear_route(e);
-
-  std::vector<EdgeId> incoming;
-  for (const EdgeId e : g.in_edges(t)) {
-    if (s.proc_of(g.edge_src(e)) != p) incoming.push_back(e);
-  }
-  std::sort(incoming.begin(), incoming.end(), [&](EdgeId a, EdgeId b) {
-    const Time fa = s.finish_of(g.edge_src(a));
-    const Time fb = s.finish_of(g.edge_src(b));
-    if (!time_eq(fa, fb)) return fa < fb;
-    return a < b;
-  });
-  Time drt = 0;
-  for (const EdgeId e : g.in_edges(t)) {
-    if (s.proc_of(g.edge_src(e)) == p) {
-      drt = std::max(drt, s.finish_of(g.edge_src(e)));
-    }
-  }
-  for (const EdgeId e : incoming) {
-    const TaskId src = g.edge_src(e);
-    Time ready = s.finish_of(src);
-    for (const LinkId l : table.route(s.proc_of(src), p)) {
-      const Time dur = costs.comm_cost(e, l);
-      const Time st = s.earliest_link_slot(l, ready, dur);
-      s.append_hop(e, sched::Hop{l, st, st + dur});
-      ready = st + dur;
-    }
-    drt = std::max(drt, ready);
-  }
-
-  const Time dur = costs.exec_cost(t, p);
-  const Time st = s.earliest_task_slot(p, drt, dur);
-  s.place_task(t, p, st, st + dur);
-
-  for (const EdgeId e : g.out_edges(t)) {
-    const TaskId dst = g.edge_dst(e);
-    const ProcId pd = s.proc_of(dst);
-    if (pd == p) continue;
-    Time ready = st + dur;
-    for (const LinkId l : table.route(p, pd)) {
-      const Time hd = costs.comm_cost(e, l);
-      const Time hs = s.earliest_link_slot(l, ready, hd);
-      s.append_hop(e, sched::Hop{l, hs, hs + hd});
-      ready = hs + hd;
-    }
-  }
-}
-
-/// apply_move_mutations plus re-timing; the committed-move path.
-void apply_move(sched::Schedule& s, const net::HeterogeneousCostModel& costs,
-                const net::RoutingTable& table, sched::RetimeContext& ctx,
-                TaskId t, ProcId p) {
-  apply_move_mutations(s, costs, table, ctx, t, p);
-  if (!ctx.retime_migration(t, nullptr)) {
-    (void)sched::replay_retime(s, costs, true);
-    ctx.invalidate();
-  }
-}
-
-/// Incremental local search: one live schedule, one RetimeContext; each
-/// candidate move is journaled into a Schedule::Transaction, measured,
-/// and rolled back in O(touched) (the best one is then re-applied for
-/// real). The rare re-timing-cycle fallback measures through a snapshot
-/// copy instead, because replay_retime rebuilds the schedule wholesale.
+/// Incremental local search over core::MoveEngine: one live schedule,
+/// one RetimeContext; each candidate move is journaled into a
+/// Schedule::Transaction, measured, and rolled back in O(touched) (the
+/// best one is then re-applied for real). The rare re-timing-cycle
+/// fallback measures through a snapshot copy instead, because
+/// replay_retime rebuilds the schedule wholesale.
 RefineResult refine_retime_delta(const sched::Schedule& input,
                                  const net::HeterogeneousCostModel& costs,
                                  const RefineOptions& options) {
   const auto& g = input.task_graph();
   const auto& topo = input.topology();
-  const net::RoutingTable table(topo);
 
   RefineResult result{input, input.makespan(), input.makespan(), 0, 0};
   sched::Schedule& s = result.schedule;
-  sched::RetimeContext ctx(s, costs);
-  // Pull the input to its earliest-time fixpoint so the context's
-  // incremental updates start from consistent ground.
-  if (!ctx.retime_full(nullptr)) {
-    (void)sched::replay_retime(s, costs, true);
-    ctx.invalidate();
-  }
+  MoveEngine engine(s, costs);
   Time best_len = s.makespan();
-
-  sched::Schedule::Transaction txn;
-  const auto evaluate_move = [&](TaskId t, ProcId p) -> Time {
-    s.begin_transaction(txn);
-    apply_move_mutations(s, costs, table, ctx, t, p);
-    if (ctx.retime_migration(t, nullptr)) {
-      const Time len = s.makespan();
-      s.rollback_transaction();
-      ctx.undo_migration(t);
-      return len;
-    }
-    // Re-timing cycle: replay the whole schedule to measure, restore
-    // from a copy (the context is stale either way).
-    s.rollback_transaction();
-    sched::Schedule snapshot = s;
-    apply_move_mutations(s, costs, table, ctx, t, p);
-    (void)sched::replay_retime(s, costs, true);
-    ctx.invalidate();
-    const Time len = s.makespan();
-    s = std::move(snapshot);
-    return len;
-  };
 
   for (int round = 0; round < options.max_rounds; ++round) {
     bool improved_this_round = false;
@@ -161,14 +57,14 @@ RefineResult refine_retime_delta(const sched::Schedule& input,
       for (const ProcId p : move_candidates(t, topo, costs, options)) {
         if (p == original) continue;
         ++result.candidates_evaluated;
-        const Time len = evaluate_move(t, p);
+        const Time len = engine.evaluate(t, p);
         if (time_lt(len, best_len)) {
           best_len = len;
           best_proc = p;
         }
       }
       if (best_proc != original) {
-        apply_move(s, costs, table, ctx, t, best_proc);
+        engine.apply(t, best_proc);
         best_len = s.makespan();
         ++result.moves_applied;
         improved_this_round = true;

@@ -12,13 +12,17 @@
 #include "core/bsa.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sched/rank_schedulers.hpp"
+#include "sched/sa.hpp"
 #include "sched/scheduler.hpp"
 
 /// \file builtin_schedulers.cpp
-/// Adapters that put the library's four algorithms — BSA and the DLS, MH
-/// and EFT baselines — behind the unified sched::Scheduler interface, and
-/// their registration with the global SchedulerRegistry. The existing
-/// free functions (core::schedule_bsa, baselines::schedule_*) remain the
+/// Adapters that put the library's algorithms — BSA, the DLS, MH and EFT
+/// baselines, the HEFT/PEFT rank schedulers and the simulated-annealing
+/// refiner — behind the unified sched::Scheduler interface, and their
+/// registration with the global SchedulerRegistry. The existing free
+/// functions (core::schedule_bsa, baselines::schedule_*,
+/// sched::schedule_heft/peft, sched::anneal_schedule) remain the
 /// implementation and keep their white-box result structs; the adapters
 /// only translate options and package results.
 
@@ -253,6 +257,131 @@ class MhScheduler final : public Scheduler {
   }
 };
 
+// --- HEFT / PEFT ------------------------------------------------------------
+
+class HeftScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string spec() const override { return "heft"; }
+  [[nodiscard]] std::string display_name() const override { return "HEFT"; }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t /*seed*/) const override {
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
+    const auto t0 = Clock::now();
+    RankScheduleResult r = schedule_heft(g, topo, costs);
+    const double ms = ms_since(t0);
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"schedule", ms}};
+    audit_result(out.schedule, costs, spec());
+    return out;
+  }
+};
+
+class PeftScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string spec() const override { return "peft"; }
+  [[nodiscard]] std::string display_name() const override { return "PEFT"; }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t /*seed*/) const override {
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
+    const auto t0 = Clock::now();
+    RankScheduleResult r = schedule_peft(g, topo, costs);
+    const double ms = ms_since(t0);
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"schedule", ms}};
+    audit_result(out.schedule, costs, spec());
+    return out;
+  }
+};
+
+// --- SA ---------------------------------------------------------------------
+
+class SaScheduler final : public Scheduler {
+ public:
+  explicit SaScheduler(const SpecOptions& opts) {
+    const std::string init = opts.get_choice(
+        "init", {"heft", "peft", "bsa", "dls", "eft", "mh"}, "heft");
+    options_.iters = opts.get_int("iters", 100, 0);
+    options_.temp0 = opts.get_double("temp0", 0.05, 0.0);
+    if (opts.has("seed")) pinned_seed_ = opts.get_uint64("seed", 0);
+    // Factories run at resolve time, after the registry is fully built,
+    // so resolving the init scheduler here cannot recurse into
+    // registration. "sa" is not an accepted init, so no self-nesting.
+    init_ = SchedulerRegistry::global().resolve(init);
+
+    std::vector<std::string> parts;  // alphabetical by key
+    if (init != "heft") parts.push_back("init=" + init);
+    if (options_.iters != 100) {
+      parts.push_back("iters=" + std::to_string(options_.iters));
+    }
+    if (pinned_seed_.has_value()) {
+      parts.push_back("seed=" + std::to_string(*pinned_seed_));
+    }
+    if (options_.temp0 != 0.05) {
+      parts.push_back("temp0=" + bsa::canonical_double(options_.temp0));
+    }
+    spec_ = canonical_spec("sa", std::move(parts));
+  }
+
+  [[nodiscard]] std::string spec() const override { return spec_; }
+  [[nodiscard]] std::string display_name() const override { return "SA"; }
+
+  [[nodiscard]] SchedulerResult run(const graph::TaskGraph& g,
+                                    const net::Topology& topo,
+                                    const net::HeterogeneousCostModel& costs,
+                                    std::uint64_t seed) const override {
+    return run_impl(g, topo, costs, seed);
+  }
+
+  [[nodiscard]] SchedulerResult run_observed(
+      const graph::TaskGraph& g, const net::Topology& topo,
+      const net::HeterogeneousCostModel& costs, std::uint64_t seed,
+      const obs::Hooks& hooks) const override {
+    obs::Span span(hooks.tracer, spec(), "sched", hooks.trace_tid);
+    return run_impl(g, topo, costs, seed);
+  }
+
+ private:
+  [[nodiscard]] SchedulerResult run_impl(
+      const graph::TaskGraph& g, const net::Topology& topo,
+      const net::HeterogeneousCostModel& costs, std::uint64_t seed) const {
+    const std::uint64_t eff = pinned_seed_.value_or(seed);
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
+    auto t0 = Clock::now();
+    SchedulerResult ir = init_->run(g, topo, costs, eff);
+    const double init_ms = ms_since(t0);
+    SaOptions opt = options_;
+    opt.seed = eff;
+    // lint:allow(wall-clock): phase wall-time reporting only, never a result
+    t0 = Clock::now();
+    SaResult r = anneal_schedule(ir.schedule, costs, opt);
+    const double anneal_ms = ms_since(t0);
+
+    SchedulerResult out(std::move(r.schedule));
+    out.phase_ms = {{"init", init_ms}, {"anneal", anneal_ms}};
+    obs::Registry reg;
+    reg.merge(ir.counters);  // the init run's counters ride along
+    reg.add("sa.proposed", r.proposed);
+    reg.add("sa.accepted", r.accepted);
+    reg.add("sa.accepted_worse", r.accepted_worse);
+    reg.add("sa.best_updates", r.best_updates);
+    reg.add("sa.replay_fallbacks", r.replay_fallbacks);
+    out.counters = reg.snapshot();
+    audit_result(out.schedule, costs, spec());
+    return out;
+  }
+
+  SaOptions options_;
+  std::optional<std::uint64_t> pinned_seed_;
+  std::unique_ptr<Scheduler> init_;
+  std::string spec_;
+};
+
 }  // namespace
 
 void register_builtin_schedulers(SchedulerRegistry& registry) {
@@ -321,6 +450,45 @@ void register_builtin_schedulers(SchedulerRegistry& registry) {
       {},
       [](const SpecOptions&) -> std::unique_ptr<Scheduler> {
         return std::make_unique<MhScheduler>();
+      },
+  });
+  registry.add({
+      "heft",
+      "HEFT",
+      "upward-rank list scheduler (Topcuoglu et al.) with contended routing",
+      {},
+      [](const SpecOptions&) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<HeftScheduler>();
+      },
+  });
+  registry.add({
+      "peft",
+      "PEFT",
+      "optimistic-cost-table list scheduler (Arabnejad & Barbosa) with "
+      "contended routing",
+      {},
+      [](const SpecOptions&) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<PeftScheduler>();
+      },
+  });
+  registry.add({
+      "sa",
+      "SA",
+      "simulated-annealing refinement of an init scheduler's result "
+      "(transactional O(touched) move evaluation)",
+      {
+          OptionDoc{"init", "heft|peft|bsa|dls|eft|mh", "heft",
+                    "scheduler whose result is refined"},
+          OptionDoc{"iters", "integer >= 0", "100",
+                    "proposed migration moves (0 returns the init schedule "
+                    "bit-identically)"},
+          OptionDoc{"seed", "unsigned integer", "(caller seed)",
+                    "pin the move/acceptance stream (also passed to init)"},
+          OptionDoc{"temp0", "float > 0", "0.05",
+                    "initial temperature as a fraction of the init makespan"},
+      },
+      [](const SpecOptions& opts) -> std::unique_ptr<Scheduler> {
+        return std::make_unique<SaScheduler>(opts);
       },
   });
 }

@@ -144,7 +144,8 @@ using bsa::SpecOptions;
 }
 
 /// Registry of named scheduler factories. `global()` holds the built-in
-/// algorithms (bsa, dls, eft, mh); local instances can be built in tests.
+/// algorithms (bsa, dls, eft, mh, heft, peft, sa); local instances can be
+/// built in tests.
 class SchedulerRegistry {
  public:
   /// Documentation of one accepted option, used for error messages,
@@ -203,8 +204,9 @@ class SchedulerRegistry {
   std::vector<Entry> entries_;
 };
 
-/// Register the built-in algorithms (bsa, dls, eft, mh) — defined in
-/// builtin_schedulers.cpp, invoked once by SchedulerRegistry::global().
+/// Register the built-in algorithms (bsa, dls, eft, mh, heft, peft, sa) —
+/// defined in builtin_schedulers.cpp, invoked once by
+/// SchedulerRegistry::global().
 void register_builtin_schedulers(SchedulerRegistry& registry);
 
 }  // namespace bsa::sched

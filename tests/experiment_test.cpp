@@ -55,7 +55,7 @@ TEST(Experiment, RunAlgorithmRejectsUnknownSpecs) {
   const auto topo = make_topology("ring", 4, 0);
   const auto cm =
       net::HeterogeneousCostModel::uniform(g, topo, 1, 2, 1, 2, 9);
-  EXPECT_THROW((void)run_algorithm("heft", g, topo, cm, 1),
+  EXPECT_THROW((void)run_algorithm("hneft", g, topo, cm, 1),
                PreconditionError);
 }
 

@@ -87,14 +87,20 @@ TEST(Registry, CanonicalDropsDefaultsLowercasesAndSortsKeys) {
             "bsa:gate=always,route=static");
   EXPECT_EQ(reg().canonical("bsa:vip=false,sweeps=4"),
             "bsa:sweeps=4,vip=off");
+  // SA: defaults drop, doubles take their canonical spelling.
+  EXPECT_EQ(reg().canonical("sa:init=heft,iters=100,temp0=0.05"), "sa");
+  EXPECT_EQ(reg().canonical("SA:temp0=0.10,init=PEFT"),
+            "sa:init=peft,temp0=0.1");
 }
 
 TEST(Registry, CanonicalIsIdempotent) {
   for (const std::string spec :
-       {"bsa", "dls", "eft", "mh", "bsa:gate=always,route=static",
+       {"bsa", "dls", "eft", "mh", "heft", "peft", "sa",
+        "bsa:gate=always,route=static",
         "bsa:policy=greedy,prune=on,retime=rebuild,serial=blevel,"
         "slots=append,sweeps=3,vip=off",
-        "bsa:seed=42", "dls:seed=7"}) {
+        "bsa:seed=42", "dls:seed=7",
+        "sa:init=bsa,iters=32,seed=9,temp0=0.2"}) {
     const std::string canonical = reg().canonical(spec);
     EXPECT_EQ(reg().canonical(canonical), canonical) << spec;
   }
@@ -105,26 +111,34 @@ TEST(Registry, DisplayLabelsComeFromOneTable) {
   EXPECT_EQ(reg().display_label("dls"), "DLS");
   EXPECT_EQ(reg().display_label("eft"), "EFT (oblivious)");
   EXPECT_EQ(reg().display_label("mh"), "MH");
+  EXPECT_EQ(reg().display_label("heft"), "HEFT");
+  EXPECT_EQ(reg().display_label("peft"), "PEFT");
+  EXPECT_EQ(reg().display_label("sa"), "SA");
   // A variant is labelled by its canonical spec, not the family name.
   EXPECT_EQ(reg().display_label("bsa:gate=always"), "bsa:gate=always");
+  EXPECT_EQ(reg().display_label("sa:iters=0"), "sa:iters=0");
 }
 
 TEST(Registry, NamesListsBuiltinsInRegistrationOrder) {
   const std::vector<std::string> names = reg().names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 7u);
   EXPECT_EQ(names[0], "bsa");
   EXPECT_EQ(names[1], "dls");
   EXPECT_EQ(names[2], "eft");
   EXPECT_EQ(names[3], "mh");
+  EXPECT_EQ(names[4], "heft");
+  EXPECT_EQ(names[5], "peft");
+  EXPECT_EQ(names[6], "sa");
 }
 
 // --- rejection with helpful messages ----------------------------------------
 
 TEST(Registry, UnknownNameListsRegisteredNames) {
   const std::string msg =
-      error_message([] { (void)reg().resolve("heft"); });
-  EXPECT_NE(msg.find("unknown scheduler 'heft'"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("bsa, dls, eft, mh"), std::string::npos) << msg;
+      error_message([] { (void)reg().resolve("hneft"); });
+  EXPECT_NE(msg.find("unknown scheduler 'hneft'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bsa, dls, eft, mh, heft, peft, sa"), std::string::npos)
+      << msg;
 }
 
 TEST(Registry, UnknownOptionListsValidOptions) {
@@ -154,7 +168,7 @@ TEST(Registry, BadValueListsValidChoices) {
 TEST(Registry, LocalInstanceRejectsDuplicateAndMalformedRegistrations) {
   SchedulerRegistry local;
   register_builtin_schedulers(local);
-  EXPECT_EQ(local.names().size(), 4u);
+  EXPECT_EQ(local.names().size(), 7u);
   SchedulerRegistry::Entry dup;
   dup.name = "bsa";
   dup.factory = [](const SpecOptions&) -> std::unique_ptr<Scheduler> {
@@ -223,7 +237,7 @@ TEST(Registry, DefaultSpecsMatchLegacyDispatchBitIdentically) {
         }
         return baselines::schedule_mh(in.g, in.topo, in.cm).schedule;
       };
-      for (const std::string& name : reg().names()) {
+      for (const std::string name : {"bsa", "dls", "eft", "mh"}) {
         const SchedulerResult result =
             reg().resolve(name)->run(in.g, in.topo, in.cm, seed);
         EXPECT_EQ(schedule_to_text(result.schedule),

@@ -2,6 +2,9 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "graph/task_graph.hpp"
+#include "network/topology.hpp"
+#include "sched/schedule.hpp"
 #include "sched/timeline.hpp"
 
 namespace bsa::sched {
@@ -167,6 +170,68 @@ TEST(SlotIndex, RejectsNegativeDuration) {
   SlotIndex idx;
   idx.build({});
   EXPECT_THROW((void)idx.query(0, -1), PreconditionError);
+}
+
+// --- Schedule-level insertion edge cases ------------------------------------
+//
+// HEFT-style placement exercises earliest_task_slot in corners BSA's
+// serial-injection order never reaches: slots *before* the first booking
+// on a processor (a high-rank task arriving after a low-rank one was
+// committed), zero-length tasks, and equal-time ties in the processor
+// execution order.
+
+/// Four independent tasks — placement machinery only.
+graph::TaskGraph four_tasks() {
+  graph::TaskGraphBuilder b;
+  for (int i = 0; i < 4; ++i) (void)b.add_task(1);
+  return b.build();
+}
+
+TEST(ScheduleSlots, InsertsBeforeFirstBooking) {
+  const graph::TaskGraph g = four_tasks();
+  const net::Topology topo = net::Topology::clique(2);
+  Schedule s(g, topo);
+  s.place_task(0, 0, 20, 30);
+  // The idle prefix [0, 20) is a real slot, not dead time.
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 0, 10), 0);
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 5, 10), 5);
+  // Too late to fit before: pushed past the booking.
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 15, 10), 30);
+  // Committing into the prefix re-sorts the execution order by time.
+  s.place_task(1, 0, 0, 10);
+  EXPECT_EQ(s.tasks_on(0), (std::vector<TaskId>{1, 0}));
+}
+
+TEST(ScheduleSlots, ZeroLengthTasksFitAtBoundaries) {
+  const graph::TaskGraph g = four_tasks();
+  const net::Topology topo = net::Topology::clique(2);
+  Schedule s(g, topo);
+  s.place_task(0, 0, 0, 10);
+  s.place_task(1, 0, 10, 20);
+  // A zero-length request inside a booking lands on the next boundary,
+  // even a zero-width one between two touching bookings.
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 5, 0), 10);
+  // At a boundary it fits exactly there; past the last booking it sits
+  // at the ready time.
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 0, 0), 0);
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 25, 0), 25);
+  // And committing one keeps the timeline well-formed for later queries.
+  s.place_task(2, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(s.earliest_task_slot(0, 0, 5), 20);
+}
+
+TEST(ScheduleSlots, EqualTimeTieOrderingIsDeterministic) {
+  const graph::TaskGraph g = four_tasks();
+  const net::Topology topo = net::Topology::clique(2);
+  Schedule s(g, topo);
+  s.place_task(0, 1, 10, 20);
+  // A zero-length task at the same start sorts before the longer one
+  // (order is by (start, finish)), independent of insertion order.
+  s.place_task(1, 1, 10, 10);
+  EXPECT_EQ(s.tasks_on(1), (std::vector<TaskId>{1, 0}));
+  // Equal (start, finish): the earlier insertion keeps its position.
+  s.place_task(2, 1, 10, 10);
+  EXPECT_EQ(s.tasks_on(1), (std::vector<TaskId>{1, 2, 0}));
 }
 
 }  // namespace
